@@ -1,0 +1,64 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunFig5(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-run", "fig5"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	// The paper's exact Figure 5 values must appear.
+	for _, frag := range []string{"27.3", "22.7", "23.5", "35.3", "0.706"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("figure 5 output missing %q:\n%s", frag, s)
+		}
+	}
+}
+
+func TestRunFig3(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-run", "fig3", "-rows", "5000"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "exact answer") || !strings.Contains(s, "error1") {
+		t.Errorf("fig3 output:\n%s", s)
+	}
+}
+
+func TestRunExp1Small(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-run", "exp1", "-rows", "8000"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, frag := range []string{"Figure 14", "Figure 15", "Figure 16", "Congress"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("exp1 output missing %q", frag)
+		}
+	}
+}
+
+func TestRunExp3Small(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-run", "exp3", "-rows", "8000"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Integrated") {
+		t.Errorf("exp3 output:\n%s", out.String())
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-run", "nope"}, &out); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+	if err := run([]string{"-badflag"}, &out); err == nil {
+		t.Error("bad flag accepted")
+	}
+}

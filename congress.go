@@ -1,0 +1,371 @@
+// Package congress is a Go implementation of congressional samples for
+// approximate answering of group-by queries (Acharya, Gibbons, Poosala;
+// SIGMOD 2000), together with the complete substrate the technique runs
+// on: an in-memory SQL engine, the Aqua-style approximate-query
+// middleware, stratified estimators with error bounds, the four
+// query-rewriting strategies of the paper's Section 5, and one-pass
+// construction plus incremental maintenance of the samples.
+//
+// The central idea: a uniform sample of a warehouse table answers
+// aggregate queries well overall, but group-by queries see terrible
+// accuracy on small groups. Congressional samples allocate a fixed
+// sample budget so that every group under every combination of grouping
+// columns is well represented, by taking the per-group maximum of the
+// optimal allocations for all 2^|G| groupings and scaling back to the
+// budget.
+//
+// Quick start:
+//
+//	w := congress.Open()
+//	tbl, _ := w.CreateTable("sales",
+//		congress.Col("region", congress.String),
+//		congress.Col("product", congress.String),
+//		congress.Col("amount", congress.Float),
+//	)
+//	tbl.Insert(congress.Str("east"), congress.Str("pen"), congress.F(12.5))
+//	...
+//	w.BuildSynopsis(congress.SynopsisSpec{
+//		Table: "sales", GroupBy: []string{"region", "product"}, Space: 10000,
+//	})
+//	res, _ := w.Approx(`select region, sum(amount) from sales group by region`)
+//	fmt.Print(res)
+package congress
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/approxdb/congress/internal/aqua"
+	"github.com/approxdb/congress/internal/core"
+	"github.com/approxdb/congress/internal/engine"
+	"github.com/approxdb/congress/internal/estimate"
+	"github.com/approxdb/congress/internal/rewrite"
+)
+
+// Strategy selects the sample-space allocation scheme of Section 4.
+type Strategy = core.Strategy
+
+// Allocation strategies.
+const (
+	// House samples uniformly: space proportional to group size.
+	House = core.House
+	// Senate gives every finest group equal space.
+	Senate = core.Senate
+	// BasicCongress takes the per-group max of House and Senate.
+	BasicCongress = core.BasicCongress
+	// Congress covers every grouping combination (the recommended
+	// default).
+	Congress = core.Congress
+)
+
+// RewriteStrategy selects the query-rewriting technique of Section 5.
+type RewriteStrategy = rewrite.Strategy
+
+// Rewriting strategies.
+const (
+	// Integrated stores a scale factor on each sample tuple.
+	Integrated = rewrite.Integrated
+	// NestedIntegrated scales once per group via a nested query.
+	NestedIntegrated = rewrite.NestedIntegrated
+	// Normalized joins a separate scale-factor relation on the grouping
+	// columns.
+	Normalized = rewrite.Normalized
+	// KeyNormalized joins the scale-factor relation on a group id.
+	KeyNormalized = rewrite.KeyNormalized
+)
+
+// Kind is a column type.
+type Kind = engine.Kind
+
+// Column kinds.
+const (
+	Int    = engine.KindInt
+	Float  = engine.KindFloat
+	String = engine.KindString
+	Date   = engine.KindDate
+	Bool   = engine.KindBool
+)
+
+// Value is a dynamically typed SQL value.
+type Value = engine.Value
+
+// Row is one tuple.
+type Row = engine.Row
+
+// Result is a query result.
+type Result = engine.Result
+
+// Value constructors.
+var (
+	// I builds an integer value.
+	I = engine.NewInt
+	// F builds a float value.
+	F = engine.NewFloat
+	// Str builds a string value.
+	Str = engine.NewString
+	// B builds a boolean value.
+	B = engine.NewBool
+	// D parses an ISO date (panics on malformed input).
+	D = engine.MustParseDate
+)
+
+// Col describes a column.
+func Col(name string, kind Kind) engine.Column {
+	return engine.Column{Name: name, Kind: kind}
+}
+
+// Warehouse is an in-memory warehouse with approximate query answering:
+// an engine catalog fronted by the Aqua middleware.
+type Warehouse struct {
+	cat *engine.Catalog
+	aq  *aqua.Aqua
+}
+
+// Open creates an empty warehouse.
+func Open() *Warehouse {
+	cat := engine.NewCatalog()
+	return &Warehouse{cat: cat, aq: aqua.New(cat)}
+}
+
+// Table is a handle to a base relation.
+type Table struct {
+	w   *Warehouse
+	rel *engine.Relation
+}
+
+// CreateTable registers a new empty table.
+func (w *Warehouse) CreateTable(name string, cols ...engine.Column) (*Table, error) {
+	schema, err := engine.NewSchema(cols...)
+	if err != nil {
+		return nil, err
+	}
+	rel := engine.NewRelation(name, schema)
+	w.cat.Register(rel)
+	return &Table{w: w, rel: rel}, nil
+}
+
+// Table returns a handle to an existing table.
+func (w *Warehouse) Table(name string) (*Table, error) {
+	rel, ok := w.cat.Lookup(name)
+	if !ok {
+		return nil, fmt.Errorf("congress: unknown table %q", name)
+	}
+	return &Table{w: w, rel: rel}, nil
+}
+
+// Insert appends one row. If the table has a synopsis, the row also
+// flows to its incremental maintainer so the sample stays fresh without
+// re-reading the table (call RefreshSynopsis to make maintained state
+// visible to queries).
+func (t *Table) Insert(vals ...Value) error {
+	row := Row(vals)
+	if err := t.rel.Insert(row); err != nil {
+		return err
+	}
+	if syn, ok := t.w.aq.Synopsis(t.rel.Name); ok {
+		syn.Insert(row)
+	}
+	return nil
+}
+
+// NumRows returns the table's row count.
+func (t *Table) NumRows() int { return t.rel.NumRows() }
+
+// Name returns the table name.
+func (t *Table) Name() string { return t.rel.Name }
+
+// SynopsisSpec configures BuildSynopsis.
+type SynopsisSpec struct {
+	// Table is the base table to summarize.
+	Table string
+	// GroupBy is the grouping attribute set G the synopsis must serve.
+	GroupBy []string
+	// Space is the sample budget in tuples.
+	Space int
+	// Strategy is the allocation scheme (default Congress).
+	Strategy Strategy
+	// Rewrite is the strategy used by Approx (default Integrated).
+	Rewrite RewriteStrategy
+	// WithErrorBounds appends Aqua error columns to approximate answers.
+	WithErrorBounds bool
+	// VarianceColumn enables variance-aware allocation (the paper's
+	// Section 8 extension): groups whose values in this column vary
+	// more receive extra sample space via Neyman allocation.
+	VarianceColumn string
+	// TargetGroupings specializes the synopsis to a known query mix:
+	// only the listed groupings (each a subset of GroupBy; include an
+	// empty slice for the no-group-by query) compete for sample space,
+	// instead of all 2^|G| combinations.
+	TargetGroupings [][]string
+	// Recency applies the Section 8 ageing bias: groups with newer
+	// values in the named column (one of GroupBy, typically a date) get
+	// geometrically more sample space. Decay in (0,1] is the per-step
+	// multiplier into the past.
+	Recency *Recency
+	// Seed fixes sampling randomness for reproducibility (0 = 1).
+	Seed int64
+}
+
+// BuildSynopsis precomputes a biased sample of the table and registers
+// the sample relations used to answer queries approximately. Existing
+// Table handles start feeding the new synopsis's maintainer on their
+// next Insert.
+func (w *Warehouse) BuildSynopsis(spec SynopsisSpec) error {
+	_, err := w.aq.CreateSynopsis(aqua.Config{
+		Table:            spec.Table,
+		GroupCols:        spec.GroupBy,
+		Strategy:         spec.Strategy,
+		Space:            spec.Space,
+		Rewrite:          spec.Rewrite,
+		WithErrorColumns: spec.WithErrorBounds,
+		VarianceColumn:   spec.VarianceColumn,
+		TargetGroupings:  spec.TargetGroupings,
+		Recency:          spec.Recency,
+		Seed:             spec.Seed,
+	})
+	return err
+}
+
+// Recency configures the ageing bias of SynopsisSpec.
+type Recency = aqua.Recency
+
+// DimJoin is one fact-to-dimension foreign-key edge of a star schema.
+type DimJoin = aqua.DimJoin
+
+// JoinSpec describes a star-schema join for BuildJoinSynopsis.
+type JoinSpec struct {
+	// Name registers the joined (wide) relation under this name; query
+	// it like any table.
+	Name string
+	// Fact is the central fact table.
+	Fact string
+	// Dims are the dimension joins.
+	Dims []DimJoin
+}
+
+// BuildJoinSynopsis materializes the star join Fact ⋈ Dims as a single
+// wide relation (valid because foreign-key joins preserve fact-table
+// cardinality — the join-synopsis observation of the paper's Section 2)
+// and builds a synopsis over it. spec.Table is ignored; the synopsis
+// covers join.Name, and GroupBy columns may come from any joined table.
+func (w *Warehouse) BuildJoinSynopsis(join JoinSpec, spec SynopsisSpec) error {
+	_, err := w.aq.CreateJoinSynopsis(aqua.JoinSpec{
+		Name: join.Name,
+		Fact: join.Fact,
+		Dims: join.Dims,
+	}, aqua.Config{
+		GroupCols:        spec.GroupBy,
+		Strategy:         spec.Strategy,
+		Space:            spec.Space,
+		Rewrite:          spec.Rewrite,
+		WithErrorColumns: spec.WithErrorBounds,
+		VarianceColumn:   spec.VarianceColumn,
+		TargetGroupings:  spec.TargetGroupings,
+		Recency:          spec.Recency,
+		Seed:             spec.Seed,
+	})
+	return err
+}
+
+// RefreshSynopsis re-materializes a table's sample relations from its
+// incremental maintainer.
+func (w *Warehouse) RefreshSynopsis(table string) error {
+	return w.aq.Refresh(table)
+}
+
+// AllocationRow is one line of the Figure 5-style allocation table a
+// synopsis reports.
+type AllocationRow = aqua.AllocationRow
+
+// AllocationTable reports how a synopsis's space budget was divided
+// among the finest groups, sorted by descending allocation.
+func (w *Warehouse) AllocationTable(table string) ([]AllocationRow, error) {
+	syn, ok := w.aq.Synopsis(table)
+	if !ok {
+		return nil, fmt.Errorf("congress: no synopsis for %q", table)
+	}
+	return syn.AllocationTable(), nil
+}
+
+// Query executes SQL exactly against the base tables.
+func (w *Warehouse) Query(sql string) (*Result, error) {
+	return engine.ExecuteSQL(w.cat, sql)
+}
+
+// Approx answers an aggregate query approximately from the table's
+// synopsis using its configured rewrite strategy.
+func (w *Warehouse) Approx(sql string) (*Result, error) {
+	return w.aq.Answer(sql)
+}
+
+// ApproxWith answers approximately using an explicit rewrite strategy.
+func (w *Warehouse) ApproxWith(sql string, strat RewriteStrategy) (*Result, error) {
+	return w.aq.AnswerWith(sql, strat)
+}
+
+// Explain returns the rewritten SQL a strategy would execute, without
+// running it.
+func (w *Warehouse) Explain(sql string, strat RewriteStrategy) (string, error) {
+	return w.aq.RewriteOnly(sql, strat)
+}
+
+// Estimate answers a query directly from a table's stratified sample
+// without SQL, returning per-group estimates with confidence bounds.
+// grouping selects the output grouping columns (a subset of the
+// synopsis's GroupBy); agg and aggCol pick the operator and the
+// aggregated column; confidence 0 means 90%.
+func (w *Warehouse) Estimate(table string, grouping []string, agg estimate.Aggregate, aggCol string, confidence float64) ([]estimate.GroupEstimate, error) {
+	syn, ok := w.aq.Synopsis(table)
+	if !ok {
+		return nil, fmt.Errorf("congress: no synopsis for %q", table)
+	}
+	rel, _ := w.cat.Lookup(table)
+	// Validate the grouping columns against the schema up front.
+	if _, err := core.NewGrouping(rel.Schema, grouping); err != nil {
+		return nil, err
+	}
+	ci := rel.Schema.Index(aggCol)
+	if ci < 0 {
+		return nil, fmt.Errorf("congress: unknown aggregate column %q", aggCol)
+	}
+	return estimate.Run(syn.Sample(), estimate.Query{
+		GroupKey: func(row Row) string {
+			parts := make([]string, 0, len(grouping))
+			for _, name := range grouping {
+				parts = append(parts, row[rel.Schema.Index(name)].String())
+			}
+			return joinParts(parts)
+		},
+		Value: func(row Row) (float64, bool) {
+			return row[ci].AsFloat()
+		},
+		Agg:        agg,
+		Confidence: confidence,
+	})
+}
+
+// joinParts joins display values with a separator for Estimate keys.
+func joinParts(parts []string) string {
+	out := ""
+	for i, p := range parts {
+		if i > 0 {
+			out += "/"
+		}
+		out += p
+	}
+	return out
+}
+
+// Aggregate re-exports the direct-estimation aggregate selector.
+type Aggregate = estimate.Aggregate
+
+// Direct-estimation aggregates.
+const (
+	Sum   = estimate.Sum
+	Count = estimate.Count
+	Avg   = estimate.Avg
+)
+
+// NewRand builds a deterministic random source, convenience for
+// examples and tools.
+func NewRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

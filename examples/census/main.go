@@ -1,0 +1,123 @@
+// Census: the paper's Section 1 motivating example. A census table
+// holds one row per person with state, gender, and income; state
+// populations differ by a factor of ~70 (California vs Wyoming). A
+// uniform sample answers "average income per state" terribly for small
+// states; a congressional sample answers it well for every state while
+// staying accurate for the no-group-by national average.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"sort"
+
+	congress "github.com/approxdb/congress"
+)
+
+// statePop is a stylized population table (thousands of rows to keep
+// the example fast; relative sizes mirror reality).
+var statePop = map[string]int{
+	"CA": 70000, "TX": 52000, "NY": 39000, "FL": 38000, "IL": 25000,
+	"PA": 25000, "OH": 23000, "MI": 20000, "GA": 17000, "NC": 15000,
+	"MT": 1900, "DE": 1500, "SD": 1400, "ND": 1300, "AK": 1200,
+	"VT": 1100, "WY": 1000,
+}
+
+func main() {
+	w := congress.Open()
+	tbl, err := w.CreateTable("census",
+		congress.Col("st", congress.String),
+		congress.Col("gen", congress.String),
+		congress.Col("sal", congress.Float),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	rng := congress.NewRand(2000)
+	states := make([]string, 0, len(statePop))
+	for st := range statePop {
+		states = append(states, st)
+	}
+	sort.Strings(states)
+
+	exactAvg := map[string]float64{}
+	for _, st := range states {
+		var sum float64
+		n := statePop[st]
+		// Give each state its own mean income so errors are visible.
+		base := 30000 + float64(len(st)*3000) + rng.Float64()*20000
+		for i := 0; i < n; i++ {
+			gen := "F"
+			if rng.Intn(2) == 0 {
+				gen = "M"
+			}
+			sal := base + rng.NormFloat64()*8000
+			if sal < 1000 {
+				sal = 1000
+			}
+			sum += sal
+			if err := tbl.Insert(congress.Str(st), congress.Str(gen), congress.F(sal)); err != nil {
+				log.Fatal(err)
+			}
+		}
+		exactAvg[st] = sum / float64(n)
+	}
+	fmt.Printf("census loaded: %d rows across %d states\n\n", tbl.NumRows(), len(states))
+
+	// Build one synopsis per strategy on separate warehouses sharing the
+	// data? Simpler: rebuild the synopsis in place per strategy.
+	const space = 3400 // ~1% of the table
+	run := func(strategy congress.Strategy, label string) {
+		if err := w.BuildSynopsis(congress.SynopsisSpec{
+			Table:    "census",
+			GroupBy:  []string{"st", "gen"},
+			Space:    space,
+			Strategy: strategy,
+			Seed:     9,
+		}); err != nil {
+			log.Fatal(err)
+		}
+		res, err := w.Approx(`select st, avg(sal) from census group by st order by st`)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var worstState string
+		var worst, mean float64
+		got := map[string]float64{}
+		for _, row := range res.Rows {
+			v, _ := row[1].AsFloat()
+			got[row[0].S] = v
+		}
+		for _, st := range states {
+			est, ok := got[st]
+			e := 100.0
+			if ok {
+				e = math.Abs(est-exactAvg[st]) / exactAvg[st] * 100
+			}
+			mean += e
+			if e > worst {
+				worst = e
+				worstState = st
+			}
+		}
+		mean /= float64(len(states))
+		fmt.Printf("%-22s mean error %6.2f%%   worst %6.2f%% (%s, pop %d)\n",
+			label, mean, worst, worstState, statePop[worstState])
+	}
+
+	fmt.Println("avg income per state from a ~1% sample:")
+	run(congress.House, "House (uniform)")
+	run(congress.Senate, "Senate")
+	run(congress.BasicCongress, "Basic Congress")
+	run(congress.Congress, "Congress")
+
+	// National average (no group-by) from the final Congress synopsis.
+	exact, _ := w.Query(`select avg(sal) from census`)
+	approx, _ := w.Approx(`select avg(sal) from census`)
+	ev, _ := exact.Rows[0][0].AsFloat()
+	av, _ := approx.Rows[0][0].AsFloat()
+	fmt.Printf("\nnational avg income: exact %.0f, congress estimate %.0f (%.2f%% error)\n",
+		ev, av, math.Abs(ev-av)/ev*100)
+}

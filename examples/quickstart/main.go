@@ -1,0 +1,78 @@
+// Quickstart: build a congressional sample over a skewed sales table
+// and answer group-by queries approximately, comparing against exact
+// answers.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	congress "github.com/approxdb/congress"
+)
+
+func main() {
+	w := congress.Open()
+
+	tbl, err := w.CreateTable("sales",
+		congress.Col("region", congress.String),
+		congress.Col("product", congress.String),
+		congress.Col("amount", congress.Float),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Load a deliberately skewed dataset: "east" has 50x the rows of
+	// "north".
+	rng := congress.NewRand(42)
+	load := func(region, product string, n int, base float64) {
+		for i := 0; i < n; i++ {
+			if err := tbl.Insert(
+				congress.Str(region),
+				congress.Str(product),
+				congress.F(base+rng.Float64()*10),
+			); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	load("east", "pen", 50000, 10)
+	load("east", "ink", 30000, 40)
+	load("west", "pen", 15000, 12)
+	load("west", "ink", 4000, 45)
+	load("north", "pen", 1000, 15)
+
+	// Precompute a 1% congressional sample serving every grouping of
+	// {region, product}.
+	if err := w.BuildSynopsis(congress.SynopsisSpec{
+		Table:   "sales",
+		GroupBy: []string{"region", "product"},
+		Space:   1000,
+		Seed:    7,
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	for _, q := range []string{
+		`select sum(amount) from sales`,
+		`select region, sum(amount) from sales group by region order by region`,
+		`select region, product, avg(amount) from sales group by region, product order by region, product`,
+	} {
+		exact, err := w.Query(q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		approx, err := w.Approx(q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("query: %s\nexact:\n%sapprox (1%% congressional sample):\n%s\n", q, exact, approx)
+	}
+
+	// Show the SQL the middleware actually executed.
+	sqlText, err := w.Explain(`select region, sum(amount) from sales group by region`, congress.Integrated)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("rewritten query:", sqlText)
+}

@@ -1,0 +1,85 @@
+// Warehouse: an OLAP drill-down session on a TPC-D-style lineitem
+// table. The analyst starts with a grand total, rolls down to coarse
+// groups, then to the finest grouping — the query pattern congressional
+// samples are designed for. Each step is answered from one 5%
+// congressional sample and compared against the exact answer; the same
+// steps are also answered from a uniform (House) sample to show where
+// it falls apart.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"github.com/approxdb/congress/internal/aqua"
+	"github.com/approxdb/congress/internal/core"
+	"github.com/approxdb/congress/internal/engine"
+	"github.com/approxdb/congress/internal/metrics"
+	"github.com/approxdb/congress/internal/tpcd"
+)
+
+func main() {
+	const rows = 300_000
+	fmt.Printf("generating %d-row lineitem (1000 groups, z=1.2)...\n", rows)
+	rel, err := tpcd.Generate(tpcd.Params{
+		TableSize: rows, NumGroups: 1000, GroupSkew: 1.2, Seed: 3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	session := []struct {
+		title     string
+		query     string
+		groupCols int
+	}{
+		{"grand total", `select sum(l_quantity) from lineitem`, 0},
+		{"roll-down to return flag", `select l_returnflag, sum(l_quantity) from lineitem group by l_returnflag order by l_returnflag`, 1},
+		{"drill to flag x status", `select l_returnflag, l_linestatus, sum(l_quantity) from lineitem group by l_returnflag, l_linestatus order by l_returnflag, l_linestatus`, 2},
+		{"finest: flag x status x shipdate", `select l_returnflag, l_linestatus, l_shipdate, sum(l_quantity) from lineitem group by l_returnflag, l_linestatus, l_shipdate order by l_returnflag, l_linestatus, l_shipdate`, 3},
+	}
+
+	for _, strategy := range []core.Strategy{core.Congress, core.House} {
+		cat := engine.NewCatalog()
+		cat.Register(rel)
+		a := aqua.New(cat)
+		if _, err := a.CreateSynopsis(aqua.Config{
+			Table:     "lineitem",
+			GroupCols: tpcd.GroupingAttrs,
+			Strategy:  strategy,
+			Space:     rows / 20, // 5%
+			Seed:      11,
+		}); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\n--- drill-down with a 5%% %s sample ---\n", strategy)
+		for _, step := range session {
+			exactStart := time.Now()
+			exact, err := a.Exact(step.query)
+			if err != nil {
+				log.Fatal(err)
+			}
+			exactTime := time.Since(exactStart)
+
+			approxStart := time.Now()
+			approx, err := a.Answer(step.query)
+			if err != nil {
+				log.Fatal(err)
+			}
+			approxTime := time.Since(approxStart)
+
+			agg := step.groupCols
+			ge, err := metrics.CompareAnswers(exact, approx, step.groupCols, agg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%-34s %4d groups  mean err %7.2f%%  max %8.2f%%  missing %3d  (%v -> %v, %.0fx)\n",
+				step.title, len(exact.Rows), ge.L1(), ge.LInf(), ge.MissingGroups,
+				exactTime.Round(time.Millisecond), approxTime.Round(time.Millisecond),
+				float64(exactTime)/float64(approxTime))
+		}
+	}
+	fmt.Println("\nNote how House matches Congress on the grand total but degrades sharply")
+	fmt.Println("(and drops groups entirely) at the finest grouping, while Congress stays usable.")
+}

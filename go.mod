@@ -1,0 +1,3 @@
+module github.com/approxdb/congress
+
+go 1.22

@@ -1,0 +1,454 @@
+// Package aqua is the approximate-query middleware of Section 2: it
+// precomputes congressional (or House/Senate/Basic Congress) synopses of
+// warehouse relations, stores them as regular relations in the backing
+// engine, intercepts user queries, rewrites them with one of the
+// Section 5 strategies, executes the rewrite, and returns approximate
+// answers — optionally annotated with error-bound columns.
+package aqua
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"github.com/approxdb/congress/internal/core"
+	"github.com/approxdb/congress/internal/engine"
+	"github.com/approxdb/congress/internal/rewrite"
+	"github.com/approxdb/congress/internal/sample"
+	"github.com/approxdb/congress/internal/sqlparse"
+)
+
+// Config configures one synopsis over one base relation.
+type Config struct {
+	// Table is the base relation name.
+	Table string
+	// GroupCols is the grouping attribute set G.
+	GroupCols []string
+	// Strategy is the allocation strategy (default Congress).
+	Strategy core.Strategy
+	// Space is the synopsis budget X in tuples.
+	Space int
+	// Rewrite is the default rewriting strategy for answering queries
+	// (default Integrated, the paper's recommendation for read-mostly
+	// warehouses).
+	Rewrite rewrite.Strategy
+	// WithErrorColumns appends Aqua error-bound columns to answers
+	// (Integrated rewriting only).
+	WithErrorColumns bool
+	// VarianceColumn, when set, enables the Section 8 multi-criteria
+	// extension: a Neyman weight vector over the named aggregate
+	// column's per-group variance is combined into the allocation, so
+	// high-variance groups receive extra sample space.
+	VarianceColumn string
+	// TargetGroupings, when set, specializes the synopsis to a known
+	// query mix: instead of Strategy's vectors, only the listed
+	// groupings (each a subset of GroupCols; nil/empty slice means the
+	// no-group-by query) compete for space. See the paper's Section
+	// 4.5-4.7 discussion of specializing to query subsets.
+	TargetGroupings [][]string
+	// Recency, when set, applies the Section 8 ageing bias: groups are
+	// weighted by how recent their value in Recency.Column is, so fresh
+	// data is over-represented in the sample relative to old data.
+	Recency *Recency
+	// DeltaMaintenance selects the reservoir+delta Congress maintenance
+	// algorithm (the Section 6 generalization of Basic Congress)
+	// instead of the default Eq. 8 probability-decay maintainer. Only
+	// meaningful for the Congress strategy.
+	DeltaMaintenance bool
+	// Seed fixes the sampling randomness (0 = seed 1).
+	Seed int64
+}
+
+// Aqua is the middleware instance sitting atop one engine catalog.
+type Aqua struct {
+	cat      *engine.Catalog
+	synopses map[string]*Synopsis // by lower-cased base table name
+}
+
+// New creates an Aqua instance over the catalog (the "warehouse DBMS").
+func New(cat *engine.Catalog) *Aqua {
+	return &Aqua{cat: cat, synopses: make(map[string]*Synopsis)}
+}
+
+// Catalog returns the backing engine catalog.
+func (a *Aqua) Catalog() *engine.Catalog { return a.cat }
+
+// Synopsis is one materialized biased sample with the relations backing
+// all four rewrite strategies, plus an incremental maintainer that keeps
+// the sample up to date under inserts without touching the base table.
+type Synopsis struct {
+	cfg      Config
+	grouping *core.Grouping
+	sample   *sample.Stratified[engine.Row]
+	alloc    *core.Allocation
+
+	// Relations registered in the catalog, one layout per rewrite
+	// family.
+	integratedName string // base columns + sf
+	normName       string // base columns only
+	normAuxName    string // group columns + sf
+	keyName        string // base columns + gid
+	keyAuxName     string // gid + sf
+	gidByKey       map[string]int64
+
+	maintainer core.Maintainer
+}
+
+// CreateSynopsis builds a synopsis: scans the base relation, allocates
+// sample space with the configured strategy, materializes the stratified
+// sample, and registers the sample relations for all four rewrite
+// strategies. It also arms an incremental maintainer seeded with the
+// same strategy so future inserts keep the synopsis fresh.
+func (a *Aqua) CreateSynopsis(cfg Config) (*Synopsis, error) {
+	if cfg.Space <= 0 {
+		return nil, fmt.Errorf("aqua: synopsis space must be positive")
+	}
+	rel, ok := a.cat.Lookup(cfg.Table)
+	if !ok {
+		return nil, fmt.Errorf("aqua: unknown table %q", cfg.Table)
+	}
+	g, err := core.NewGrouping(rel.Schema, cfg.GroupCols)
+	if err != nil {
+		return nil, err
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+
+	cube, err := core.BuildCube(rel, g)
+	if err != nil {
+		return nil, err
+	}
+	if cube.Total() == 0 {
+		return nil, fmt.Errorf("aqua: cannot build a synopsis over empty table %q", cfg.Table)
+	}
+
+	// Assemble the Figure 19 weight-vector table: either the chosen
+	// strategy's vectors or, when the query mix is known, one vector
+	// per targeted grouping — plus the optional variance criterion.
+	X := float64(cfg.Space)
+	var vecs []core.WeightVector
+	if len(cfg.TargetGroupings) > 0 {
+		for _, attrs := range cfg.TargetGroupings {
+			mask, err := core.MaskFor(cube, attrs)
+			if err != nil {
+				return nil, err
+			}
+			vecs = append(vecs, core.GroupingVector(cube, X, mask))
+		}
+	} else {
+		vecs, err = core.StrategyVectors(cfg.Strategy, cube, X)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if cfg.VarianceColumn != "" {
+		sds, err := core.GroupStdDevs(rel, g, cfg.VarianceColumn)
+		if err != nil {
+			return nil, err
+		}
+		vecs = append(vecs, core.NeymanVector(cube, X, sds))
+	}
+	if cfg.Recency != nil {
+		rv, err := recencyVector(cfg.Recency, rel, g, cube, X)
+		if err != nil {
+			return nil, err
+		}
+		vecs = append(vecs, rv)
+	}
+	alloc := core.CombineVectors(X, vecs...)
+	st, err := core.Materialize(rel, g, cube, alloc, rng)
+	if err != nil {
+		return nil, err
+	}
+
+	s := &Synopsis{cfg: cfg, grouping: g, sample: st, alloc: alloc}
+	s.nameTables()
+	if err := s.materialize(a.cat, rel.Schema); err != nil {
+		return nil, err
+	}
+
+	// Arm the matching maintainer and seed it with the current table
+	// contents, so later Refresh snapshots cover the whole relation —
+	// this pass is exactly the paper's one-pass construction.
+	switch cfg.Strategy {
+	case core.House:
+		s.maintainer, err = core.NewHouseMaintainer(g, cfg.Space, rng)
+	case core.Senate:
+		s.maintainer, err = core.NewSenateMaintainer(g, cfg.Space, rng)
+	case core.BasicCongress:
+		s.maintainer, err = core.NewBasicCongressMaintainer(g, cfg.Space, rng)
+	default:
+		if cfg.DeltaMaintenance {
+			s.maintainer, err = core.NewCongressDeltaMaintainer(g, cfg.Space, rng)
+		} else {
+			s.maintainer, err = core.NewCongressMaintainer(g, cfg.Space, rng)
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range rel.Rows() {
+		s.maintainer.Insert(row)
+	}
+
+	a.synopses[strings.ToLower(cfg.Table)] = s
+	return s, nil
+}
+
+// Synopsis returns the synopsis for a base table, if any.
+func (a *Aqua) Synopsis(table string) (*Synopsis, bool) {
+	s, ok := a.synopses[strings.ToLower(table)]
+	return s, ok
+}
+
+func (s *Synopsis) nameTables() {
+	base := strings.ToLower(s.cfg.Table)
+	s.integratedName = "cs_" + base
+	s.normName = "csn_" + base
+	s.normAuxName = "csn_" + base + "_aux"
+	s.keyName = "csk_" + base
+	s.keyAuxName = "csk_" + base + "_aux"
+}
+
+// materialize registers the sample relations for every rewrite layout.
+func (s *Synopsis) materialize(cat *engine.Catalog, baseSchema *engine.Schema) error {
+	// Stable GID per stratum.
+	keys := s.sample.Keys()
+	gid := make(map[string]int64, len(keys))
+	sort.Strings(keys)
+	for i, k := range keys {
+		gid[k] = int64(i + 1)
+	}
+	s.gidByKey = gid
+
+	sfCol := engine.Column{Name: "sf", Kind: engine.KindFloat}
+	gidCol := engine.Column{Name: "gid", Kind: engine.KindInt}
+
+	integrated := engine.NewRelation(s.integratedName,
+		engine.MustSchema(append(append([]engine.Column(nil), baseSchema.Cols...), sfCol)...))
+	norm := engine.NewRelation(s.normName,
+		engine.MustSchema(append([]engine.Column(nil), baseSchema.Cols...)...))
+	keyed := engine.NewRelation(s.keyName,
+		engine.MustSchema(append(append([]engine.Column(nil), baseSchema.Cols...), gidCol)...))
+
+	// Aux relations: grouping columns + sf, and gid + sf.
+	groupColDefs := make([]engine.Column, 0, len(s.cfg.GroupCols)+1)
+	for _, gc := range s.cfg.GroupCols {
+		idx := baseSchema.Index(gc)
+		groupColDefs = append(groupColDefs, baseSchema.Cols[idx])
+	}
+	normAux := engine.NewRelation(s.normAuxName,
+		engine.MustSchema(append(append([]engine.Column(nil), groupColDefs...), sfCol)...))
+	keyAux := engine.NewRelation(s.keyAuxName,
+		engine.MustSchema(gidCol, sfCol))
+
+	var firstErr error
+	insert := func(rel *engine.Relation, row engine.Row) {
+		if err := rel.Insert(row); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+
+	groupIdx := make([]int, len(s.cfg.GroupCols))
+	for i, gc := range s.cfg.GroupCols {
+		groupIdx[i] = baseSchema.Index(gc)
+	}
+
+	s.sample.Each(func(str *sample.Stratum[engine.Row]) {
+		if len(str.Items) == 0 {
+			return
+		}
+		sf := engine.NewFloat(str.ScaleFactor())
+		id := engine.NewInt(gid[str.Key])
+		for _, row := range str.Items {
+			insert(integrated, append(row.Clone(), sf))
+			insert(norm, row.Clone())
+			insert(keyed, append(row.Clone(), id))
+		}
+		auxRow := make(engine.Row, 0, len(groupIdx)+1)
+		for _, gi := range groupIdx {
+			auxRow = append(auxRow, str.Items[0][gi])
+		}
+		insert(normAux, append(auxRow, sf))
+		insert(keyAux, engine.Row{id, sf})
+	})
+	if firstErr != nil {
+		return firstErr
+	}
+
+	cat.Register(integrated)
+	cat.Register(norm)
+	cat.Register(normAux)
+	cat.Register(keyed)
+	cat.Register(keyAux)
+	return nil
+}
+
+// Tables returns the rewrite.Tables wiring for the given strategy.
+func (s *Synopsis) Tables(strat rewrite.Strategy) rewrite.Tables {
+	t := rewrite.Tables{
+		Base:             s.cfg.Table,
+		GroupCols:        s.cfg.GroupCols,
+		WithErrorColumns: s.cfg.WithErrorColumns,
+	}
+	switch strat {
+	case rewrite.Integrated, rewrite.NestedIntegrated:
+		t.Sample = s.integratedName
+	case rewrite.Normalized:
+		t.Sample = s.normName
+		t.Aux = s.normAuxName
+	case rewrite.KeyNormalized:
+		t.Sample = s.keyName
+		t.Aux = s.keyAuxName
+	}
+	return t
+}
+
+// Sample exposes the stratified sample backing the synopsis.
+func (s *Synopsis) Sample() *sample.Stratified[engine.Row] { return s.sample }
+
+// AllocationRow is one line of the Figure 5-style allocation table.
+type AllocationRow struct {
+	// Group holds the rendered grouping-column values of the finest
+	// group.
+	Group []string
+	// Population is n_g.
+	Population int64
+	// PreScale is the row-wise max over weight vectors before scaling.
+	PreScale float64
+	// Target is the final fractional allocation.
+	Target float64
+	// Actual is the number of tuples materialized in the stratum.
+	Actual int
+}
+
+// AllocationTable reports how the synopsis's space budget was divided
+// among the finest groups — the per-synopsis analogue of the paper's
+// Figure 5 — sorted by descending target.
+func (s *Synopsis) AllocationTable() []AllocationRow {
+	groupIdx := s.grouping.Columns()
+	out := make([]AllocationRow, 0, s.sample.NumStrata())
+	s.sample.Each(func(str *sample.Stratum[engine.Row]) {
+		row := AllocationRow{
+			Population: str.Population,
+			PreScale:   s.alloc.PreScale[str.Key],
+			Target:     s.alloc.Targets[str.Key],
+			Actual:     len(str.Items),
+		}
+		if len(str.Items) > 0 {
+			for _, ci := range groupIdx {
+				row.Group = append(row.Group, str.Items[0][ci].String())
+			}
+		}
+		out = append(out, row)
+	})
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Target != out[j].Target {
+			return out[i].Target > out[j].Target
+		}
+		return fmt.Sprint(out[i].Group) < fmt.Sprint(out[j].Group)
+	})
+	return out
+}
+
+// Allocation exposes the space allocation that produced the synopsis.
+func (s *Synopsis) Allocation() *core.Allocation { return s.alloc }
+
+// Grouping exposes the grouping G of the synopsis.
+func (s *Synopsis) Grouping() *core.Grouping { return s.grouping }
+
+// Maintainer exposes the incremental maintainer armed at creation.
+func (s *Synopsis) Maintainer() core.Maintainer { return s.maintainer }
+
+// Insert feeds a newly inserted warehouse tuple to the synopsis
+// maintainer (the base relation is assumed to be updated by the caller;
+// Aqua never re-reads it, per Section 6).
+func (s *Synopsis) Insert(row engine.Row) {
+	s.maintainer.Insert(row)
+}
+
+// Refresh re-materializes the sample relations from the maintainer's
+// current snapshot, making maintained state visible to queries.
+func (a *Aqua) Refresh(table string) error {
+	s, ok := a.Synopsis(table)
+	if !ok {
+		return fmt.Errorf("aqua: no synopsis for %q", table)
+	}
+	st, err := s.maintainer.Snapshot()
+	if err != nil {
+		return err
+	}
+	rel, ok := a.cat.Lookup(s.cfg.Table)
+	if !ok {
+		return fmt.Errorf("aqua: base table %q vanished", s.cfg.Table)
+	}
+	s.sample = st
+	return s.materialize(a.cat, rel.Schema)
+}
+
+// Answer rewrites the query with the synopsis's default strategy and
+// executes it, returning the approximate answer.
+func (a *Aqua) Answer(query string) (*engine.Result, error) {
+	s, stmt, err := a.route(query)
+	if err != nil {
+		return nil, err
+	}
+	return a.answer(s, stmt, s.cfg.Rewrite)
+}
+
+// AnswerWith answers using an explicit rewriting strategy (used by the
+// Section 7.3 rewriting experiments).
+func (a *Aqua) AnswerWith(query string, strat rewrite.Strategy) (*engine.Result, error) {
+	s, stmt, err := a.route(query)
+	if err != nil {
+		return nil, err
+	}
+	return a.answer(s, stmt, strat)
+}
+
+// RewriteOnly returns the rewritten SQL without executing it (for
+// inspection and the CLI's EXPLAIN-style mode).
+func (a *Aqua) RewriteOnly(query string, strat rewrite.Strategy) (string, error) {
+	s, stmt, err := a.route(query)
+	if err != nil {
+		return "", err
+	}
+	out, err := rewrite.Rewrite(stmt, strat, s.Tables(strat))
+	if err != nil {
+		return "", err
+	}
+	return out.String(), nil
+}
+
+// Exact executes the query against the base relation, bypassing the
+// synopsis (ground truth for experiments).
+func (a *Aqua) Exact(query string) (*engine.Result, error) {
+	return engine.ExecuteSQL(a.cat, query)
+}
+
+func (a *Aqua) route(query string) (*Synopsis, *sqlparse.SelectStmt, error) {
+	stmt, err := sqlparse.Parse(query)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(stmt.From) != 1 || stmt.From[0].Subquery != nil {
+		return nil, nil, fmt.Errorf("aqua: approximate answering supports single-table queries")
+	}
+	s, ok := a.Synopsis(stmt.From[0].Name)
+	if !ok {
+		return nil, nil, fmt.Errorf("aqua: no synopsis for table %q", stmt.From[0].Name)
+	}
+	return s, stmt, nil
+}
+
+func (a *Aqua) answer(s *Synopsis, stmt *sqlparse.SelectStmt, strat rewrite.Strategy) (*engine.Result, error) {
+	rewritten, err := rewrite.Rewrite(stmt, strat, s.Tables(strat))
+	if err != nil {
+		return nil, err
+	}
+	return engine.Execute(a.cat, rewritten)
+}

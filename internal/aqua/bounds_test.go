@@ -1,0 +1,79 @@
+package aqua
+
+import (
+	"math"
+	"testing"
+
+	"github.com/approxdb/congress/internal/core"
+	"github.com/approxdb/congress/internal/engine"
+	"github.com/approxdb/congress/internal/tpcd"
+)
+
+// TestErrorBoundCoverage checks Aqua's 90%-confidence sum_error bounds
+// end-to-end: across many independently built synopses, the exact
+// per-group sum should fall within estimate ± bound in roughly 90% of
+// cases (we assert >= 80% to leave slack for the CLT approximation on
+// modest strata).
+func TestErrorBoundCoverage(t *testing.T) {
+	cat := engine.NewCatalog()
+	rel := tpcd.MustGenerate(tpcd.Params{
+		TableSize: 20000, NumGroups: 8, GroupSkew: 0.86, Seed: 3,
+	})
+	cat.Register(rel)
+
+	q := `select l_returnflag, l_linestatus, sum(l_quantity)
+		from lineitem group by l_returnflag, l_linestatus
+		order by l_returnflag, l_linestatus`
+	exact, err := engine.ExecuteSQL(cat, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exactByKey := map[string]float64{}
+	for _, row := range exact.Rows {
+		v, _ := row[2].AsFloat()
+		exactByKey[row[0].String()+"|"+row[1].String()] = v
+	}
+
+	covered, total := 0, 0
+	for trial := 0; trial < 40; trial++ {
+		a := New(cat)
+		if _, err := a.CreateSynopsis(Config{
+			Table: "lineitem", GroupCols: tpcd.GroupingAttrs,
+			Strategy: core.Congress, Space: 1000,
+			WithErrorColumns: true, Seed: int64(trial + 1),
+		}); err != nil {
+			t.Fatal(err)
+		}
+		approx, err := a.Answer(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Columns: flag, status, scaled sum, error1.
+		for _, row := range approx.Rows {
+			key := row[0].String() + "|" + row[1].String()
+			ev, ok := exactByKey[key]
+			if !ok {
+				continue
+			}
+			est, ok1 := row[2].AsFloat()
+			bound, ok2 := row[3].AsFloat()
+			if !ok1 || !ok2 {
+				continue
+			}
+			total++
+			if math.Abs(est-ev) <= bound {
+				covered++
+			}
+		}
+	}
+	if total == 0 {
+		t.Fatal("no bounds evaluated")
+	}
+	rate := float64(covered) / float64(total)
+	if rate < 0.80 {
+		t.Errorf("90%% bounds covered only %.0f%% of %d group-trials", rate*100, total)
+	}
+	if rate == 1.0 && total > 100 {
+		t.Logf("note: bounds fully covered %d cases (conservative but valid)", total)
+	}
+}

@@ -1,0 +1,124 @@
+package aqua
+
+import (
+	"math"
+	"testing"
+
+	"github.com/approxdb/congress/internal/core"
+	"github.com/approxdb/congress/internal/engine"
+	"github.com/approxdb/congress/internal/estimate"
+	"github.com/approxdb/congress/internal/sample"
+	"github.com/approxdb/congress/internal/tpcd"
+)
+
+// TestEstimatePathMatchesSQLPath cross-validates the two answering
+// paths: the direct stratified estimator (internal/estimate) and the
+// SQL path through Integrated rewriting must produce identical SUM,
+// COUNT, and AVG values from the same sample.
+func TestEstimatePathMatchesSQLPath(t *testing.T) {
+	a, _ := newTestAqua(t, core.Congress, 1500)
+	s, _ := a.Synopsis("lineitem")
+	rel, _ := a.Catalog().Lookup("lineitem")
+	flagIdx := rel.Schema.Index("l_returnflag")
+	qtyIdx := rel.Schema.Index("l_quantity")
+
+	for _, agg := range []estimate.Aggregate{estimate.Sum, estimate.Count, estimate.Avg} {
+		var sqlAgg string
+		switch agg {
+		case estimate.Sum:
+			sqlAgg = "sum(l_quantity)"
+		case estimate.Count:
+			sqlAgg = "count(*)"
+		default:
+			sqlAgg = "avg(l_quantity)"
+		}
+		res, err := a.Answer("select l_returnflag, " + sqlAgg + " from lineitem group by l_returnflag")
+		if err != nil {
+			t.Fatal(err)
+		}
+		sqlVals := map[string]float64{}
+		for _, row := range res.Rows {
+			v, _ := row[1].AsFloat()
+			sqlVals[row[0].String()] = v
+		}
+
+		ests, err := estimate.Run(s.Sample(), estimate.Query{
+			GroupKey: func(row engine.Row) string { return row[flagIdx].String() },
+			Value:    func(row engine.Row) (float64, bool) { return row[qtyIdx].AsFloat() },
+			Agg:      agg,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ests) != len(sqlVals) {
+			t.Fatalf("%v: estimate path %d groups, SQL path %d", agg, len(ests), len(sqlVals))
+		}
+		for _, e := range ests {
+			sv, ok := sqlVals[e.Key]
+			if !ok {
+				t.Fatalf("%v: group %q missing from SQL path", agg, e.Key)
+			}
+			if math.Abs(e.Value-sv) > 1e-6*math.Abs(sv)+1e-9 {
+				t.Errorf("%v group %q: estimate %v vs SQL %v", agg, e.Key, e.Value, sv)
+			}
+		}
+	}
+}
+
+// TestTargetGroupings checks the query-mix specialization: targeting
+// only the {l_returnflag} grouping reproduces the S1 allocation for it
+// and improves that query's accuracy budget relative to covering all
+// groupings.
+func TestTargetGroupings(t *testing.T) {
+	cat := engine.NewCatalog()
+	rel := tpcd.MustGenerate(tpcd.Params{TableSize: 20000, NumGroups: 27, GroupSkew: 1.2, Seed: 99})
+	cat.Register(rel)
+	a := New(cat)
+	syn, err := a.CreateSynopsis(Config{
+		Table:           "lineitem",
+		GroupCols:       tpcd.GroupingAttrs,
+		Space:           600,
+		TargetGroupings: [][]string{{"l_returnflag"}},
+		Seed:            4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// S1 for a single grouping needs no scale-down.
+	if f := syn.Allocation().ScaleDown; math.Abs(f-1) > 1e-9 {
+		t.Errorf("single-target scale-down %v, want 1", f)
+	}
+	// The S1 allocation gives each of the 3 flag groups ~X/3 = 200
+	// sampled tuples (exact up to integer rounding and tiny-group caps).
+	flagIdx2 := rel.Schema.Index("l_returnflag")
+	perFlag := map[string]int{}
+	syn.Sample().Each(func(str *sample.Stratum[engine.Row]) {
+		if len(str.Items) == 0 {
+			return
+		}
+		perFlag[str.Items[0][flagIdx2].String()] += len(str.Items)
+	})
+	if len(perFlag) != 3 {
+		t.Fatalf("flag strata %v", perFlag)
+	}
+	for flag, n := range perFlag {
+		if n < 190 || n > 210 {
+			t.Errorf("flag %s holds %d tuples, want ~200", flag, n)
+		}
+	}
+	res, err := a.Answer("select l_returnflag, sum(l_quantity) from lineitem group by l_returnflag")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("flag groups %d, want 3", len(res.Rows))
+	}
+
+	// Bad grouping names are rejected.
+	if _, err := a.CreateSynopsis(Config{
+		Table: "lineitem", GroupCols: tpcd.GroupingAttrs, Space: 100,
+		TargetGroupings: [][]string{{"ghost"}},
+	}); err == nil {
+		t.Error("unknown target grouping accepted")
+	}
+}

@@ -1,0 +1,144 @@
+package aqua
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/approxdb/congress/internal/engine"
+)
+
+// JoinSpec describes a star-schema foreign-key join: a central fact
+// table plus dimension tables, each joined on a fact foreign key that
+// references the dimension's key. Section 2 of the paper observes that
+// with join synopses "any join query involving multiple tables ... can
+// be conceptually rewritten as a query on a single join synopsis
+// relation"; MaterializeJoin builds that single relation, and a synopsis
+// over it serves group-bys on dimension attributes.
+type JoinSpec struct {
+	// Name is the name to register the joined (wide) relation under.
+	Name string
+	// Fact is the central fact table.
+	Fact string
+	// Dims are the dimension joins.
+	Dims []DimJoin
+}
+
+// DimJoin is one fact->dimension foreign-key edge.
+type DimJoin struct {
+	// Table is the dimension table name.
+	Table string
+	// FactKey is the foreign-key column on the fact table.
+	FactKey string
+	// DimKey is the referenced key column on the dimension table.
+	DimKey string
+}
+
+// MaterializeJoin computes the star join fact ⋈ dims and registers it
+// in the catalog under spec.Name. Because every join is on a foreign
+// key, the wide relation has exactly one row per fact row, so a uniform
+// (or stratified) sample of it is a valid sample of the join result —
+// the property join synopses [AGPR99] rely on. The wide schema is the
+// fact schema followed by each dimension's non-key columns; a column
+// name that collides with an earlier one is prefixed with its
+// dimension's table name.
+func (a *Aqua) MaterializeJoin(spec JoinSpec) (*engine.Relation, error) {
+	if spec.Name == "" {
+		return nil, fmt.Errorf("aqua: join spec needs a name")
+	}
+	fact, ok := a.cat.Lookup(spec.Fact)
+	if !ok {
+		return nil, fmt.Errorf("aqua: unknown fact table %q", spec.Fact)
+	}
+	if len(spec.Dims) == 0 {
+		return nil, fmt.Errorf("aqua: join spec needs at least one dimension")
+	}
+
+	type dimIndex struct {
+		join    DimJoin
+		factCol int
+		keep    []int // dim column ordinals copied into the wide row
+		rows    map[string]engine.Row
+	}
+
+	wideCols := append([]engine.Column(nil), fact.Schema.Cols...)
+	taken := make(map[string]bool, len(wideCols))
+	for _, c := range wideCols {
+		taken[strings.ToLower(c.Name)] = true
+	}
+
+	dims := make([]*dimIndex, 0, len(spec.Dims))
+	for _, dj := range spec.Dims {
+		dim, ok := a.cat.Lookup(dj.Table)
+		if !ok {
+			return nil, fmt.Errorf("aqua: unknown dimension table %q", dj.Table)
+		}
+		factCol := fact.Schema.Index(dj.FactKey)
+		if factCol < 0 {
+			return nil, fmt.Errorf("aqua: fact table %q has no column %q", spec.Fact, dj.FactKey)
+		}
+		keyCol := dim.Schema.Index(dj.DimKey)
+		if keyCol < 0 {
+			return nil, fmt.Errorf("aqua: dimension %q has no key column %q", dj.Table, dj.DimKey)
+		}
+		di := &dimIndex{join: dj, factCol: factCol, rows: make(map[string]engine.Row, dim.NumRows())}
+		for ci, c := range dim.Schema.Cols {
+			if ci == keyCol {
+				continue // redundant with the fact FK
+			}
+			name := c.Name
+			if taken[strings.ToLower(name)] {
+				name = dj.Table + "_" + name
+			}
+			if taken[strings.ToLower(name)] {
+				return nil, fmt.Errorf("aqua: column %q collides even after prefixing", name)
+			}
+			taken[strings.ToLower(name)] = true
+			wideCols = append(wideCols, engine.Column{Name: name, Kind: c.Kind})
+			di.keep = append(di.keep, ci)
+		}
+		for _, row := range dim.Rows() {
+			key := row[keyCol].GroupKey()
+			if _, dup := di.rows[key]; dup {
+				return nil, fmt.Errorf("aqua: dimension %q key %v is not unique", dj.Table, row[keyCol])
+			}
+			di.rows[key] = row
+		}
+		dims = append(dims, di)
+	}
+
+	schema, err := engine.NewSchema(wideCols...)
+	if err != nil {
+		return nil, err
+	}
+	wide := engine.NewRelation(spec.Name, schema)
+	for _, frow := range fact.Rows() {
+		row := make(engine.Row, 0, len(wideCols))
+		row = append(row, frow...)
+		for _, di := range dims {
+			drow, ok := di.rows[frow[di.factCol].GroupKey()]
+			if !ok {
+				return nil, fmt.Errorf("aqua: fact row references missing %s key %v",
+					di.join.Table, frow[di.factCol])
+			}
+			for _, ci := range di.keep {
+				row = append(row, drow[ci])
+			}
+		}
+		if err := wide.Insert(row); err != nil {
+			return nil, err
+		}
+	}
+	a.cat.Register(wide)
+	return wide, nil
+}
+
+// CreateJoinSynopsis materializes the star join and builds a synopsis
+// over the joined relation; cfg.Table is overridden by spec.Name. The
+// grouping columns may come from any table in the join.
+func (a *Aqua) CreateJoinSynopsis(spec JoinSpec, cfg Config) (*Synopsis, error) {
+	if _, err := a.MaterializeJoin(spec); err != nil {
+		return nil, err
+	}
+	cfg.Table = spec.Name
+	return a.CreateSynopsis(cfg)
+}

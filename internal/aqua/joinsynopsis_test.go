@@ -1,0 +1,191 @@
+package aqua
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/approxdb/congress/internal/core"
+	"github.com/approxdb/congress/internal/engine"
+	"github.com/approxdb/congress/internal/metrics"
+)
+
+func newTestRNG() *rand.Rand { return rand.New(rand.NewSource(42)) }
+
+// starFixture builds a small star schema: orders(fact) -> customers,
+// products. Nation lives only on customers; category only on products.
+func starFixture(t testing.TB) (*Aqua, *engine.Catalog) {
+	t.Helper()
+	cat := engine.NewCatalog()
+
+	customers := engine.NewRelation("customers", engine.MustSchema(
+		engine.Column{Name: "c_id", Kind: engine.KindInt},
+		engine.Column{Name: "nation", Kind: engine.KindString},
+	))
+	nations := []string{"US", "US", "US", "DE", "DE", "JP"}
+	for i, n := range nations {
+		customers.Insert(engine.Row{engine.NewInt(int64(i)), engine.NewString(n)})
+	}
+	cat.Register(customers)
+
+	products := engine.NewRelation("products", engine.MustSchema(
+		engine.Column{Name: "p_id", Kind: engine.KindInt},
+		engine.Column{Name: "category", Kind: engine.KindString},
+		engine.Column{Name: "nation", Kind: engine.KindString}, // collides with customers.nation
+	))
+	cats := []string{"toys", "tools", "toys"}
+	for i, c := range cats {
+		products.Insert(engine.Row{engine.NewInt(int64(i)), engine.NewString(c), engine.NewString("origin" + c)})
+	}
+	cat.Register(products)
+
+	orders := engine.NewRelation("orders", engine.MustSchema(
+		engine.Column{Name: "o_id", Kind: engine.KindInt},
+		engine.Column{Name: "cust", Kind: engine.KindInt},
+		engine.Column{Name: "prod", Kind: engine.KindInt},
+		engine.Column{Name: "amount", Kind: engine.KindFloat},
+	))
+	rng := newTestRNG()
+	for i := 0; i < 20000; i++ {
+		// Customer choice skewed: US customers get most orders.
+		c := rng.Intn(len(nations))
+		if rng.Intn(4) > 0 {
+			c = rng.Intn(3) // a US customer
+		}
+		p := rng.Intn(len(cats))
+		orders.Insert(engine.Row{
+			engine.NewInt(int64(i)),
+			engine.NewInt(int64(c)),
+			engine.NewInt(int64(p)),
+			engine.NewFloat(10 + rng.Float64()*90),
+		})
+	}
+	cat.Register(orders)
+	return New(cat), cat
+}
+
+var spec = JoinSpec{
+	Name: "orders_wide",
+	Fact: "orders",
+	Dims: []DimJoin{
+		{Table: "customers", FactKey: "cust", DimKey: "c_id"},
+		{Table: "products", FactKey: "prod", DimKey: "p_id"},
+	},
+}
+
+func TestMaterializeJoinShape(t *testing.T) {
+	a, cat := starFixture(t)
+	wide, err := a.MaterializeJoin(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wide.NumRows() != 20000 {
+		t.Fatalf("wide rows %d", wide.NumRows())
+	}
+	// Columns: fact 4 + nation + (category + prefixed nation).
+	names := wide.Schema.Names()
+	want := []string{"o_id", "cust", "prod", "amount", "nation", "category", "products_nation"}
+	if len(names) != len(want) {
+		t.Fatalf("wide schema %v", names)
+	}
+	for i, w := range want {
+		if names[i] != w {
+			t.Errorf("column %d = %q, want %q", i, names[i], w)
+		}
+	}
+	if _, ok := cat.Lookup("orders_wide"); !ok {
+		t.Error("wide relation not registered")
+	}
+
+	// Join correctness: count per nation through SQL on the wide table
+	// matches a manual join on the originals.
+	res, err := engine.ExecuteSQL(cat, "select nation, count(*) from orders_wide group by nation order by nation")
+	if err != nil {
+		t.Fatal(err)
+	}
+	manual, err := engine.ExecuteSQL(cat, `select customers.nation, count(*)
+		from orders, customers where orders.cust = customers.c_id
+		group by customers.nation order by customers.nation`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != len(manual.Rows) {
+		t.Fatalf("group counts differ: %v vs %v", res.Rows, manual.Rows)
+	}
+	for i := range res.Rows {
+		if res.Rows[i][1].I != manual.Rows[i][1].I {
+			t.Errorf("nation %v: wide %v vs manual %v", res.Rows[i][0], res.Rows[i][1], manual.Rows[i][1])
+		}
+	}
+}
+
+func TestCreateJoinSynopsisAnswersDimensionGroupBy(t *testing.T) {
+	a, _ := starFixture(t)
+	if _, err := a.CreateJoinSynopsis(spec, Config{
+		GroupCols: []string{"nation", "category"},
+		Strategy:  core.Congress,
+		Space:     1200,
+		Seed:      2,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	q := `select nation, category, sum(amount) from orders_wide group by nation, category`
+	exact, err := a.Exact(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx, err := a.Answer(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ge, err := metrics.CompareAnswers(exact, approx, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ge.MissingGroups != 0 {
+		t.Errorf("join synopsis missing %d groups", ge.MissingGroups)
+	}
+	if ge.L1() > 20 {
+		t.Errorf("join synopsis mean error %.2f%%", ge.L1())
+	}
+	// The JP nation is the small group; it must be present and sane.
+	found := false
+	for _, row := range approx.Rows {
+		if row[0].S == "JP" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("small dimension group JP missing")
+	}
+}
+
+func TestMaterializeJoinErrors(t *testing.T) {
+	a, cat := starFixture(t)
+	bad := []JoinSpec{
+		{Name: "", Fact: "orders", Dims: spec.Dims},
+		{Name: "w", Fact: "ghost", Dims: spec.Dims},
+		{Name: "w", Fact: "orders"},
+		{Name: "w", Fact: "orders", Dims: []DimJoin{{Table: "ghost", FactKey: "cust", DimKey: "c_id"}}},
+		{Name: "w", Fact: "orders", Dims: []DimJoin{{Table: "customers", FactKey: "ghost", DimKey: "c_id"}}},
+		{Name: "w", Fact: "orders", Dims: []DimJoin{{Table: "customers", FactKey: "cust", DimKey: "ghost"}}},
+	}
+	for i, s := range bad {
+		if _, err := a.MaterializeJoin(s); err == nil {
+			t.Errorf("bad spec %d accepted", i)
+		}
+	}
+
+	// Dangling foreign key.
+	orders, _ := cat.Lookup("orders")
+	orders.Insert(engine.Row{engine.NewInt(99999), engine.NewInt(12345), engine.NewInt(0), engine.NewFloat(1)})
+	if _, err := a.MaterializeJoin(spec); err == nil {
+		t.Error("dangling FK accepted")
+	}
+
+	// Duplicate dimension key.
+	customers, _ := cat.Lookup("customers")
+	customers.Insert(engine.Row{engine.NewInt(0), engine.NewString("XX")})
+	if _, err := a.MaterializeJoin(spec); err == nil {
+		t.Error("duplicate dim key accepted")
+	}
+}

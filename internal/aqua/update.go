@@ -1,0 +1,104 @@
+package aqua
+
+import (
+	"fmt"
+
+	"github.com/approxdb/congress/internal/engine"
+	"github.com/approxdb/congress/internal/rewrite"
+)
+
+// UpdateScaleFactor propagates a changed scale factor for one finest
+// group into the materialized sample relations of the given rewrite
+// layout. This isolates the maintenance-cost tradeoff Section 5.2
+// identifies but does not measure: the Integrated layout stores the
+// ScaleFactor on every tuple, so "insertion or deletion of tuples ...
+// requires updating the ScaleFactor of all tuples in the affected
+// groups", whereas the Normalized layouts confine the change to a
+// single row of the (much smaller) auxiliary relation.
+//
+// The group is identified by its stratum key (see Synopsis.Sample). The
+// returned count is the number of relation rows touched — the quantity
+// BenchmarkAblationUpdateCost compares across layouts.
+func (a *Aqua) UpdateScaleFactor(table string, strat rewrite.Strategy, groupKey string, sf float64) (int, error) {
+	s, ok := a.Synopsis(table)
+	if !ok {
+		return 0, fmt.Errorf("aqua: no synopsis for %q", table)
+	}
+	stratum, ok := s.sample.Get(groupKey)
+	if !ok {
+		return 0, fmt.Errorf("aqua: unknown group %q", groupKey)
+	}
+	if len(stratum.Items) == 0 {
+		return 0, nil
+	}
+	newSF := engine.NewFloat(sf)
+
+	switch strat {
+	case rewrite.Integrated, rewrite.NestedIntegrated:
+		// Every sampled tuple of the group carries the SF.
+		rel, ok := a.cat.Lookup(s.integratedName)
+		if !ok {
+			return 0, fmt.Errorf("aqua: sample relation %q missing", s.integratedName)
+		}
+		sfIdx := rel.Schema.Index("sf")
+		return rel.Update(
+			func(row engine.Row) bool {
+				// The integrated row is the base row plus sf; the
+				// grouping extractor works on the prefix.
+				return s.grouping.Key(row) == groupKey
+			},
+			func(row engine.Row) engine.Row {
+				next := row.Clone()
+				next[sfIdx] = newSF
+				return next
+			},
+		)
+	case rewrite.Normalized:
+		rel, ok := a.cat.Lookup(s.normAuxName)
+		if !ok {
+			return 0, fmt.Errorf("aqua: aux relation %q missing", s.normAuxName)
+		}
+		sfIdx := rel.Schema.Index("sf")
+		// The aux row holds the grouping column values; match on them.
+		want := make(engine.Row, 0, len(s.cfg.GroupCols))
+		for _, ci := range s.grouping.Columns() {
+			want = append(want, stratum.Items[0][ci])
+		}
+		return rel.Update(
+			func(row engine.Row) bool {
+				for i, v := range want {
+					if !row[i].Equal(v) {
+						return false
+					}
+				}
+				return true
+			},
+			func(row engine.Row) engine.Row {
+				next := row.Clone()
+				next[sfIdx] = newSF
+				return next
+			},
+		)
+	case rewrite.KeyNormalized:
+		auxRel, ok := a.cat.Lookup(s.keyAuxName)
+		if !ok {
+			return 0, fmt.Errorf("aqua: aux relation %q missing", s.keyAuxName)
+		}
+		id, ok := s.gidByKey[groupKey]
+		if !ok {
+			return 0, fmt.Errorf("aqua: group %q has no gid", groupKey)
+		}
+		gid := engine.NewInt(id)
+		sfIdx := auxRel.Schema.Index("sf")
+		return auxRel.Update(
+			func(row engine.Row) bool { return row[0].Equal(gid) },
+			func(row engine.Row) engine.Row {
+				next := row.Clone()
+				next[sfIdx] = newSF
+				return next
+			},
+		)
+	default:
+		return 0, fmt.Errorf("aqua: unknown rewrite strategy %v", strat)
+	}
+}

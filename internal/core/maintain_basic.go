@@ -1,0 +1,172 @@
+package core
+
+import (
+	"math/rand"
+
+	"github.com/approxdb/congress/internal/engine"
+	"github.com/approxdb/congress/internal/sample"
+)
+
+// BasicCongressMaintainer incrementally maintains a Basic Congress
+// sample per the Section 6 algorithm: a single reservoir sample of size
+// Y over the entire relation, plus per-group "delta" uniform samples
+// holding the extra tuples that small groups need beyond their share of
+// the reservoir. Theorem 6.1 proves this maintains a valid basic
+// congressional sample; TestBasicCongressMaintainerUniformity checks the
+// delta-uniformity invariant empirically.
+type BasicCongressMaintainer struct {
+	g   *Grouping
+	y   int
+	rng *rand.Rand
+
+	res   *sample.Reservoir[engine.Row]
+	x     map[string]int          // tuples per group currently in the reservoir
+	delta map[string][]engine.Row // per-group spill-over uniform samples
+	pops  map[string]int64        // n_g for every group
+	seen  int64
+}
+
+// NewBasicCongressMaintainer creates a maintainer with reservoir size y
+// (the pre-scaling allocation; see the discussion after Theorem 6.1 on
+// the fluctuating total size).
+func NewBasicCongressMaintainer(g *Grouping, y int, rng *rand.Rand) (*BasicCongressMaintainer, error) {
+	res, err := sample.NewReservoir[engine.Row](y, rng)
+	if err != nil {
+		return nil, err
+	}
+	return &BasicCongressMaintainer{
+		g:     g,
+		y:     y,
+		rng:   rng,
+		res:   res,
+		x:     make(map[string]int),
+		delta: make(map[string][]engine.Row),
+		pops:  make(map[string]int64),
+	}, nil
+}
+
+// target is the Senate-side per-group requirement Y/m.
+func (m *BasicCongressMaintainer) target() float64 {
+	if len(m.pops) == 0 {
+		return float64(m.y)
+	}
+	return float64(m.y) / float64(len(m.pops))
+}
+
+// Insert implements Maintainer, following the four cases of the paper's
+// algorithm.
+func (m *BasicCongressMaintainer) Insert(row engine.Row) {
+	key := m.g.Key(row)
+	isNew := m.pops[key] == 0
+	m.pops[key]++
+	m.seen++
+	if isNew {
+		// Step 4 (new group): m grew, so every group's delta target
+		// shrank. Evictions happen lazily as groups are touched; we trim
+		// the groups we touch below.
+		_ = isNew
+	}
+	target := m.target()
+
+	evicted, hadEviction, accepted := m.res.Offer(row)
+	switch {
+	case !accepted:
+		// Step 1 — common case — except the step-4 small-group rule:
+		// while a group is smaller than its target, every tuple that
+		// misses the reservoir goes to the delta sample, keeping the
+		// group fully represented.
+		if float64(m.pops[key]) <= target {
+			m.delta[key] = append(m.delta[key], row)
+		}
+	case !hadEviction:
+		// Reservoir still filling: the tuple joined the reservoir.
+		m.x[key]++
+	default:
+		evKey := m.g.Key(evicted)
+		if evKey == key {
+			// Step 2: same group swapped with itself — nothing changes.
+			break
+		}
+		// Step 3: group key gained a reservoir tuple; its delta shrinks.
+		m.x[key]++
+		if d := m.delta[key]; len(d) > 0 {
+			m.evictDelta(key)
+		}
+		// Group evKey lost a reservoir tuple; if it is now below target,
+		// the evicted tuple (a uniform pick from the group's reservoir
+		// tuples) moves to the delta sample.
+		m.x[evKey]--
+		if float64(m.x[evKey]) < target {
+			m.delta[evKey] = append(m.delta[evKey], evicted)
+		}
+	}
+	m.trimDelta(key, target)
+}
+
+// evictDelta removes one uniformly random tuple from a delta sample.
+func (m *BasicCongressMaintainer) evictDelta(key string) {
+	d := m.delta[key]
+	i := m.rng.Intn(len(d))
+	last := len(d) - 1
+	d[i] = d[last]
+	m.delta[key] = d[:last]
+	if len(m.delta[key]) == 0 {
+		delete(m.delta, key)
+	}
+}
+
+// trimDelta enforces |Δ_g| ≤ max(0, ⌈target⌉ − x_g) by uniformly random
+// eviction — the lazy eviction of step 4 (random eviction preserves the
+// uniform-sample property per Theorem 6.1).
+func (m *BasicCongressMaintainer) trimDelta(key string, target float64) {
+	limit := int(target+0.9999) - m.x[key]
+	if limit < 0 {
+		limit = 0
+	}
+	for len(m.delta[key]) > limit {
+		m.evictDelta(key)
+	}
+}
+
+// Compact applies the lazy delta trimming to every group at once,
+// bounding total size; useful before Snapshot on long-running streams.
+func (m *BasicCongressMaintainer) Compact() {
+	target := m.target()
+	for key := range m.delta {
+		m.trimDelta(key, target)
+	}
+}
+
+// SampledCount implements Maintainer.
+func (m *BasicCongressMaintainer) SampledCount() int {
+	n := m.res.Len()
+	for _, d := range m.delta {
+		n += len(d)
+	}
+	return n
+}
+
+// SeenCount implements Maintainer.
+func (m *BasicCongressMaintainer) SeenCount() int64 { return m.seen }
+
+// Snapshot implements Maintainer: each stratum holds the group's
+// reservoir tuples plus its delta sample.
+func (m *BasicCongressMaintainer) Snapshot() (*sample.Stratified[engine.Row], error) {
+	m.Compact()
+	st := sample.NewStratified[engine.Row]()
+	for key, pop := range m.pops {
+		st.Put(&sample.Stratum[engine.Row]{Key: key, Population: pop})
+	}
+	for _, row := range m.res.Items() {
+		s, _ := st.Get(m.g.Key(row))
+		s.Items = append(s.Items, row)
+	}
+	for key, d := range m.delta {
+		s, _ := st.Get(key)
+		s.Items = append(s.Items, d...)
+	}
+	if err := st.Validate(); err != nil {
+		return nil, err
+	}
+	return st, nil
+}

@@ -1,0 +1,111 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"github.com/approxdb/congress/internal/datacube"
+)
+
+func TestAllocateForGroupingsReproducesBuiltins(t *testing.T) {
+	cube := figure5Cube(t)
+	finest := cube.FinestMask()
+
+	// All masks == Congress.
+	all := make([]uint32, cube.NumGroupings())
+	for i := range all {
+		all[i] = uint32(i)
+	}
+	targeted, err := AllocateForGroupings(cube, 100, all)
+	if err != nil {
+		t.Fatal(err)
+	}
+	congress, _ := Allocate(Congress, cube, 100)
+	for k, v := range congress.Targets {
+		if math.Abs(targeted.Targets[k]-v) > 1e-9 {
+			t.Errorf("all-masks %q = %v, congress %v", k, targeted.Targets[k], v)
+		}
+	}
+
+	// {empty, finest} == Basic Congress.
+	targeted, err = AllocateForGroupings(cube, 100, []uint32{0, finest})
+	if err != nil {
+		t.Fatal(err)
+	}
+	basic, _ := Allocate(BasicCongress, cube, 100)
+	for k, v := range basic.Targets {
+		if math.Abs(targeted.Targets[k]-v) > 1e-9 {
+			t.Errorf("basic-masks %q = %v, basic %v", k, targeted.Targets[k], v)
+		}
+	}
+
+	// {empty} == House; {finest} == Senate.
+	targeted, _ = AllocateForGroupings(cube, 100, []uint32{0})
+	house, _ := Allocate(House, cube, 100)
+	for k, v := range house.Targets {
+		if math.Abs(targeted.Targets[k]-v) > 1e-9 {
+			t.Errorf("house-mask %q = %v, house %v", k, targeted.Targets[k], v)
+		}
+	}
+	targeted, _ = AllocateForGroupings(cube, 100, []uint32{finest})
+	senate, _ := Allocate(Senate, cube, 100)
+	for k, v := range senate.Targets {
+		if math.Abs(targeted.Targets[k]-v) > 1e-9 {
+			t.Errorf("senate-mask %q = %v, senate %v", k, targeted.Targets[k], v)
+		}
+	}
+}
+
+func TestAllocateForGroupingsSingleGroupingIsS1(t *testing.T) {
+	// Targeting only grouping {A} gives exactly the s_{g,A} column of
+	// Figure 5: 20, 20, 10, 50.
+	cube := figure5Cube(t)
+	a, err := AllocateForGroupings(cube, 100, []uint32{0b01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]float64{
+		key("a1", "b1"): 20, key("a1", "b2"): 20,
+		key("a1", "b3"): 10, key("a2", "b3"): 50,
+	}
+	for k, w := range want {
+		if math.Abs(a.Targets[k]-w) > 1e-9 {
+			t.Errorf("target %q = %v, want %v", k, a.Targets[k], w)
+		}
+	}
+	if a.ScaleDown != 1 {
+		t.Errorf("single grouping should need no scale-down: %v", a.ScaleDown)
+	}
+}
+
+func TestAllocateForGroupingsValidation(t *testing.T) {
+	cube := figure5Cube(t)
+	if _, err := AllocateForGroupings(cube, 0, []uint32{0}); err == nil {
+		t.Error("zero budget accepted")
+	}
+	if _, err := AllocateForGroupings(cube, 10, nil); err == nil {
+		t.Error("empty mask list accepted")
+	}
+	if _, err := AllocateForGroupings(cube, 10, []uint32{99}); err == nil {
+		t.Error("out-of-range mask accepted")
+	}
+	empty := datacube.MustNew([]string{"A"})
+	if _, err := AllocateForGroupings(empty, 10, []uint32{0}); err == nil {
+		t.Error("empty cube accepted")
+	}
+}
+
+func TestMaskFor(t *testing.T) {
+	cube := datacube.MustNew([]string{"x", "y", "z"})
+	m, err := MaskFor(cube, []string{"x", "z"})
+	if err != nil || m != 0b101 {
+		t.Errorf("mask %b err %v", m, err)
+	}
+	m, err = MaskFor(cube, nil)
+	if err != nil || m != 0 {
+		t.Errorf("empty mask %b err %v", m, err)
+	}
+	if _, err := MaskFor(cube, []string{"ghost"}); err == nil {
+		t.Error("unknown attribute accepted")
+	}
+}

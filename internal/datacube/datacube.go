@@ -1,0 +1,189 @@
+// Package datacube maintains tuple counts for every group under every
+// grouping T ⊆ G of a relation's grouping attributes — the "data cube of
+// the counts of each group in all possible groupings" that Section 6 of
+// the paper uses to size congressional samples. The cube is built in one
+// pass and is incrementally maintainable: each inserted tuple updates
+// 2^|G| counters, matching the paper's stated per-insert bookkeeping
+// cost for Congress maintenance.
+package datacube
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// KeySep separates per-attribute key components inside a composite group
+// key. Attribute keys produced by engine.Value.GroupKey begin with a
+// NUL byte, so the separator cannot collide with key contents.
+const KeySep = "\x1f"
+
+// GroupID identifies a tuple's group at the finest partitioning: one
+// canonical key string per grouping attribute, in attribute order.
+type GroupID []string
+
+// Project returns the composite key of the group this tuple belongs to
+// under the grouping selected by mask (bit i set = attribute i present).
+// The empty grouping projects to the empty string: all tuples share one
+// group, per the paper's convention that a query with no group-by
+// returns a single group.
+func (g GroupID) Project(mask uint32) string {
+	if mask == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for i, part := range g {
+		if mask&(1<<uint(i)) == 0 {
+			continue
+		}
+		if b.Len() > 0 {
+			b.WriteString(KeySep)
+		}
+		b.WriteString(part)
+	}
+	return b.String()
+}
+
+// Key returns the finest-grouping composite key (all attributes).
+func (g GroupID) Key() string {
+	return g.Project((1 << uint(len(g))) - 1)
+}
+
+// Cube counts tuples per group for all 2^n groupings over n grouping
+// attributes.
+type Cube struct {
+	attrs  []string
+	counts []map[string]int64 // counts[mask][compositeKey] = n_group
+	ids    map[string]GroupID // finest key -> the id that produced it
+	total  int64
+}
+
+// MaxAttrs bounds the number of grouping attributes; the cube costs
+// 2^n counters per tuple, so n is kept small (the paper uses 3).
+const MaxAttrs = 16
+
+// New creates a cube over the named grouping attributes.
+func New(attrs []string) (*Cube, error) {
+	if len(attrs) == 0 {
+		return nil, errors.New("datacube: need at least one grouping attribute")
+	}
+	if len(attrs) > MaxAttrs {
+		return nil, fmt.Errorf("datacube: %d grouping attributes exceeds limit %d", len(attrs), MaxAttrs)
+	}
+	c := &Cube{
+		attrs:  append([]string(nil), attrs...),
+		counts: make([]map[string]int64, 1<<uint(len(attrs))),
+		ids:    make(map[string]GroupID),
+	}
+	for i := range c.counts {
+		c.counts[i] = make(map[string]int64)
+	}
+	return c, nil
+}
+
+// MustNew is New but panics on error.
+func MustNew(attrs []string) *Cube {
+	c, err := New(attrs)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Attrs returns the grouping attribute names.
+func (c *Cube) Attrs() []string { return c.attrs }
+
+// NumAttrs returns |G|.
+func (c *Cube) NumAttrs() int { return len(c.attrs) }
+
+// NumGroupings returns 2^|G|.
+func (c *Cube) NumGroupings() int { return len(c.counts) }
+
+// Add records one tuple belonging to the given finest group, updating
+// every grouping's counter.
+func (c *Cube) Add(id GroupID) error {
+	if len(id) != len(c.attrs) {
+		return fmt.Errorf("datacube: group id has %d parts, cube has %d attributes", len(id), len(c.attrs))
+	}
+	for mask := uint32(0); int(mask) < len(c.counts); mask++ {
+		c.counts[mask][id.Project(mask)]++
+	}
+	finest := id.Key()
+	if _, ok := c.ids[finest]; !ok {
+		c.ids[finest] = append(GroupID(nil), id...)
+	}
+	c.total++
+	return nil
+}
+
+// ID returns the GroupID that produced the given finest-group key.
+func (c *Cube) ID(finestKey string) (GroupID, bool) {
+	id, ok := c.ids[finestKey]
+	return id, ok
+}
+
+// FinestIDs calls fn for each non-empty finest group with its GroupID
+// and count, in unspecified order.
+func (c *Cube) FinestIDs(fn func(id GroupID, key string, count int64)) {
+	for k, n := range c.counts[c.FinestMask()] {
+		fn(c.ids[k], k, n)
+	}
+}
+
+// Total returns the number of tuples recorded.
+func (c *Cube) Total() int64 { return c.total }
+
+// Count returns n_h: the number of tuples in the group identified by the
+// composite key under the grouping selected by mask.
+func (c *Cube) Count(mask uint32, key string) int64 {
+	return c.counts[mask][key]
+}
+
+// CountFor returns the count of the group that a tuple with the given
+// finest GroupID belongs to under grouping mask (n_{g(τ,T)} in Eq. 8).
+func (c *Cube) CountFor(mask uint32, id GroupID) int64 {
+	return c.counts[mask][id.Project(mask)]
+}
+
+// NumGroups returns m_T: the number of non-empty groups under the
+// grouping selected by mask.
+func (c *Cube) NumGroups(mask uint32) int {
+	return len(c.counts[mask])
+}
+
+// FinestMask returns the mask selecting all attributes.
+func (c *Cube) FinestMask() uint32 {
+	return uint32(len(c.counts) - 1)
+}
+
+// FinestGroups calls fn for each non-empty finest group with its count.
+// Iteration order is unspecified; callers needing determinism should
+// sort the keys.
+func (c *Cube) FinestGroups(fn func(key string, count int64)) {
+	for k, n := range c.counts[c.FinestMask()] {
+		fn(k, n)
+	}
+}
+
+// GroupsUnder calls fn for each non-empty group under grouping mask.
+func (c *Cube) GroupsUnder(mask uint32, fn func(key string, count int64)) {
+	for k, n := range c.counts[mask] {
+		fn(k, n)
+	}
+}
+
+// Clone returns a deep copy of the cube.
+func (c *Cube) Clone() *Cube {
+	out := MustNew(c.attrs)
+	out.total = c.total
+	for mask, m := range c.counts {
+		dst := out.counts[mask]
+		for k, v := range m {
+			dst[k] = v
+		}
+	}
+	for k, id := range c.ids {
+		out.ids[k] = append(GroupID(nil), id...)
+	}
+	return out
+}

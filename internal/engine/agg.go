@@ -1,0 +1,471 @@
+package engine
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"github.com/approxdb/congress/internal/sqlparse"
+)
+
+// sortableRow pairs an output row with its precomputed ORDER BY keys.
+type sortableRow struct {
+	row  Row
+	keys []Value
+}
+
+// zScore90 is the 90% two-sided normal critical value. The paper's Aqua
+// prototype reports error bounds at 90% confidence (Section 2,
+// footnote 6); the *_error pseudo-aggregates use the same default.
+const zScore90 = 1.6448536269514722
+
+// aggregate executes the grouped-aggregation path: it hashes input rows
+// into groups on the GROUP BY keys, feeds each group's rows into one
+// accumulator per distinct aggregate expression, then evaluates the
+// select list (and HAVING and ORDER BY keys) once per group with the
+// aggregate results bound.
+func aggregate(items []sqlparse.SelectItem, groupBy []sqlparse.Expr, having sqlparse.Expr, orderBy []sqlparse.OrderItem, in *input) ([]sortableRow, error) {
+	// Collect the distinct aggregate calls appearing anywhere.
+	aggExprs := make([]*sqlparse.FuncCall, 0, 4)
+	seen := make(map[string]bool)
+	collect := func(e sqlparse.Expr) {
+		sqlparse.Walk(e, func(n sqlparse.Expr) bool {
+			if f, ok := n.(*sqlparse.FuncCall); ok && sqlparse.AggregateFuncs[f.Name] {
+				key := f.String()
+				if !seen[key] {
+					seen[key] = true
+					aggExprs = append(aggExprs, f)
+				}
+				return false // no nested aggregates
+			}
+			return true
+		})
+	}
+	for _, item := range items {
+		collect(item.Expr)
+	}
+	collect(having)
+	for _, o := range orderBy {
+		collect(o.Expr)
+	}
+
+	type group struct {
+		rep  Row // representative row for evaluating group-by columns
+		accs []aggregator
+	}
+	groups := make(map[string]*group)
+	var order []string // first-appearance order for deterministic output
+
+	ctx := &evalCtx{env: in.env}
+	var kb strings.Builder
+	for _, r := range in.rows {
+		ctx.row = r
+		kb.Reset()
+		for _, g := range groupBy {
+			v, err := ctx.eval(g)
+			if err != nil {
+				return nil, err
+			}
+			kb.WriteString(v.GroupKey())
+		}
+		key := kb.String()
+		grp, ok := groups[key]
+		if !ok {
+			grp = &group{rep: r, accs: make([]aggregator, len(aggExprs))}
+			for i, f := range aggExprs {
+				acc, err := newAggregator(f)
+				if err != nil {
+					return nil, err
+				}
+				grp.accs[i] = acc
+			}
+			groups[key] = grp
+			order = append(order, key)
+		}
+		for _, acc := range grp.accs {
+			if err := acc.add(ctx); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// A global aggregate over zero rows still yields one (empty) group,
+	// matching SQL semantics for SELECT COUNT(*) FROM empty.
+	if len(groups) == 0 && len(groupBy) == 0 {
+		grp := &group{rep: nil, accs: make([]aggregator, len(aggExprs))}
+		for i, f := range aggExprs {
+			acc, err := newAggregator(f)
+			if err != nil {
+				return nil, err
+			}
+			grp.accs[i] = acc
+		}
+		groups[""] = grp
+		order = append(order, "")
+	}
+
+	var out []sortableRow
+	for _, key := range order {
+		grp := groups[key]
+		gctx := &evalCtx{env: in.env, row: grp.rep, aggs: make(map[string]Value, len(aggExprs))}
+		for i, f := range aggExprs {
+			gctx.aggs[f.String()] = grp.accs[i].result()
+		}
+		if having != nil {
+			hv, err := gctx.eval(having)
+			if err != nil {
+				return nil, err
+			}
+			if !hv.Bool() {
+				continue
+			}
+		}
+		row := make(Row, len(items))
+		for i, item := range items {
+			v, err := gctx.eval(item.Expr)
+			if err != nil {
+				return nil, err
+			}
+			row[i] = v
+		}
+		var keys []Value
+		for _, o := range orderBy {
+			v, err := gctx.eval(o.Expr)
+			if err != nil {
+				return nil, err
+			}
+			keys = append(keys, v)
+		}
+		out = append(out, sortableRow{row: row, keys: keys})
+	}
+	return out, nil
+}
+
+// aggregator accumulates one aggregate expression over a group's rows.
+type aggregator interface {
+	add(ctx *evalCtx) error
+	result() Value
+}
+
+func newAggregator(f *sqlparse.FuncCall) (aggregator, error) {
+	switch f.Name {
+	case "count":
+		if f.Star {
+			return &countAcc{}, nil
+		}
+		if len(f.Args) != 1 {
+			return nil, fmt.Errorf("engine: COUNT expects one argument")
+		}
+		if f.Distinct {
+			return &countDistinctAcc{arg: f.Args[0], seen: make(map[string]bool)}, nil
+		}
+		return &countAcc{arg: f.Args[0]}, nil
+	case "sum", "avg":
+		if len(f.Args) != 1 {
+			return nil, fmt.Errorf("engine: %s expects one argument", strings.ToUpper(f.Name))
+		}
+		return &sumAcc{arg: f.Args[0], isAvg: f.Name == "avg"}, nil
+	case "min", "max":
+		if len(f.Args) != 1 {
+			return nil, fmt.Errorf("engine: %s expects one argument", strings.ToUpper(f.Name))
+		}
+		return &minMaxAcc{arg: f.Args[0], isMax: f.Name == "max"}, nil
+	case "variance", "stddev":
+		if len(f.Args) != 1 {
+			return nil, fmt.Errorf("engine: %s expects one argument", strings.ToUpper(f.Name))
+		}
+		return &varAcc{arg: f.Args[0], isStd: f.Name == "stddev"}, nil
+	case "sum_error", "avg_error":
+		if len(f.Args) != 2 {
+			return nil, fmt.Errorf("engine: %s expects (value, scalefactor)", strings.ToUpper(f.Name))
+		}
+		return &errorAcc{val: f.Args[0], sf: f.Args[1], isAvg: f.Name == "avg_error"}, nil
+	case "count_error":
+		if len(f.Args) != 1 {
+			return nil, fmt.Errorf("engine: COUNT_ERROR expects (scalefactor)")
+		}
+		return &countErrorAcc{sf: f.Args[0]}, nil
+	default:
+		return nil, fmt.Errorf("engine: unknown aggregate %s", strings.ToUpper(f.Name))
+	}
+}
+
+type countAcc struct {
+	arg sqlparse.Expr // nil for COUNT(*)
+	n   int64
+}
+
+func (a *countAcc) add(ctx *evalCtx) error {
+	if a.arg == nil {
+		a.n++
+		return nil
+	}
+	v, err := ctx.eval(a.arg)
+	if err != nil {
+		return err
+	}
+	if !v.IsNull() {
+		a.n++
+	}
+	return nil
+}
+
+func (a *countAcc) result() Value { return NewInt(a.n) }
+
+type countDistinctAcc struct {
+	arg  sqlparse.Expr
+	seen map[string]bool
+}
+
+func (a *countDistinctAcc) add(ctx *evalCtx) error {
+	v, err := ctx.eval(a.arg)
+	if err != nil {
+		return err
+	}
+	if !v.IsNull() {
+		a.seen[v.GroupKey()] = true
+	}
+	return nil
+}
+
+func (a *countDistinctAcc) result() Value { return NewInt(int64(len(a.seen))) }
+
+type sumAcc struct {
+	arg     sqlparse.Expr
+	isAvg   bool
+	sum     float64
+	intSum  int64
+	n       int64
+	anyF    bool // saw a float input -> report float
+	nonNull bool
+}
+
+func (a *sumAcc) add(ctx *evalCtx) error {
+	v, err := ctx.eval(a.arg)
+	if err != nil {
+		return err
+	}
+	if v.IsNull() {
+		return nil
+	}
+	f, ok := v.AsFloat()
+	if !ok {
+		return fmt.Errorf("engine: SUM/AVG over non-numeric value %s", v.K)
+	}
+	a.nonNull = true
+	a.n++
+	a.sum += f
+	if v.K == KindInt {
+		a.intSum += v.I
+	} else {
+		a.anyF = true
+	}
+	return nil
+}
+
+func (a *sumAcc) result() Value {
+	if !a.nonNull {
+		return Null
+	}
+	if a.isAvg {
+		return NewFloat(a.sum / float64(a.n))
+	}
+	if !a.anyF {
+		return NewInt(a.intSum)
+	}
+	return NewFloat(a.sum)
+}
+
+type minMaxAcc struct {
+	arg   sqlparse.Expr
+	isMax bool
+	best  Value
+	has   bool
+}
+
+func (a *minMaxAcc) add(ctx *evalCtx) error {
+	v, err := ctx.eval(a.arg)
+	if err != nil {
+		return err
+	}
+	if v.IsNull() {
+		return nil
+	}
+	if !a.has {
+		a.best = v
+		a.has = true
+		return nil
+	}
+	c := v.Compare(a.best)
+	if a.isMax && c > 0 || !a.isMax && c < 0 {
+		a.best = v
+	}
+	return nil
+}
+
+func (a *minMaxAcc) result() Value {
+	if !a.has {
+		return Null
+	}
+	return a.best
+}
+
+// varAcc computes sample variance (and stddev) via Welford's online
+// algorithm for numerical stability.
+type varAcc struct {
+	arg   sqlparse.Expr
+	isStd bool
+	n     int64
+	mean  float64
+	m2    float64
+}
+
+func (a *varAcc) add(ctx *evalCtx) error {
+	v, err := ctx.eval(a.arg)
+	if err != nil {
+		return err
+	}
+	if v.IsNull() {
+		return nil
+	}
+	f, ok := v.AsFloat()
+	if !ok {
+		return fmt.Errorf("engine: VARIANCE over non-numeric value %s", v.K)
+	}
+	a.n++
+	d := f - a.mean
+	a.mean += d / float64(a.n)
+	a.m2 += d * (f - a.mean)
+	return nil
+}
+
+func (a *varAcc) result() Value {
+	if a.n < 2 {
+		if a.n == 1 {
+			return NewFloat(0)
+		}
+		return Null
+	}
+	v := a.m2 / float64(a.n-1)
+	if a.isStd {
+		return NewFloat(math.Sqrt(v))
+	}
+	return NewFloat(v)
+}
+
+// errorAcc implements Aqua's SUM_ERROR / AVG_ERROR pseudo-aggregates: a
+// 90%-confidence half-width for the stratified expansion estimator.
+// Sample tuples are grouped into strata by their scale factor (all
+// tuples of one finest group share one SF, per Section 5.1); each
+// stratum contributes SF^2 * n * (1 - 1/SF) * s^2 to the estimator's
+// variance — the classic stratified-sampling variance estimate
+// N_h^2 (1-f_h) s_h^2 / n_h of [Coc77] with N_h = SF*n_h.
+type errorAcc struct {
+	val, sf sqlparse.Expr
+	isAvg   bool
+	strata  map[uint64]*stratumStats
+	// for AVG_ERROR: the scaled count (denominator of the ratio).
+	scaledCount float64
+}
+
+type stratumStats struct {
+	sf   float64
+	n    int64
+	mean float64
+	m2   float64
+}
+
+func (a *errorAcc) add(ctx *evalCtx) error {
+	if a.strata == nil {
+		a.strata = make(map[uint64]*stratumStats)
+	}
+	v, err := ctx.eval(a.val)
+	if err != nil {
+		return err
+	}
+	sfv, err := ctx.eval(a.sf)
+	if err != nil {
+		return err
+	}
+	f, ok1 := v.AsFloat()
+	sf, ok2 := sfv.AsFloat()
+	if !ok1 || !ok2 {
+		return nil
+	}
+	if sf < 1 {
+		sf = 1
+	}
+	a.scaledCount += sf
+	key := math.Float64bits(sf)
+	st := a.strata[key]
+	if st == nil {
+		st = &stratumStats{sf: sf}
+		a.strata[key] = st
+	}
+	st.n++
+	d := f - st.mean
+	st.mean += d / float64(st.n)
+	st.m2 += d * (f - st.mean)
+	return nil
+}
+
+func (a *errorAcc) variance() float64 {
+	var total float64
+	for _, st := range a.strata {
+		if st.n < 2 {
+			continue
+		}
+		s2 := st.m2 / float64(st.n-1)
+		total += st.sf * st.sf * float64(st.n) * (1 - 1/st.sf) * s2
+	}
+	return total
+}
+
+func (a *errorAcc) result() Value {
+	if len(a.strata) == 0 {
+		return Null
+	}
+	half := zScore90 * math.Sqrt(a.variance())
+	if a.isAvg {
+		if a.scaledCount <= 0 {
+			return Null
+		}
+		return NewFloat(half / a.scaledCount)
+	}
+	return NewFloat(half)
+}
+
+// countErrorAcc bounds the scaled COUNT estimator. Within a stratum the
+// number of sampled tuples passing the predicate is hypergeometric; we
+// use the binomial/Horvitz-Thompson approximation Var ≈ Σ SF(SF-1) over
+// sampled tuples, which is exact for Poisson sampling and conservative
+// for fixed-size strata.
+type countErrorAcc struct {
+	sf  sqlparse.Expr
+	sum float64
+	n   int64
+}
+
+func (a *countErrorAcc) add(ctx *evalCtx) error {
+	sfv, err := ctx.eval(a.sf)
+	if err != nil {
+		return err
+	}
+	sf, ok := sfv.AsFloat()
+	if !ok {
+		return nil
+	}
+	if sf < 1 {
+		sf = 1
+	}
+	a.sum += sf * (sf - 1)
+	a.n++
+	return nil
+}
+
+func (a *countErrorAcc) result() Value {
+	if a.n == 0 {
+		return Null
+	}
+	return NewFloat(zScore90 * math.Sqrt(a.sum))
+}

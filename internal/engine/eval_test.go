@@ -1,0 +1,246 @@
+package engine
+
+import (
+	"math"
+	"testing"
+)
+
+func TestScalarMathFunctions(t *testing.T) {
+	cat := NewCatalog()
+	res := mustQuery(t, cat, "select ln(exp(2.0)), power(2, 10), mod(17, 5), floor(2.9), ceil(2.1), ceiling(2.1), round(2.4)")
+	row := res.Rows[0]
+	if math.Abs(row[0].F-2) > 1e-9 {
+		t.Errorf("ln(exp(2)) = %v", row[0])
+	}
+	if row[1].F != 1024 {
+		t.Errorf("power %v", row[1])
+	}
+	if row[2].I != 2 {
+		t.Errorf("mod %v", row[2])
+	}
+	if row[3].F != 2 || row[4].F != 3 || row[5].F != 3 {
+		t.Errorf("floor/ceil %v %v %v", row[3], row[4], row[5])
+	}
+	if row[6].F != 2 {
+		t.Errorf("round %v", row[6])
+	}
+}
+
+func TestScalarStringFunctions(t *testing.T) {
+	cat := NewCatalog()
+	res := mustQuery(t, cat, "select lower('ABC'), substr('hello', 2), substr('hello', 2, 2), substr('hi', 99), 'a' || 'b' || 1")
+	row := res.Rows[0]
+	if row[0].S != "abc" {
+		t.Errorf("lower %v", row[0])
+	}
+	if row[1].S != "ello" || row[2].S != "el" || row[3].S != "" {
+		t.Errorf("substr %v %v %v", row[1], row[2], row[3])
+	}
+	if row[4].S != "ab1" {
+		t.Errorf("concat %v", row[4])
+	}
+}
+
+func TestScalarNullPropagation(t *testing.T) {
+	cat := NewCatalog()
+	res := mustQuery(t, cat, "select abs(null), sqrt(null), lower(null), null + 1, null || 'x', ln(-1), 1/0, mod(1, 0)")
+	for i, v := range res.Rows[0] {
+		if !v.IsNull() {
+			t.Errorf("column %d = %v, want NULL", i, v)
+		}
+	}
+}
+
+func TestScalarFunctionArityErrors(t *testing.T) {
+	cat := NewCatalog()
+	for _, q := range []string{
+		"select abs(1, 2)",
+		"select sqrt()",
+		"select power(2)",
+		"select substr('x')",
+		"select substr('x', 1, 2, 3)",
+		"select nullif(1)",
+	} {
+		if _, err := ExecuteSQL(cat, q); err == nil {
+			t.Errorf("%q accepted", q)
+		}
+	}
+}
+
+func TestLikeSemantics(t *testing.T) {
+	cases := []struct {
+		s, p string
+		want bool
+	}{
+		{"hello", "hello", true},
+		{"hello", "h%", true},
+		{"hello", "%lo", true},
+		{"hello", "h_llo", true},
+		{"hello", "h__lo", true},
+		{"hello", "h_lo", false},
+		{"hello", "%", true},
+		{"", "%", true},
+		{"", "_", false},
+		{"abc", "%b%", true},
+		{"abc", "a%c%", true},
+		{"aXbXc", "a%b%c", true},
+		{"ab", "a%b%c", false},
+	}
+	for _, c := range cases {
+		if got := matchLike(c.s, c.p); got != c.want {
+			t.Errorf("LIKE(%q, %q) = %v, want %v", c.s, c.p, got, c.want)
+		}
+	}
+}
+
+func TestUnaryMinusOnNonNumeric(t *testing.T) {
+	cat := fixture(t)
+	if _, err := ExecuteSQL(cat, "select -region from sales"); err == nil {
+		t.Error("negating a string accepted")
+	}
+}
+
+func TestCaseWithoutElseYieldsNull(t *testing.T) {
+	cat := fixture(t)
+	res := mustQuery(t, cat, "select case when qty > 1000 then 1 end from sales where id = 1")
+	if !res.Rows[0][0].IsNull() {
+		t.Errorf("case without else = %v", res.Rows[0][0])
+	}
+}
+
+func TestBetweenWithNullOperand(t *testing.T) {
+	cat := NewCatalog()
+	rel := NewRelation("t", MustSchema(Column{Name: "v", Kind: KindInt}))
+	rel.Insert(Row{Null})
+	rel.Insert(Row{NewInt(5)})
+	cat.Register(rel)
+	res := mustQuery(t, cat, "select count(*) from t where v between 1 and 10")
+	if res.Rows[0][0].I != 1 {
+		t.Errorf("between over null = %v", res.Rows[0][0])
+	}
+	res = mustQuery(t, cat, "select count(*) from t where v not between 1 and 4")
+	if res.Rows[0][0].I != 2 { // NULL NOT BETWEEN evaluates true under our three-valued shortcut
+		t.Errorf("not between = %v", res.Rows[0][0])
+	}
+}
+
+func TestYearFunction(t *testing.T) {
+	cat := NewCatalog()
+	rel := NewRelation("d", MustSchema(Column{Name: "day", Kind: KindDate}))
+	for _, s := range []string{"1970-01-01", "1969-12-31", "2000-02-29", "1992-07-14"} {
+		rel.Insert(Row{MustParseDate(s)})
+	}
+	cat.Register(rel)
+	res := mustQuery(t, cat, "select year(day) from d")
+	want := []int64{1970, 1969, 2000, 1992}
+	for i, row := range res.Rows {
+		if row[0].I != want[i] {
+			t.Errorf("year #%d = %v, want %d", i, row[0], want[i])
+		}
+	}
+	// year of non-date is NULL
+	res = mustQuery(t, cat, "select year(1)")
+	if !res.Rows[0][0].IsNull() {
+		t.Error("year(int) should be NULL")
+	}
+}
+
+func TestGlobalAggregateWithBareColumnOverEmptyInput(t *testing.T) {
+	// No GROUP BY, zero qualifying rows, but a bare column in the
+	// select list: the synthesized empty group has no representative
+	// row, so the column is NULL (and must not panic).
+	cat := fixture(t)
+	res := mustQuery(t, cat, "select region, sum(qty) from sales where qty > 99999")
+	if len(res.Rows) != 1 {
+		t.Fatalf("rows %v", res.Rows)
+	}
+	if !res.Rows[0][0].IsNull() || !res.Rows[0][1].IsNull() {
+		t.Errorf("want NULL,NULL got %v", res.Rows[0])
+	}
+}
+
+func TestHavingWithoutGroupBy(t *testing.T) {
+	cat := fixture(t)
+	res := mustQuery(t, cat, "select sum(qty) from sales having count(*) > 100")
+	if len(res.Rows) != 0 {
+		t.Errorf("having filtered global group: %v", res.Rows)
+	}
+	res = mustQuery(t, cat, "select sum(qty) from sales having count(*) > 1")
+	if len(res.Rows) != 1 {
+		t.Errorf("having kept global group: %v", res.Rows)
+	}
+}
+
+func TestLimitZero(t *testing.T) {
+	cat := fixture(t)
+	res := mustQuery(t, cat, "select id from sales limit 0")
+	if len(res.Rows) != 0 {
+		t.Errorf("limit 0 returned %d rows", len(res.Rows))
+	}
+}
+
+func TestOrderByMultipleKeysAndNulls(t *testing.T) {
+	cat := NewCatalog()
+	rel := NewRelation("t", MustSchema(Column{Name: "a", Kind: KindInt}, Column{Name: "b", Kind: KindInt}))
+	rel.InsertAll([]Row{
+		{NewInt(1), NewInt(2)},
+		{NewInt(1), Null},
+		{NewInt(0), NewInt(9)},
+	})
+	cat.Register(rel)
+	res := mustQuery(t, cat, "select a, b from t order by a, b")
+	// NULL sorts first within a=1.
+	if res.Rows[0][0].I != 0 || !res.Rows[1][1].IsNull() || res.Rows[2][1].I != 2 {
+		t.Errorf("order %v", res.Rows)
+	}
+}
+
+func TestInListWithNulls(t *testing.T) {
+	cat := fixture(t)
+	res := mustQuery(t, cat, "select count(*) from sales where region in ('east', null)")
+	if res.Rows[0][0].I != 3 {
+		t.Errorf("in with null = %v", res.Rows[0][0])
+	}
+}
+
+func TestEmptyRelationQueries(t *testing.T) {
+	cat := NewCatalog()
+	rel := NewRelation("e", MustSchema(Column{Name: "x", Kind: KindInt}))
+	cat.Register(rel)
+	res := mustQuery(t, cat, "select x from e")
+	if len(res.Rows) != 0 {
+		t.Error("rows from empty relation")
+	}
+	res = mustQuery(t, cat, "select x, sum(x) from e group by x")
+	if len(res.Rows) != 0 {
+		t.Error("groups from empty relation")
+	}
+	res = mustQuery(t, cat, "select min(x), max(x), avg(x) from e")
+	for _, v := range res.Rows[0] {
+		if !v.IsNull() {
+			t.Errorf("aggregate over empty should be NULL, got %v", v)
+		}
+	}
+}
+
+func TestCrossJoinEmptySide(t *testing.T) {
+	cat := fixture(t)
+	empty := NewRelation("empty", MustSchema(Column{Name: "z", Kind: KindInt}))
+	cat.Register(empty)
+	res := mustQuery(t, cat, "select count(*) from sales, empty")
+	if res.Rows[0][0].I != 0 {
+		t.Errorf("cross join with empty = %v", res.Rows[0][0])
+	}
+}
+
+func TestCompareCoercedDateString(t *testing.T) {
+	d := MustParseDate("1998-01-01")
+	if compareCoerced(d, NewString("1998-01-01")) != 0 {
+		t.Error("date = iso-string failed")
+	}
+	if compareCoerced(NewString("1999-01-01"), d) <= 0 {
+		t.Error("string-date ordering failed")
+	}
+	// Unparseable strings fall back to kind ordering, not a panic.
+	_ = compareCoerced(d, NewString("not a date"))
+}

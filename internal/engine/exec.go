@@ -1,0 +1,474 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/approxdb/congress/internal/sqlparse"
+)
+
+// Result is the output of executing a query: named columns and rows.
+type Result struct {
+	Columns []string
+	Rows    []Row
+}
+
+// String renders the result as an aligned text table (for the CLI and
+// examples).
+func (r *Result) String() string {
+	widths := make([]int, len(r.Columns))
+	for i, c := range r.Columns {
+		widths[i] = len(c)
+	}
+	rendered := make([][]string, len(r.Rows))
+	for ri, row := range r.Rows {
+		cells := make([]string, len(row))
+		for ci, v := range row {
+			cells[ci] = v.String()
+			if ci < len(widths) && len(cells[ci]) > widths[ci] {
+				widths[ci] = len(cells[ci])
+			}
+		}
+		rendered[ri] = cells
+	}
+	var sb strings.Builder
+	for i, c := range r.Columns {
+		if i > 0 {
+			sb.WriteString("  ")
+		}
+		fmt.Fprintf(&sb, "%-*s", widths[i], c)
+	}
+	sb.WriteByte('\n')
+	for _, cells := range rendered {
+		for i, cell := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], cell)
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// ExecuteSQL parses and executes a query against the catalog.
+func ExecuteSQL(cat *Catalog, query string) (*Result, error) {
+	stmt, err := sqlparse.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	return Execute(cat, stmt)
+}
+
+// Execute runs a parsed SELECT against the catalog.
+func Execute(cat *Catalog, stmt *sqlparse.SelectStmt) (*Result, error) {
+	if len(stmt.From) == 0 {
+		return executeNoFrom(stmt)
+	}
+
+	// Resolve FROM inputs (recursively executing derived tables).
+	inputs := make([]*input, 0, len(stmt.From)+len(stmt.Joins))
+	for _, ref := range stmt.From {
+		in, err := resolveRef(cat, ref)
+		if err != nil {
+			return nil, err
+		}
+		inputs = append(inputs, in)
+	}
+
+	// Conjunct pool: WHERE plus all JOIN ... ON predicates.
+	var conjuncts []sqlparse.Expr
+	if stmt.Where != nil {
+		conjuncts = splitConjuncts(stmt.Where)
+	}
+	for _, j := range stmt.Joins {
+		in, err := resolveRef(cat, j.Right)
+		if err != nil {
+			return nil, err
+		}
+		inputs = append(inputs, in)
+		conjuncts = append(conjuncts, splitConjuncts(j.On)...)
+	}
+
+	// Push single-table filters down to each input.
+	used := make([]bool, len(conjuncts))
+	for i, c := range conjuncts {
+		if sqlparse.ContainsAggregate(c) {
+			return nil, fmt.Errorf("engine: aggregate not allowed in WHERE/ON: %s", c)
+		}
+		for _, in := range inputs {
+			if !exprResolvesIn(c, in.env) {
+				continue
+			}
+			if err := in.filter(c); err != nil {
+				return nil, err
+			}
+			used[i] = true
+			break
+		}
+	}
+
+	// Join left to right, preferring hash joins on available
+	// equi-conjuncts (this is what keeps the Normalized/Key-normalized
+	// rewriting experiments tractable).
+	cur := inputs[0]
+	for k := 1; k < len(inputs); k++ {
+		next := inputs[k]
+		var keys []joinKey
+		for i, c := range conjuncts {
+			if used[i] {
+				continue
+			}
+			if jk, ok := equiKey(c, cur.env, next.env); ok {
+				keys = append(keys, jk)
+				used[i] = true
+			}
+		}
+		joined, err := joinInputs(cur, next, keys)
+		if err != nil {
+			return nil, err
+		}
+		cur = joined
+	}
+
+	// Residual conjuncts (cross-table non-equi predicates).
+	for i, c := range conjuncts {
+		if used[i] {
+			continue
+		}
+		if err := cur.filter(c); err != nil {
+			return nil, err
+		}
+	}
+
+	return project(stmt, cur)
+}
+
+// executeNoFrom evaluates a FROM-less SELECT (constant expressions).
+func executeNoFrom(stmt *sqlparse.SelectStmt) (*Result, error) {
+	ctx := &evalCtx{env: newRowEnv()}
+	res := &Result{}
+	row := make(Row, 0, len(stmt.Select))
+	for _, item := range stmt.Select {
+		if item.Star {
+			return nil, fmt.Errorf("engine: SELECT * requires FROM")
+		}
+		v, err := ctx.eval(item.Expr)
+		if err != nil {
+			return nil, err
+		}
+		row = append(row, v)
+		res.Columns = append(res.Columns, outputName(item))
+	}
+	res.Rows = []Row{row}
+	return res, nil
+}
+
+// input is one FROM-clause operand, materialized.
+type input struct {
+	env  *rowEnv
+	rows []Row
+}
+
+func (in *input) filter(pred sqlparse.Expr) error {
+	ctx := &evalCtx{env: in.env}
+	out := in.rows[:0]
+	for _, row := range in.rows {
+		ctx.row = row
+		v, err := ctx.eval(pred)
+		if err != nil {
+			return err
+		}
+		if v.Bool() {
+			out = append(out, row)
+		}
+	}
+	in.rows = out
+	return nil
+}
+
+func resolveRef(cat *Catalog, ref sqlparse.TableRef) (*input, error) {
+	qual := ref.Alias
+	if ref.Subquery != nil {
+		sub, err := Execute(cat, ref.Subquery)
+		if err != nil {
+			return nil, err
+		}
+		env := newRowEnv()
+		for _, c := range sub.Columns {
+			env.add(qual, c)
+		}
+		return &input{env: env, rows: sub.Rows}, nil
+	}
+	rel, ok := cat.Lookup(ref.Name)
+	if !ok {
+		return nil, fmt.Errorf("engine: unknown table %q", ref.Name)
+	}
+	if qual == "" {
+		qual = ref.Name
+	}
+	env := newRowEnv()
+	for _, c := range rel.Schema.Cols {
+		env.add(qual, c.Name)
+	}
+	return &input{env: env, rows: rel.Rows()}, nil
+}
+
+// splitConjuncts flattens a predicate over AND into its conjuncts.
+func splitConjuncts(e sqlparse.Expr) []sqlparse.Expr {
+	if b, ok := e.(*sqlparse.BinaryExpr); ok && b.Op == "and" {
+		return append(splitConjuncts(b.Left), splitConjuncts(b.Right)...)
+	}
+	return []sqlparse.Expr{e}
+}
+
+// exprResolvesIn reports whether every column reference in e resolves in
+// env (so the predicate can be pushed down to that input).
+func exprResolvesIn(e sqlparse.Expr, env *rowEnv) bool {
+	ok := true
+	sqlparse.Walk(e, func(n sqlparse.Expr) bool {
+		if c, ok2 := n.(*sqlparse.ColumnRef); ok2 {
+			if _, err := env.resolve(c.Table, c.Name); err != nil {
+				ok = false
+				return false
+			}
+		}
+		return true
+	})
+	return ok
+}
+
+// joinKey is one equi-join key pair: column index on each side.
+type joinKey struct {
+	left, right int
+}
+
+// equiKey recognizes conjuncts of the form leftCol = rightCol joining
+// the two environments (in either order).
+func equiKey(e sqlparse.Expr, left, right *rowEnv) (joinKey, bool) {
+	b, ok := e.(*sqlparse.BinaryExpr)
+	if !ok || b.Op != "=" {
+		return joinKey{}, false
+	}
+	lc, lok := b.Left.(*sqlparse.ColumnRef)
+	rc, rok := b.Right.(*sqlparse.ColumnRef)
+	if !lok || !rok {
+		return joinKey{}, false
+	}
+	if li, err := left.resolve(lc.Table, lc.Name); err == nil {
+		if ri, err := right.resolve(rc.Table, rc.Name); err == nil {
+			return joinKey{left: li, right: ri}, true
+		}
+	}
+	if li, err := left.resolve(rc.Table, rc.Name); err == nil {
+		if ri, err := right.resolve(lc.Table, lc.Name); err == nil {
+			return joinKey{left: li, right: ri}, true
+		}
+	}
+	return joinKey{}, false
+}
+
+// joinInputs joins two materialized inputs. With keys it builds a hash
+// table on the right side; without keys it falls back to a nested-loop
+// cross product.
+func joinInputs(left, right *input, keys []joinKey) (*input, error) {
+	env := newRowEnv()
+	env.merge(left.env)
+	env.merge(right.env)
+	out := &input{env: env}
+
+	if len(keys) == 0 {
+		out.rows = make([]Row, 0, len(left.rows)*max(1, len(right.rows)))
+		for _, lr := range left.rows {
+			for _, rr := range right.rows {
+				out.rows = append(out.rows, concatRows(lr, rr))
+			}
+		}
+		return out, nil
+	}
+
+	ht := make(map[string][]Row, len(right.rows))
+	var kb strings.Builder
+	for _, rr := range right.rows {
+		kb.Reset()
+		for _, k := range keys {
+			kb.WriteString(rr[k.right].GroupKey())
+		}
+		key := kb.String()
+		ht[key] = append(ht[key], rr)
+	}
+	for _, lr := range left.rows {
+		kb.Reset()
+		for _, k := range keys {
+			kb.WriteString(lr[k.left].GroupKey())
+		}
+		for _, rr := range ht[kb.String()] {
+			out.rows = append(out.rows, concatRows(lr, rr))
+		}
+	}
+	return out, nil
+}
+
+func concatRows(a, b Row) Row {
+	out := make(Row, 0, len(a)+len(b))
+	out = append(out, a...)
+	out = append(out, b...)
+	return out
+}
+
+// outputName picks the result column name for a select item.
+func outputName(item sqlparse.SelectItem) string {
+	if item.Alias != "" {
+		return item.Alias
+	}
+	if c, ok := item.Expr.(*sqlparse.ColumnRef); ok {
+		return c.Name
+	}
+	return strings.ToLower(item.Expr.String())
+}
+
+// project applies grouping/aggregation (if any), HAVING, DISTINCT,
+// ORDER BY, and LIMIT/OFFSET to produce the final result.
+func project(stmt *sqlparse.SelectStmt, in *input) (*Result, error) {
+	// Expand SELECT *.
+	items := make([]sqlparse.SelectItem, 0, len(stmt.Select))
+	for _, item := range stmt.Select {
+		if !item.Star {
+			items = append(items, item)
+			continue
+		}
+		for _, c := range in.env.cols {
+			items = append(items, sqlparse.SelectItem{
+				Expr: &sqlparse.ColumnRef{Name: c.name},
+			})
+		}
+	}
+
+	// Alias environment for GROUP BY / ORDER BY references.
+	aliases := make(map[string]sqlparse.Expr)
+	for _, item := range items {
+		if item.Alias != "" {
+			aliases[strings.ToLower(item.Alias)] = item.Expr
+		}
+	}
+	resolveAlias := func(e sqlparse.Expr) sqlparse.Expr {
+		if c, ok := e.(*sqlparse.ColumnRef); ok && c.Table == "" {
+			// A select alias shadows nothing that exists in the input.
+			if _, err := in.env.resolve("", c.Name); err != nil {
+				if a, ok := aliases[strings.ToLower(c.Name)]; ok {
+					return a
+				}
+			}
+		}
+		return e
+	}
+
+	groupBy := make([]sqlparse.Expr, len(stmt.GroupBy))
+	for i, g := range stmt.GroupBy {
+		groupBy[i] = resolveAlias(g)
+	}
+	orderBy := make([]sqlparse.OrderItem, len(stmt.OrderBy))
+	for i, o := range stmt.OrderBy {
+		orderBy[i] = sqlparse.OrderItem{Expr: resolveAlias(o.Expr), Desc: o.Desc}
+	}
+
+	hasAgg := len(groupBy) > 0 || stmt.Having != nil
+	for _, item := range items {
+		if sqlparse.ContainsAggregate(item.Expr) {
+			hasAgg = true
+		}
+	}
+	for _, o := range orderBy {
+		if sqlparse.ContainsAggregate(o.Expr) {
+			hasAgg = true
+		}
+	}
+
+	res := &Result{Columns: make([]string, len(items))}
+	for i, item := range items {
+		res.Columns[i] = outputName(item)
+	}
+
+	var rows []sortableRow
+
+	if hasAgg {
+		grouped, err := aggregate(items, groupBy, stmt.Having, orderBy, in)
+		if err != nil {
+			return nil, err
+		}
+		rows = grouped
+	} else {
+		ctx := &evalCtx{env: in.env}
+		for _, r := range in.rows {
+			ctx.row = r
+			out := make(Row, len(items))
+			for i, item := range items {
+				v, err := ctx.eval(item.Expr)
+				if err != nil {
+					return nil, err
+				}
+				out[i] = v
+			}
+			var keys []Value
+			for _, o := range orderBy {
+				v, err := ctx.eval(o.Expr)
+				if err != nil {
+					return nil, err
+				}
+				keys = append(keys, v)
+			}
+			rows = append(rows, sortableRow{row: out, keys: keys})
+		}
+	}
+
+	if stmt.Distinct {
+		seen := make(map[string]bool, len(rows))
+		dedup := rows[:0]
+		var kb strings.Builder
+		for _, sr := range rows {
+			kb.Reset()
+			for _, v := range sr.row {
+				kb.WriteString(v.GroupKey())
+			}
+			if !seen[kb.String()] {
+				seen[kb.String()] = true
+				dedup = append(dedup, sr)
+			}
+		}
+		rows = dedup
+	}
+
+	if len(orderBy) > 0 {
+		sort.SliceStable(rows, func(a, b int) bool {
+			for i, o := range orderBy {
+				c := rows[a].keys[i].Compare(rows[b].keys[i])
+				if c == 0 {
+					continue
+				}
+				if o.Desc {
+					return c > 0
+				}
+				return c < 0
+			}
+			return false
+		})
+	}
+
+	// OFFSET / LIMIT.
+	start := int(stmt.Offset)
+	if start > len(rows) {
+		start = len(rows)
+	}
+	end := len(rows)
+	if stmt.Limit >= 0 && start+int(stmt.Limit) < end {
+		end = start + int(stmt.Limit)
+	}
+	for _, sr := range rows[start:end] {
+		res.Rows = append(res.Rows, sr.row)
+	}
+	if res.Rows == nil {
+		res.Rows = []Row{}
+	}
+	return res, nil
+}

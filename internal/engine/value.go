@@ -1,0 +1,240 @@
+// Package engine implements the in-memory relational substrate that the
+// congressional-samples middleware runs on: typed values, schemas,
+// relations, a catalog, and a SQL executor for the dialect produced by
+// the query rewriters of Section 5 of the paper.
+//
+// The engine plays the role Oracle v7 played in the paper's testbed
+// (Section 7.1): it stores both base relations and sample relations and
+// executes the rewritten queries. It is deliberately simple — row-store,
+// hash aggregation, hash and nested-loop joins — but complete enough to
+// run every query shape the paper uses, including nested group-by
+// subqueries (Nested-integrated rewriting) and sample/aux joins
+// (Normalized and Key-normalized rewriting).
+package engine
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"time"
+)
+
+// Kind enumerates the runtime types a Value can take.
+type Kind uint8
+
+// Supported value kinds.
+const (
+	KindNull Kind = iota
+	KindBool
+	KindInt
+	KindFloat
+	KindString
+	KindDate // stored as days since 1970-01-01 (UTC)
+)
+
+// String returns the SQL-ish name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindNull:
+		return "NULL"
+	case KindBool:
+		return "BOOLEAN"
+	case KindInt:
+		return "INTEGER"
+	case KindFloat:
+		return "FLOAT"
+	case KindString:
+		return "VARCHAR"
+	case KindDate:
+		return "DATE"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Value is a dynamically typed SQL value. The zero Value is NULL.
+//
+// Values are small (no pointers beyond the string header) and passed by
+// value throughout the engine.
+type Value struct {
+	K Kind
+	I int64   // KindInt, KindDate (epoch days), KindBool (0 or 1)
+	F float64 // KindFloat
+	S string  // KindString
+}
+
+// Null is the SQL NULL value.
+var Null = Value{K: KindNull}
+
+// NewInt returns an INTEGER value.
+func NewInt(i int64) Value { return Value{K: KindInt, I: i} }
+
+// NewFloat returns a FLOAT value.
+func NewFloat(f float64) Value { return Value{K: KindFloat, F: f} }
+
+// NewString returns a VARCHAR value.
+func NewString(s string) Value { return Value{K: KindString, S: s} }
+
+// NewBool returns a BOOLEAN value.
+func NewBool(b bool) Value {
+	if b {
+		return Value{K: KindBool, I: 1}
+	}
+	return Value{K: KindBool}
+}
+
+// NewDate returns a DATE value holding the given epoch-day count.
+func NewDate(epochDays int64) Value { return Value{K: KindDate, I: epochDays} }
+
+// ParseDate parses an ISO yyyy-mm-dd string into a DATE value.
+func ParseDate(s string) (Value, error) {
+	t, err := time.Parse("2006-01-02", s)
+	if err != nil {
+		return Null, fmt.Errorf("engine: bad date %q: %w", s, err)
+	}
+	return NewDate(t.Unix() / 86400), nil
+}
+
+// MustParseDate is ParseDate but panics on error; for constants in tests
+// and generators.
+func MustParseDate(s string) Value {
+	v, err := ParseDate(s)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// IsNull reports whether v is NULL.
+func (v Value) IsNull() bool { return v.K == KindNull }
+
+// Bool returns the boolean interpretation of v. NULL is false.
+func (v Value) Bool() bool { return v.K == KindBool && v.I != 0 }
+
+// AsFloat converts a numeric value to float64. NULL converts to 0 with
+// ok=false; non-numeric kinds return ok=false.
+func (v Value) AsFloat() (f float64, ok bool) {
+	switch v.K {
+	case KindInt, KindDate, KindBool:
+		return float64(v.I), true
+	case KindFloat:
+		return v.F, true
+	default:
+		return 0, false
+	}
+}
+
+// AsInt converts a numeric value to int64, truncating floats.
+func (v Value) AsInt() (int64, bool) {
+	switch v.K {
+	case KindInt, KindDate, KindBool:
+		return v.I, true
+	case KindFloat:
+		return int64(v.F), true
+	default:
+		return 0, false
+	}
+}
+
+// numeric reports whether the kind participates in arithmetic.
+func (k Kind) numeric() bool {
+	return k == KindInt || k == KindFloat || k == KindDate || k == KindBool
+}
+
+// Compare orders two values: -1 if v < o, 0 if equal, +1 if v > o.
+// NULL sorts before everything and equals only NULL. Numeric kinds
+// compare numerically across int/float/date; strings compare
+// lexicographically. Comparing a string with a number compares kind tags
+// (stable but arbitrary), mirroring the lenient behaviour of the paper's
+// testbed for heterogeneous columns.
+func (v Value) Compare(o Value) int {
+	if v.K == KindNull || o.K == KindNull {
+		switch {
+		case v.K == o.K:
+			return 0
+		case v.K == KindNull:
+			return -1
+		default:
+			return 1
+		}
+	}
+	if v.K.numeric() && o.K.numeric() {
+		a, _ := v.AsFloat()
+		b, _ := o.AsFloat()
+		switch {
+		case a < b:
+			return -1
+		case a > b:
+			return 1
+		default:
+			return 0
+		}
+	}
+	if v.K == KindString && o.K == KindString {
+		switch {
+		case v.S < o.S:
+			return -1
+		case v.S > o.S:
+			return 1
+		default:
+			return 0
+		}
+	}
+	// Heterogeneous: order by kind tag.
+	switch {
+	case v.K < o.K:
+		return -1
+	case v.K > o.K:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Equal reports whether two values compare equal.
+func (v Value) Equal(o Value) bool { return v.Compare(o) == 0 }
+
+// GroupKey returns a string usable as a hash key for grouping. Distinct
+// values map to distinct keys; numerically equal int/float values map to
+// the same key only if they are the same kind (group-by columns are
+// homogeneous in practice).
+func (v Value) GroupKey() string {
+	switch v.K {
+	case KindNull:
+		return "\x00n"
+	case KindBool:
+		if v.I != 0 {
+			return "\x00t"
+		}
+		return "\x00f"
+	case KindInt:
+		return "\x00i" + strconv.FormatInt(v.I, 36)
+	case KindDate:
+		return "\x00d" + strconv.FormatInt(v.I, 36)
+	case KindFloat:
+		return "\x00g" + strconv.FormatUint(math.Float64bits(v.F), 36)
+	default:
+		return "\x00s" + v.S
+	}
+}
+
+// String renders the value for result display.
+func (v Value) String() string {
+	switch v.K {
+	case KindNull:
+		return "NULL"
+	case KindBool:
+		if v.I != 0 {
+			return "true"
+		}
+		return "false"
+	case KindInt:
+		return strconv.FormatInt(v.I, 10)
+	case KindFloat:
+		return strconv.FormatFloat(v.F, 'g', -1, 64)
+	case KindDate:
+		return time.Unix(v.I*86400, 0).UTC().Format("2006-01-02")
+	default:
+		return v.S
+	}
+}

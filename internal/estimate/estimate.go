@@ -1,0 +1,246 @@
+// Package estimate turns stratified biased samples into approximate
+// query answers with probabilistic error bounds, using the standard
+// stratified-expansion estimators of Section 5.1 (after [Coc77]) and the
+// Hoeffding/Chebyshev bound machinery Aqua reports answers with
+// (Section 2).
+//
+// This is the direct, in-process estimation path; the SQL path through
+// the Section 5 rewriters produces the same numbers by executing
+// rewritten queries on the engine.
+package estimate
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"github.com/approxdb/congress/internal/engine"
+	"github.com/approxdb/congress/internal/sample"
+)
+
+// Aggregate selects the aggregate operator to estimate.
+type Aggregate int
+
+// Supported aggregates.
+const (
+	Sum Aggregate = iota
+	Count
+	Avg
+)
+
+// String names the aggregate.
+func (a Aggregate) String() string {
+	switch a {
+	case Sum:
+		return "SUM"
+	case Count:
+		return "COUNT"
+	case Avg:
+		return "AVG"
+	default:
+		return fmt.Sprintf("Aggregate(%d)", int(a))
+	}
+}
+
+// Query describes one estimation pass over a stratified sample.
+type Query struct {
+	// GroupKey maps a sampled tuple to its output group. Because any
+	// group under a grouping T ⊆ G is a union of finest groups, every
+	// stratum maps entirely to one output group. nil means no group-by:
+	// all tuples fall into the single group "".
+	GroupKey func(engine.Row) string
+	// Value extracts the aggregated expression from a tuple; ok=false
+	// excludes the tuple (predicate failure or NULL). For Count, Value
+	// acts purely as the predicate (the value itself is ignored).
+	Value func(engine.Row) (v float64, ok bool)
+	// Agg is the aggregate operator.
+	Agg Aggregate
+	// Confidence is the two-sided confidence level for Bound; 0 means
+	// the Aqua default of 0.90.
+	Confidence float64
+}
+
+// GroupEstimate is one output group's approximate answer.
+type GroupEstimate struct {
+	Key     string  // output group key
+	Value   float64 // the estimate
+	Bound   float64 // half-width of the CLT confidence interval
+	SampleN int     // sampled tuples that contributed
+}
+
+// Run executes the estimation. Output order follows sorted stratum keys
+// grouped by output key first appearance.
+func Run(st *sample.Stratified[engine.Row], q Query) ([]GroupEstimate, error) {
+	if q.Value == nil {
+		return nil, errors.New("estimate: Query.Value is required")
+	}
+	conf := q.Confidence
+	if conf == 0 {
+		conf = 0.90
+	}
+	if conf <= 0 || conf >= 1 {
+		return nil, fmt.Errorf("estimate: confidence %v out of (0,1)", conf)
+	}
+	z := ZScore(conf)
+
+	type cell struct {
+		scaledSum   float64
+		scaledCount float64
+		variance    float64 // accumulated Var contributions
+		countVar    float64 // HT variance for COUNT
+		n           int
+	}
+	cells := make(map[string]*cell)
+	var order []string
+
+	st.Each(func(s *sample.Stratum[engine.Row]) {
+		if len(s.Items) == 0 {
+			return
+		}
+		sf := s.ScaleFactor()
+		if sf < 1 {
+			sf = 1
+		}
+		// All tuples of a stratum share one output group, but we must
+		// group lazily because the first passing tuple determines it.
+		var (
+			key        string
+			haveKey    bool
+			n          int64
+			mean, m2   float64
+			passedSum  float64
+			passedCnt  float64
+			countVarTr float64
+		)
+		for _, row := range s.Items {
+			v, ok := q.Value(row)
+			if !ok {
+				continue
+			}
+			if !haveKey {
+				if q.GroupKey != nil {
+					key = q.GroupKey(row)
+				}
+				haveKey = true
+			}
+			n++
+			d := v - mean
+			mean += d / float64(n)
+			m2 += d * (v - mean)
+			passedSum += v * sf
+			passedCnt += sf
+			countVarTr += sf * (sf - 1)
+		}
+		if n == 0 {
+			return
+		}
+		c := cells[key]
+		if c == nil {
+			c = &cell{}
+			cells[key] = c
+			order = append(order, key)
+		}
+		c.scaledSum += passedSum
+		c.scaledCount += passedCnt
+		c.n += int(n)
+		c.countVar += countVarTr
+		if n >= 2 {
+			s2 := m2 / float64(n-1)
+			c.variance += sf * sf * float64(n) * (1 - 1/sf) * s2
+		}
+	})
+
+	out := make([]GroupEstimate, 0, len(order))
+	for _, key := range order {
+		c := cells[key]
+		ge := GroupEstimate{Key: key, SampleN: c.n}
+		switch q.Agg {
+		case Sum:
+			ge.Value = c.scaledSum
+			ge.Bound = z * math.Sqrt(c.variance)
+		case Count:
+			ge.Value = c.scaledCount
+			ge.Bound = z * math.Sqrt(c.countVar)
+		case Avg:
+			if c.scaledCount == 0 {
+				continue
+			}
+			ge.Value = c.scaledSum / c.scaledCount
+			ge.Bound = z * math.Sqrt(c.variance) / c.scaledCount
+		default:
+			return nil, fmt.Errorf("estimate: unknown aggregate %v", q.Agg)
+		}
+		out = append(out, ge)
+	}
+	return out, nil
+}
+
+// HoeffdingAvg returns the Hoeffding half-width for an estimated mean of
+// n uniform samples of a quantity bounded in [lo, hi], at the given
+// confidence: (hi−lo)·sqrt(ln(2/δ)/(2n)).
+func HoeffdingAvg(n int, lo, hi, conf float64) float64 {
+	if n <= 0 || hi <= lo {
+		return math.Inf(1)
+	}
+	delta := 1 - conf
+	if delta <= 0 {
+		return math.Inf(1)
+	}
+	return (hi - lo) * math.Sqrt(math.Log(2/delta)/(2*float64(n)))
+}
+
+// ChebyshevAvg returns the Chebyshev half-width for an estimated mean
+// with per-sample variance s2 over n samples: sqrt(s2/(n·δ)).
+func ChebyshevAvg(n int, s2, conf float64) float64 {
+	if n <= 0 || s2 < 0 {
+		return math.Inf(1)
+	}
+	delta := 1 - conf
+	if delta <= 0 {
+		return math.Inf(1)
+	}
+	return math.Sqrt(s2 / (float64(n) * delta))
+}
+
+// ZScore returns the two-sided normal critical value for the given
+// confidence level (e.g. 0.90 → 1.645, 0.95 → 1.960), computed with
+// Acklam's inverse-normal-CDF approximation (|relative error| < 1.15e-9).
+func ZScore(conf float64) float64 {
+	p := 0.5 + conf/2 // upper quantile
+	return normInv(p)
+}
+
+// normInv approximates the standard normal quantile function.
+func normInv(p float64) float64 {
+	if p <= 0 || p >= 1 {
+		return math.NaN()
+	}
+	// Coefficients for Acklam's rational approximation.
+	a := [6]float64{-3.969683028665376e+01, 2.209460984245205e+02, -2.759285104469687e+02,
+		1.383577518672690e+02, -3.066479806614716e+01, 2.506628277459239e+00}
+	b := [5]float64{-5.447609879822406e+01, 1.615858368580409e+02, -1.556989798598866e+02,
+		6.680131188771972e+01, -1.328068155288572e+01}
+	c := [6]float64{-7.784894002430293e-03, -3.223964580411365e-01, -2.400758277161838e+00,
+		-2.549732539343734e+00, 4.374664141464968e+00, 2.938163982698783e+00}
+	d := [4]float64{7.784695709041462e-03, 3.224671290700398e-01, 2.445134137142996e+00,
+		3.754408661907416e+00}
+	const (
+		pLow  = 0.02425
+		pHigh = 1 - pLow
+	)
+	switch {
+	case p < pLow:
+		q := math.Sqrt(-2 * math.Log(p))
+		return (((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	case p <= pHigh:
+		q := p - 0.5
+		r := q * q
+		return (((((a[0]*r+a[1])*r+a[2])*r+a[3])*r+a[4])*r + a[5]) * q /
+			(((((b[0]*r+b[1])*r+b[2])*r+b[3])*r+b[4])*r + 1)
+	default:
+		q := math.Sqrt(-2 * math.Log(1-p))
+		return -(((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	}
+}

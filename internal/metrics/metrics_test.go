@@ -1,0 +1,136 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"github.com/approxdb/congress/internal/engine"
+)
+
+func TestRelativeErrorPct(t *testing.T) {
+	cases := []struct {
+		exact, approx, want float64
+	}{
+		{100, 90, 10},
+		{100, 110, 10},
+		{-100, -90, 10},
+		{100, 100, 0},
+		{0, 0, 0},
+	}
+	for _, c := range cases {
+		if got := RelativeErrorPct(c.exact, c.approx); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("RelativeErrorPct(%v,%v) = %v, want %v", c.exact, c.approx, got, c.want)
+		}
+	}
+	if !math.IsInf(RelativeErrorPct(0, 5), 1) {
+		t.Error("zero exact with nonzero estimate should be +Inf")
+	}
+}
+
+func result(cols []string, rows ...engine.Row) *engine.Result {
+	return &engine.Result{Columns: cols, Rows: rows}
+}
+
+func TestCompareAnswersMatched(t *testing.T) {
+	exact := result([]string{"g", "sum"},
+		engine.Row{engine.NewString("a"), engine.NewFloat(100)},
+		engine.Row{engine.NewString("b"), engine.NewFloat(200)},
+	)
+	approx := result([]string{"g", "sum"},
+		engine.Row{engine.NewString("a"), engine.NewFloat(110)},
+		engine.Row{engine.NewString("b"), engine.NewFloat(150)},
+	)
+	ge, err := CompareAnswers(exact, approx, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ge.MissingGroups != 0 || ge.ExtraGroups != 0 {
+		t.Fatalf("missing=%d extra=%d", ge.MissingGroups, ge.ExtraGroups)
+	}
+	if math.Abs(ge.L1()-17.5) > 1e-9 { // (10+25)/2
+		t.Errorf("L1 = %v", ge.L1())
+	}
+	if math.Abs(ge.LInf()-25) > 1e-9 {
+		t.Errorf("LInf = %v", ge.LInf())
+	}
+	want := math.Sqrt((100 + 625) / 2.0)
+	if math.Abs(ge.L2()-want) > 1e-9 {
+		t.Errorf("L2 = %v, want %v", ge.L2(), want)
+	}
+}
+
+func TestCompareAnswersMissingAndExtra(t *testing.T) {
+	exact := result([]string{"g", "sum"},
+		engine.Row{engine.NewString("a"), engine.NewFloat(100)},
+		engine.Row{engine.NewString("b"), engine.NewFloat(200)},
+	)
+	approx := result([]string{"g", "sum"},
+		engine.Row{engine.NewString("a"), engine.NewFloat(100)},
+		engine.Row{engine.NewString("zzz"), engine.NewFloat(1)},
+	)
+	ge, err := CompareAnswers(exact, approx, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ge.MissingGroups != 1 || ge.ExtraGroups != 1 {
+		t.Fatalf("missing=%d extra=%d", ge.MissingGroups, ge.ExtraGroups)
+	}
+	if ge.LInf() != 100 {
+		t.Errorf("missing group should cost 100%%: %v", ge.LInf())
+	}
+}
+
+func TestCompareAnswersMultiColumnGroups(t *testing.T) {
+	exact := result([]string{"g1", "g2", "sum"},
+		engine.Row{engine.NewString("a"), engine.NewInt(1), engine.NewFloat(10)},
+		engine.Row{engine.NewString("a"), engine.NewInt(2), engine.NewFloat(20)},
+	)
+	approx := result([]string{"g1", "g2", "sum"},
+		engine.Row{engine.NewString("a"), engine.NewInt(2), engine.NewFloat(22)},
+		engine.Row{engine.NewString("a"), engine.NewInt(1), engine.NewFloat(10)},
+	)
+	ge, err := CompareAnswers(exact, approx, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ge.MissingGroups != 0 {
+		t.Fatalf("row order should not matter: %+v", ge)
+	}
+	if math.Abs(ge.LInf()-10) > 1e-9 {
+		t.Errorf("LInf = %v", ge.LInf())
+	}
+}
+
+func TestCompareAnswersNullEstimateIsMissing(t *testing.T) {
+	exact := result([]string{"g", "sum"},
+		engine.Row{engine.NewString("a"), engine.NewFloat(10)},
+	)
+	approx := result([]string{"g", "sum"},
+		engine.Row{engine.NewString("a"), engine.Null},
+	)
+	ge, err := CompareAnswers(exact, approx, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ge.MissingGroups != 1 {
+		t.Errorf("NULL estimate should count as missing: %+v", ge)
+	}
+}
+
+func TestCompareAnswersErrors(t *testing.T) {
+	good := result([]string{"g", "sum"}, engine.Row{engine.NewString("a"), engine.NewFloat(1)})
+	if _, err := CompareAnswers(good, good, 1, 5); err == nil {
+		t.Error("out-of-range aggregate column accepted")
+	}
+	badExact := result([]string{"g", "sum"}, engine.Row{engine.NewString("a"), engine.NewString("oops")})
+	if _, err := CompareAnswers(badExact, good, 1, 1); err == nil {
+		t.Error("non-numeric exact aggregate accepted")
+	}
+}
+
+func TestEmptyNorms(t *testing.T) {
+	ge := &GroupErrors{Errors: map[string]float64{}}
+	if ge.LInf() != 0 || ge.L1() != 0 || ge.L2() != 0 {
+		t.Error("empty answer should have zero error")
+	}
+}

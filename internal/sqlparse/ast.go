@@ -1,0 +1,401 @@
+package sqlparse
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Expr is any SQL expression node. Every node can render itself back to
+// SQL text (used by the rewriters to emit rewritten queries and by
+// tests for round-tripping).
+type Expr interface {
+	fmt.Stringer
+	exprNode()
+}
+
+// ColumnRef names a column, optionally qualified by a table name or
+// alias (e.g. SampRel.A).
+type ColumnRef struct {
+	Table string // optional
+	Name  string
+}
+
+func (c *ColumnRef) exprNode() {}
+func (c *ColumnRef) String() string {
+	if c.Table != "" {
+		return c.Table + "." + c.Name
+	}
+	return c.Name
+}
+
+// LiteralKind tags literal values.
+type LiteralKind uint8
+
+// Literal kinds.
+const (
+	LitNull LiteralKind = iota
+	LitInt
+	LitFloat
+	LitString
+	LitBool
+	LitDate // DATE 'yyyy-mm-dd'
+)
+
+// Literal is a constant.
+type Literal struct {
+	Kind LiteralKind
+	I    int64
+	F    float64
+	S    string
+	B    bool
+}
+
+func (l *Literal) exprNode() {}
+func (l *Literal) String() string {
+	switch l.Kind {
+	case LitNull:
+		return "NULL"
+	case LitInt:
+		return strconv.FormatInt(l.I, 10)
+	case LitFloat:
+		return strconv.FormatFloat(l.F, 'g', -1, 64)
+	case LitBool:
+		if l.B {
+			return "TRUE"
+		}
+		return "FALSE"
+	case LitDate:
+		return "DATE '" + l.S + "'"
+	default:
+		return "'" + strings.ReplaceAll(l.S, "'", "''") + "'"
+	}
+}
+
+// IntLit builds an integer literal.
+func IntLit(i int64) *Literal { return &Literal{Kind: LitInt, I: i} }
+
+// FloatLit builds a float literal.
+func FloatLit(f float64) *Literal { return &Literal{Kind: LitFloat, F: f} }
+
+// StringLit builds a string literal.
+func StringLit(s string) *Literal { return &Literal{Kind: LitString, S: s} }
+
+// BinaryExpr applies an infix operator: arithmetic (+ - * / %),
+// comparison (= <> < <= > >=), logic (AND OR), or LIKE.
+type BinaryExpr struct {
+	Op          string
+	Left, Right Expr
+}
+
+func (b *BinaryExpr) exprNode() {}
+func (b *BinaryExpr) String() string {
+	return "(" + b.Left.String() + " " + strings.ToUpper(b.Op) + " " + b.Right.String() + ")"
+}
+
+// UnaryExpr applies a prefix operator: - or NOT.
+type UnaryExpr struct {
+	Op   string
+	Expr Expr
+}
+
+func (u *UnaryExpr) exprNode() {}
+func (u *UnaryExpr) String() string {
+	op := strings.ToUpper(u.Op)
+	if op == "NOT" {
+		return "(NOT " + u.Expr.String() + ")"
+	}
+	return "(" + op + u.Expr.String() + ")"
+}
+
+// BetweenExpr is x [NOT] BETWEEN lo AND hi.
+type BetweenExpr struct {
+	Expr, Lo, Hi Expr
+	Not          bool
+}
+
+func (b *BetweenExpr) exprNode() {}
+func (b *BetweenExpr) String() string {
+	not := ""
+	if b.Not {
+		not = "NOT "
+	}
+	return "(" + b.Expr.String() + " " + not + "BETWEEN " + b.Lo.String() + " AND " + b.Hi.String() + ")"
+}
+
+// InExpr is x [NOT] IN (e1, e2, ...).
+type InExpr struct {
+	Expr Expr
+	List []Expr
+	Not  bool
+}
+
+func (in *InExpr) exprNode() {}
+func (in *InExpr) String() string {
+	parts := make([]string, len(in.List))
+	for i, e := range in.List {
+		parts[i] = e.String()
+	}
+	not := ""
+	if in.Not {
+		not = "NOT "
+	}
+	return "(" + in.Expr.String() + " " + not + "IN (" + strings.Join(parts, ", ") + "))"
+}
+
+// IsNullExpr is x IS [NOT] NULL.
+type IsNullExpr struct {
+	Expr Expr
+	Not  bool
+}
+
+func (e *IsNullExpr) exprNode() {}
+func (e *IsNullExpr) String() string {
+	if e.Not {
+		return "(" + e.Expr.String() + " IS NOT NULL)"
+	}
+	return "(" + e.Expr.String() + " IS NULL)"
+}
+
+// FuncCall is a function application. Aggregates (SUM, COUNT, AVG, MIN,
+// MAX, plus the Aqua error functions SUM_ERROR, COUNT_ERROR, AVG_ERROR)
+// and scalar functions share this node; the executor distinguishes them.
+type FuncCall struct {
+	Name     string // lower-cased
+	Args     []Expr
+	Star     bool // COUNT(*)
+	Distinct bool // COUNT(DISTINCT x)
+}
+
+func (f *FuncCall) exprNode() {}
+func (f *FuncCall) String() string {
+	if f.Star {
+		return strings.ToUpper(f.Name) + "(*)"
+	}
+	parts := make([]string, len(f.Args))
+	for i, a := range f.Args {
+		parts[i] = a.String()
+	}
+	d := ""
+	if f.Distinct {
+		d = "DISTINCT "
+	}
+	return strings.ToUpper(f.Name) + "(" + d + strings.Join(parts, ", ") + ")"
+}
+
+// CaseExpr is CASE [operand] WHEN ... THEN ... [ELSE ...] END.
+type CaseExpr struct {
+	Operand Expr // nil for searched CASE
+	Whens   []WhenClause
+	Else    Expr // nil if absent
+}
+
+// WhenClause is one WHEN cond THEN result arm.
+type WhenClause struct {
+	Cond, Result Expr
+}
+
+func (c *CaseExpr) exprNode() {}
+func (c *CaseExpr) String() string {
+	var sb strings.Builder
+	sb.WriteString("CASE")
+	if c.Operand != nil {
+		sb.WriteString(" " + c.Operand.String())
+	}
+	for _, w := range c.Whens {
+		sb.WriteString(" WHEN " + w.Cond.String() + " THEN " + w.Result.String())
+	}
+	if c.Else != nil {
+		sb.WriteString(" ELSE " + c.Else.String())
+	}
+	sb.WriteString(" END")
+	return sb.String()
+}
+
+// SelectItem is one entry in the select list.
+type SelectItem struct {
+	Expr  Expr
+	Alias string // optional
+	Star  bool   // SELECT *
+}
+
+func (s SelectItem) String() string {
+	if s.Star {
+		return "*"
+	}
+	if s.Alias != "" {
+		return s.Expr.String() + " AS " + s.Alias
+	}
+	return s.Expr.String()
+}
+
+// TableRef is one entry in the FROM clause: a named table or a
+// parenthesized subquery, with an optional alias.
+type TableRef struct {
+	Name     string      // table name, empty if Subquery != nil
+	Subquery *SelectStmt // derived table
+	Alias    string
+}
+
+func (t TableRef) String() string {
+	var base string
+	if t.Subquery != nil {
+		base = "(" + t.Subquery.String() + ")"
+	} else {
+		base = t.Name
+	}
+	if t.Alias != "" {
+		return base + " " + t.Alias
+	}
+	return base
+}
+
+// JoinClause is an explicit [INNER] JOIN ... ON ... appended to the
+// first table ref.
+type JoinClause struct {
+	Right TableRef
+	On    Expr
+}
+
+// OrderItem is one ORDER BY key.
+type OrderItem struct {
+	Expr Expr
+	Desc bool
+}
+
+func (o OrderItem) String() string {
+	if o.Desc {
+		return o.Expr.String() + " DESC"
+	}
+	return o.Expr.String()
+}
+
+// SelectStmt is a full SELECT query.
+type SelectStmt struct {
+	Distinct bool
+	Select   []SelectItem
+	From     []TableRef // comma-joined
+	Joins    []JoinClause
+	Where    Expr
+	GroupBy  []Expr
+	Having   Expr
+	OrderBy  []OrderItem
+	Limit    int64 // -1 = no limit
+	Offset   int64 // 0 = none
+}
+
+func (s *SelectStmt) String() string {
+	var sb strings.Builder
+	sb.WriteString("SELECT ")
+	if s.Distinct {
+		sb.WriteString("DISTINCT ")
+	}
+	for i, it := range s.Select {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(it.String())
+	}
+	if len(s.From) > 0 {
+		sb.WriteString(" FROM ")
+		for i, t := range s.From {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(t.String())
+		}
+		for _, j := range s.Joins {
+			sb.WriteString(" JOIN " + j.Right.String() + " ON " + j.On.String())
+		}
+	}
+	if s.Where != nil {
+		sb.WriteString(" WHERE " + s.Where.String())
+	}
+	if len(s.GroupBy) > 0 {
+		sb.WriteString(" GROUP BY ")
+		for i, g := range s.GroupBy {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(g.String())
+		}
+	}
+	if s.Having != nil {
+		sb.WriteString(" HAVING " + s.Having.String())
+	}
+	if len(s.OrderBy) > 0 {
+		sb.WriteString(" ORDER BY ")
+		for i, o := range s.OrderBy {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(o.String())
+		}
+	}
+	if s.Limit >= 0 {
+		sb.WriteString(" LIMIT " + strconv.FormatInt(s.Limit, 10))
+	}
+	if s.Offset > 0 {
+		sb.WriteString(" OFFSET " + strconv.FormatInt(s.Offset, 10))
+	}
+	return sb.String()
+}
+
+// AggregateFuncs lists the aggregate function names the executor
+// understands, including Aqua's error-bound pseudo-aggregates.
+var AggregateFuncs = map[string]bool{
+	"sum": true, "count": true, "avg": true, "min": true, "max": true,
+	"sum_error": true, "count_error": true, "avg_error": true,
+	"variance": true, "stddev": true,
+}
+
+// ContainsAggregate reports whether the expression tree contains an
+// aggregate function call.
+func ContainsAggregate(e Expr) bool {
+	found := false
+	Walk(e, func(n Expr) bool {
+		if f, ok := n.(*FuncCall); ok && AggregateFuncs[f.Name] {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// Walk performs a pre-order traversal of the expression tree, calling fn
+// at each node. If fn returns false the node's children are skipped.
+func Walk(e Expr, fn func(Expr) bool) {
+	if e == nil || !fn(e) {
+		return
+	}
+	switch n := e.(type) {
+	case *BinaryExpr:
+		Walk(n.Left, fn)
+		Walk(n.Right, fn)
+	case *UnaryExpr:
+		Walk(n.Expr, fn)
+	case *BetweenExpr:
+		Walk(n.Expr, fn)
+		Walk(n.Lo, fn)
+		Walk(n.Hi, fn)
+	case *InExpr:
+		Walk(n.Expr, fn)
+		for _, item := range n.List {
+			Walk(item, fn)
+		}
+	case *IsNullExpr:
+		Walk(n.Expr, fn)
+	case *FuncCall:
+		for _, a := range n.Args {
+			Walk(a, fn)
+		}
+	case *CaseExpr:
+		Walk(n.Operand, fn)
+		for _, w := range n.Whens {
+			Walk(w.Cond, fn)
+			Walk(w.Result, fn)
+		}
+		Walk(n.Else, fn)
+	}
+}

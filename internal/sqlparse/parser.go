@@ -1,0 +1,656 @@
+package sqlparse
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse parses a single SELECT statement (an optional trailing semicolon
+// is allowed).
+func Parse(input string) (*SelectStmt, error) {
+	toks, err := Lex(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, src: input}
+	stmt, err := p.parseSelect()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().Kind == TokOp && p.peek().Text == ";" {
+		p.next()
+	}
+	if p.peek().Kind != TokEOF {
+		return nil, p.errf("unexpected trailing input %q", p.peek())
+	}
+	return stmt, nil
+}
+
+// MustParse is Parse but panics on error; for statically known queries
+// in tests and the experiment harness.
+func MustParse(input string) *SelectStmt {
+	s, err := Parse(input)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+type parser struct {
+	toks []Token
+	pos  int
+	src  string
+}
+
+func (p *parser) peek() Token { return p.toks[p.pos] }
+func (p *parser) peek2() Token {
+	if p.pos+1 < len(p.toks) {
+		return p.toks[p.pos+1]
+	}
+	return p.toks[len(p.toks)-1]
+}
+func (p *parser) next() Token {
+	t := p.toks[p.pos]
+	if p.pos < len(p.toks)-1 {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("sqlparse: byte %d: %s", p.peek().Pos, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) acceptKeyword(kw string) bool {
+	if t := p.peek(); t.Kind == TokKeyword && t.Text == kw {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.acceptKeyword(kw) {
+		return p.errf("expected %s, found %q", strings.ToUpper(kw), p.peek())
+	}
+	return nil
+}
+
+func (p *parser) acceptOp(op string) bool {
+	if t := p.peek(); t.Kind == TokOp && t.Text == op {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectOp(op string) error {
+	if !p.acceptOp(op) {
+		return p.errf("expected %q, found %q", op, p.peek())
+	}
+	return nil
+}
+
+func (p *parser) parseSelect() (*SelectStmt, error) {
+	if err := p.expectKeyword("select"); err != nil {
+		return nil, err
+	}
+	stmt := &SelectStmt{Limit: -1}
+	if p.acceptKeyword("distinct") {
+		stmt.Distinct = true
+	} else {
+		p.acceptKeyword("all")
+	}
+
+	// Select list.
+	for {
+		item, err := p.parseSelectItem()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Select = append(stmt.Select, item)
+		if !p.acceptOp(",") {
+			break
+		}
+	}
+
+	// FROM
+	if p.acceptKeyword("from") {
+		for {
+			ref, err := p.parseTableRef()
+			if err != nil {
+				return nil, err
+			}
+			stmt.From = append(stmt.From, ref)
+			if !p.acceptOp(",") {
+				break
+			}
+		}
+		for {
+			if p.acceptKeyword("inner") {
+				if err := p.expectKeyword("join"); err != nil {
+					return nil, err
+				}
+			} else if !p.acceptKeyword("join") {
+				break
+			}
+			right, err := p.parseTableRef()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectKeyword("on"); err != nil {
+				return nil, err
+			}
+			on, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			stmt.Joins = append(stmt.Joins, JoinClause{Right: right, On: on})
+		}
+	}
+
+	// WHERE
+	if p.acceptKeyword("where") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Where = e
+	}
+
+	// GROUP BY
+	if p.peek().Kind == TokKeyword && p.peek().Text == "group" {
+		p.next()
+		if err := p.expectKeyword("by"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			stmt.GroupBy = append(stmt.GroupBy, e)
+			if !p.acceptOp(",") {
+				break
+			}
+		}
+	}
+
+	// HAVING
+	if p.acceptKeyword("having") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Having = e
+	}
+
+	// ORDER BY
+	if p.peek().Kind == TokKeyword && p.peek().Text == "order" {
+		p.next()
+		if err := p.expectKeyword("by"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			item := OrderItem{Expr: e}
+			if p.acceptKeyword("desc") {
+				item.Desc = true
+			} else {
+				p.acceptKeyword("asc")
+			}
+			stmt.OrderBy = append(stmt.OrderBy, item)
+			if !p.acceptOp(",") {
+				break
+			}
+		}
+	}
+
+	// LIMIT / OFFSET
+	if p.acceptKeyword("limit") {
+		t := p.peek()
+		if t.Kind != TokNumber {
+			return nil, p.errf("expected number after LIMIT")
+		}
+		n, err := strconv.ParseInt(t.Text, 10, 64)
+		if err != nil {
+			return nil, p.errf("bad LIMIT %q", t.Text)
+		}
+		p.next()
+		stmt.Limit = n
+	}
+	if p.acceptKeyword("offset") {
+		t := p.peek()
+		if t.Kind != TokNumber {
+			return nil, p.errf("expected number after OFFSET")
+		}
+		n, err := strconv.ParseInt(t.Text, 10, 64)
+		if err != nil {
+			return nil, p.errf("bad OFFSET %q", t.Text)
+		}
+		p.next()
+		stmt.Offset = n
+	}
+
+	return stmt, nil
+}
+
+func (p *parser) parseSelectItem() (SelectItem, error) {
+	if p.peek().Kind == TokOp && p.peek().Text == "*" {
+		p.next()
+		return SelectItem{Star: true}, nil
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return SelectItem{}, err
+	}
+	item := SelectItem{Expr: e}
+	if p.acceptKeyword("as") {
+		t := p.peek()
+		if t.Kind != TokIdent && t.Kind != TokKeyword {
+			return SelectItem{}, p.errf("expected alias after AS")
+		}
+		p.next()
+		item.Alias = t.Text
+	} else if t := p.peek(); t.Kind == TokIdent {
+		// bare alias
+		p.next()
+		item.Alias = t.Text
+	}
+	return item, nil
+}
+
+func (p *parser) parseTableRef() (TableRef, error) {
+	var ref TableRef
+	if p.acceptOp("(") {
+		sub, err := p.parseSelect()
+		if err != nil {
+			return ref, err
+		}
+		if err := p.expectOp(")"); err != nil {
+			return ref, err
+		}
+		ref.Subquery = sub
+	} else {
+		t := p.peek()
+		if t.Kind != TokIdent {
+			return ref, p.errf("expected table name, found %q", t)
+		}
+		p.next()
+		ref.Name = t.Text
+	}
+	if p.acceptKeyword("as") {
+		t := p.peek()
+		if t.Kind != TokIdent {
+			return ref, p.errf("expected alias after AS")
+		}
+		p.next()
+		ref.Alias = t.Text
+	} else if t := p.peek(); t.Kind == TokIdent {
+		p.next()
+		ref.Alias = t.Text
+	}
+	return ref, nil
+}
+
+// Expression grammar (precedence climbing):
+//
+//	expr      := orExpr
+//	orExpr    := andExpr (OR andExpr)*
+//	andExpr   := notExpr (AND notExpr)*
+//	notExpr   := NOT notExpr | predicate
+//	predicate := addExpr [comparison | BETWEEN | IN | IS NULL | LIKE]
+//	addExpr   := mulExpr ((+|-) mulExpr)*
+//	mulExpr   := unary ((*|/|%) unary)*
+//	unary     := - unary | primary
+//	primary   := literal | funcCall | columnRef | ( expr ) | CASE ...
+func (p *parser) parseExpr() (Expr, error) { return p.parseOr() }
+
+func (p *parser) parseOr() (Expr, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("or") {
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinaryExpr{Op: "or", Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	left, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("and") {
+		right, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinaryExpr{Op: "and", Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseNot() (Expr, error) {
+	if p.acceptKeyword("not") {
+		e, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Op: "not", Expr: e}, nil
+	}
+	return p.parsePredicate()
+}
+
+func (p *parser) parsePredicate() (Expr, error) {
+	left, err := p.parseAdd()
+	if err != nil {
+		return nil, err
+	}
+	// Optional NOT before BETWEEN/IN/LIKE.
+	negate := false
+	if t := p.peek(); t.Kind == TokKeyword && t.Text == "not" {
+		if nt := p.peek2(); nt.Kind == TokKeyword && (nt.Text == "between" || nt.Text == "in" || nt.Text == "like") {
+			p.next()
+			negate = true
+		}
+	}
+	switch t := p.peek(); {
+	case t.Kind == TokOp && isComparison(t.Text):
+		p.next()
+		right, err := p.parseAdd()
+		if err != nil {
+			return nil, err
+		}
+		op := t.Text
+		if op == "!=" {
+			op = "<>"
+		}
+		return &BinaryExpr{Op: op, Left: left, Right: right}, nil
+	case t.Kind == TokKeyword && t.Text == "between":
+		p.next()
+		lo, err := p.parseAdd()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("and"); err != nil {
+			return nil, err
+		}
+		hi, err := p.parseAdd()
+		if err != nil {
+			return nil, err
+		}
+		return &BetweenExpr{Expr: left, Lo: lo, Hi: hi, Not: negate}, nil
+	case t.Kind == TokKeyword && t.Text == "in":
+		p.next()
+		if err := p.expectOp("("); err != nil {
+			return nil, err
+		}
+		var list []Expr
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			list = append(list, e)
+			if !p.acceptOp(",") {
+				break
+			}
+		}
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+		return &InExpr{Expr: left, List: list, Not: negate}, nil
+	case t.Kind == TokKeyword && t.Text == "like":
+		p.next()
+		right, err := p.parseAdd()
+		if err != nil {
+			return nil, err
+		}
+		var e Expr = &BinaryExpr{Op: "like", Left: left, Right: right}
+		if negate {
+			e = &UnaryExpr{Op: "not", Expr: e}
+		}
+		return e, nil
+	case t.Kind == TokKeyword && t.Text == "is":
+		p.next()
+		not := p.acceptKeyword("not")
+		if err := p.expectKeyword("null"); err != nil {
+			return nil, err
+		}
+		return &IsNullExpr{Expr: left, Not: not}, nil
+	}
+	return left, nil
+}
+
+func isComparison(op string) bool {
+	switch op {
+	case "=", "<>", "!=", "<", "<=", ">", ">=":
+		return true
+	}
+	return false
+}
+
+func (p *parser) parseAdd() (Expr, error) {
+	left, err := p.parseMul()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.Kind == TokOp && (t.Text == "+" || t.Text == "-" || t.Text == "||") {
+			p.next()
+			right, err := p.parseMul()
+			if err != nil {
+				return nil, err
+			}
+			left = &BinaryExpr{Op: t.Text, Left: left, Right: right}
+			continue
+		}
+		return left, nil
+	}
+}
+
+func (p *parser) parseMul() (Expr, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.Kind == TokOp && (t.Text == "*" || t.Text == "/" || t.Text == "%") {
+			p.next()
+			right, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			left = &BinaryExpr{Op: t.Text, Left: left, Right: right}
+			continue
+		}
+		return left, nil
+	}
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	if t := p.peek(); t.Kind == TokOp && t.Text == "-" {
+		p.next()
+		e, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		// Fold negation into numeric literals for cleaner trees.
+		if lit, ok := e.(*Literal); ok {
+			switch lit.Kind {
+			case LitInt:
+				return IntLit(-lit.I), nil
+			case LitFloat:
+				return FloatLit(-lit.F), nil
+			}
+		}
+		return &UnaryExpr{Op: "-", Expr: e}, nil
+	}
+	if t := p.peek(); t.Kind == TokOp && t.Text == "+" {
+		p.next()
+		return p.parseUnary()
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.peek()
+	switch {
+	case t.Kind == TokNumber:
+		p.next()
+		if strings.ContainsAny(t.Text, ".eE") {
+			f, err := strconv.ParseFloat(t.Text, 64)
+			if err != nil {
+				return nil, p.errf("bad number %q", t.Text)
+			}
+			return FloatLit(f), nil
+		}
+		i, err := strconv.ParseInt(t.Text, 10, 64)
+		if err != nil {
+			// Overflowing integers fall back to float.
+			f, ferr := strconv.ParseFloat(t.Text, 64)
+			if ferr != nil {
+				return nil, p.errf("bad number %q", t.Text)
+			}
+			return FloatLit(f), nil
+		}
+		return IntLit(i), nil
+	case t.Kind == TokString:
+		p.next()
+		return StringLit(t.Text), nil
+	case t.Kind == TokKeyword && t.Text == "null":
+		p.next()
+		return &Literal{Kind: LitNull}, nil
+	case t.Kind == TokKeyword && t.Text == "true":
+		p.next()
+		return &Literal{Kind: LitBool, B: true}, nil
+	case t.Kind == TokKeyword && t.Text == "false":
+		p.next()
+		return &Literal{Kind: LitBool, B: false}, nil
+	case t.Kind == TokKeyword && t.Text == "date":
+		p.next()
+		st := p.peek()
+		if st.Kind != TokString {
+			return nil, p.errf("expected string after DATE")
+		}
+		p.next()
+		return &Literal{Kind: LitDate, S: st.Text}, nil
+	case t.Kind == TokKeyword && t.Text == "case":
+		return p.parseCase()
+	case t.Kind == TokOp && t.Text == "(":
+		p.next()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case t.Kind == TokIdent:
+		p.next()
+		// Function call?
+		if p.peek().Kind == TokOp && p.peek().Text == "(" {
+			return p.parseFuncCall(strings.ToLower(t.Text))
+		}
+		// Qualified column?
+		if p.acceptOp(".") {
+			ct := p.peek()
+			if ct.Kind != TokIdent && ct.Kind != TokKeyword {
+				return nil, p.errf("expected column name after %q.", t.Text)
+			}
+			p.next()
+			return &ColumnRef{Table: t.Text, Name: ct.Text}, nil
+		}
+		return &ColumnRef{Name: t.Text}, nil
+	}
+	return nil, p.errf("unexpected token %q", t)
+}
+
+func (p *parser) parseFuncCall(name string) (Expr, error) {
+	if err := p.expectOp("("); err != nil {
+		return nil, err
+	}
+	call := &FuncCall{Name: name}
+	if p.acceptOp("*") {
+		call.Star = true
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+		return call, nil
+	}
+	if p.acceptOp(")") {
+		return call, nil
+	}
+	if p.acceptKeyword("distinct") {
+		call.Distinct = true
+	}
+	for {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		call.Args = append(call.Args, e)
+		if !p.acceptOp(",") {
+			break
+		}
+	}
+	if err := p.expectOp(")"); err != nil {
+		return nil, err
+	}
+	return call, nil
+}
+
+func (p *parser) parseCase() (Expr, error) {
+	if err := p.expectKeyword("case"); err != nil {
+		return nil, err
+	}
+	c := &CaseExpr{}
+	if t := p.peek(); !(t.Kind == TokKeyword && (t.Text == "when" || t.Text == "end")) {
+		op, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		c.Operand = op
+	}
+	for p.acceptKeyword("when") {
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("then"); err != nil {
+			return nil, err
+		}
+		res, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		c.Whens = append(c.Whens, WhenClause{Cond: cond, Result: res})
+	}
+	if len(c.Whens) == 0 {
+		return nil, p.errf("CASE requires at least one WHEN")
+	}
+	if p.acceptKeyword("else") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		c.Else = e
+	}
+	if err := p.expectKeyword("end"); err != nil {
+		return nil, err
+	}
+	return c, nil
+}

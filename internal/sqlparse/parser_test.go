@@ -1,0 +1,267 @@
+package sqlparse
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLexBasics(t *testing.T) {
+	toks, err := Lex("SELECT a, sum(b) FROM t WHERE x >= 1.5e2 -- comment\nAND y <> 'it''s'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kinds []TokenKind
+	var texts []string
+	for _, tok := range toks {
+		kinds = append(kinds, tok.Kind)
+		texts = append(texts, tok.Text)
+	}
+	want := []string{"select", "a", ",", "sum", "(", "b", ")", "from", "t", "where", "x", ">=", "1.5e2", "and", "y", "<>", "it's", ""}
+	if len(texts) != len(want) {
+		t.Fatalf("got %d tokens %v, want %d", len(texts), texts, len(want))
+	}
+	for i, w := range want {
+		if texts[i] != w {
+			t.Errorf("token %d = %q, want %q", i, texts[i], w)
+		}
+	}
+	if kinds[len(kinds)-1] != TokEOF {
+		t.Error("missing EOF token")
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	if _, err := Lex("select 'unterminated"); err == nil {
+		t.Error("unterminated string accepted")
+	}
+	if _, err := Lex("select a # b"); err == nil {
+		t.Error("bad character accepted")
+	}
+}
+
+func TestParsePaperQueryQ1(t *testing.T) {
+	// Figure 2(a): the simplified TPC-D Query 1.
+	stmt, err := Parse(`select l_returnflag, l_linestatus, sum(l_quantity)
+		from lineitem
+		where l_shipdate <= '1998-09-01'
+		group by l_returnflag, l_linestatus;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stmt.Select) != 3 {
+		t.Fatalf("select list has %d items", len(stmt.Select))
+	}
+	if stmt.From[0].Name != "lineitem" {
+		t.Errorf("from = %q", stmt.From[0].Name)
+	}
+	if len(stmt.GroupBy) != 2 {
+		t.Errorf("group by has %d keys", len(stmt.GroupBy))
+	}
+	if !ContainsAggregate(stmt.Select[2].Expr) {
+		t.Error("sum not detected as aggregate")
+	}
+	if ContainsAggregate(stmt.Select[0].Expr) {
+		t.Error("plain column detected as aggregate")
+	}
+}
+
+func TestParseNestedIntegratedRewrite(t *testing.T) {
+	// Figure 11(b): nested group-by subquery in FROM.
+	stmt, err := Parse(`select A, B, sum(SQ*SF)
+		from (select A, B, SF, sum(Q) as SQ from SampRel group by A, B, SF)
+		group by A, B`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub := stmt.From[0].Subquery
+	if sub == nil {
+		t.Fatal("expected derived table")
+	}
+	if len(sub.GroupBy) != 3 {
+		t.Errorf("inner group by has %d keys", len(sub.GroupBy))
+	}
+	if sub.Select[3].Alias != "SQ" {
+		t.Errorf("inner alias = %q", sub.Select[3].Alias)
+	}
+}
+
+func TestParseNormalizedRewriteCommaJoin(t *testing.T) {
+	// Figure 9 shape: sample/aux join via comma list with qualified refs.
+	stmt, err := Parse(`select s.A, s.B, sum(s.Q * a.SF)
+		from SampRel s, AuxRel a
+		where s.A = a.A and s.B = a.B
+		group by s.A, s.B`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stmt.From) != 2 {
+		t.Fatalf("from list has %d refs", len(stmt.From))
+	}
+	if stmt.From[0].Alias != "s" || stmt.From[1].Alias != "a" {
+		t.Errorf("aliases %q %q", stmt.From[0].Alias, stmt.From[1].Alias)
+	}
+	cr, ok := stmt.Select[0].Expr.(*ColumnRef)
+	if !ok || cr.Table != "s" || cr.Name != "A" {
+		t.Errorf("qualified column parse: %#v", stmt.Select[0].Expr)
+	}
+}
+
+func TestParseExplicitJoin(t *testing.T) {
+	stmt, err := Parse(`select x from t1 join t2 on t1.id = t2.id where t1.v > 3`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stmt.Joins) != 1 {
+		t.Fatalf("joins = %d", len(stmt.Joins))
+	}
+	if stmt.Joins[0].Right.Name != "t2" {
+		t.Errorf("join right = %q", stmt.Joins[0].Right.Name)
+	}
+}
+
+func TestParseBetweenInIsNull(t *testing.T) {
+	stmt, err := Parse(`select * from t where a between 1 and 10 and b in (1,2,3) and c is not null and d not in ('x') and e not between 0 and 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := stmt.Where.String()
+	for _, frag := range []string{"BETWEEN 1 AND 10", "IN (1, 2, 3)", "IS NOT NULL", "NOT IN ('x')", "NOT BETWEEN 0 AND 1"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("where %q missing %q", s, frag)
+		}
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	stmt := MustParse("select 1+2*3, (1+2)*3, -4-5, 2*3+4 from t")
+	want := []string{"(1 + (2 * 3))", "((1 + 2) * 3)", "(-4 - 5)", "((2 * 3) + 4)"}
+	for i, w := range want {
+		if got := stmt.Select[i].Expr.String(); got != w {
+			t.Errorf("expr %d = %s, want %s", i, got, w)
+		}
+	}
+}
+
+func TestParseLogicPrecedence(t *testing.T) {
+	stmt := MustParse("select * from t where a = 1 or b = 2 and c = 3")
+	// AND binds tighter than OR.
+	be, ok := stmt.Where.(*BinaryExpr)
+	if !ok || be.Op != "or" {
+		t.Fatalf("top op = %v", stmt.Where)
+	}
+	if inner, ok := be.Right.(*BinaryExpr); !ok || inner.Op != "and" {
+		t.Fatalf("right = %v", be.Right)
+	}
+}
+
+func TestParseAggregates(t *testing.T) {
+	stmt := MustParse("select count(*), count(distinct a), avg(b), min(c), max(d), sum(e*f)/sum(f) from t")
+	c0 := stmt.Select[0].Expr.(*FuncCall)
+	if !c0.Star || c0.Name != "count" {
+		t.Errorf("count(*) parse: %+v", c0)
+	}
+	c1 := stmt.Select[1].Expr.(*FuncCall)
+	if !c1.Distinct {
+		t.Error("DISTINCT not captured")
+	}
+	if !ContainsAggregate(stmt.Select[5].Expr) {
+		t.Error("sum ratio not seen as aggregate")
+	}
+}
+
+func TestParseOrderLimitOffset(t *testing.T) {
+	stmt := MustParse("select a from t order by a desc, b limit 10 offset 5")
+	if len(stmt.OrderBy) != 2 || !stmt.OrderBy[0].Desc || stmt.OrderBy[1].Desc {
+		t.Errorf("order by parse: %+v", stmt.OrderBy)
+	}
+	if stmt.Limit != 10 || stmt.Offset != 5 {
+		t.Errorf("limit=%d offset=%d", stmt.Limit, stmt.Offset)
+	}
+}
+
+func TestParseCase(t *testing.T) {
+	stmt := MustParse("select case when a > 0 then 'pos' else 'neg' end, case a when 1 then 'one' end from t")
+	c := stmt.Select[0].Expr.(*CaseExpr)
+	if c.Operand != nil || len(c.Whens) != 1 || c.Else == nil {
+		t.Errorf("searched case parse: %+v", c)
+	}
+	c2 := stmt.Select[1].Expr.(*CaseExpr)
+	if c2.Operand == nil || c2.Else != nil {
+		t.Errorf("simple case parse: %+v", c2)
+	}
+}
+
+func TestParseDateLiteral(t *testing.T) {
+	stmt := MustParse("select * from t where d <= date '1998-09-01'")
+	if !strings.Contains(stmt.Where.String(), "DATE '1998-09-01'") {
+		t.Errorf("date literal lost: %s", stmt.Where)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"update t set a = 1",
+		"select",
+		"select a from",
+		"select a from t where",
+		"select a from t group",
+		"select a from t group by",
+		"select a b c from t",
+		"select (a from t",
+		"select a from t limit x",
+		"select case end from t",
+		"select f( from t",
+		"select a from t join u",
+		"select a from t extra garbage",
+	}
+	for _, q := range bad {
+		if _, err := Parse(q); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", q)
+		}
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParse on garbage did not panic")
+		}
+	}()
+	MustParse("not sql")
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	// Rendering a parsed statement and re-parsing it must yield the
+	// same rendering (fixed point).
+	queries := []string{
+		"select l_returnflag, sum(l_quantity) from lineitem where l_shipdate <= '1998-09-01' group by l_returnflag",
+		"select a, b, sum(sq*sf) from (select a, b, sf, sum(q) as sq from samprel group by a, b, sf) group by a, b",
+		"select s.a, sum(s.q*x.sf) from samprel s, auxrel x where s.gid = x.gid group by s.a",
+		"select count(*) from t having count(*) > 5 order by count(*) desc limit 3",
+		"select distinct a from t where b between 1 and 2 or c in (1,2) and d is null",
+		"select case when a=1 then 2 else 3 end from t",
+	}
+	for _, q := range queries {
+		s1 := MustParse(q).String()
+		s2 := MustParse(s1).String()
+		if s1 != s2 {
+			t.Errorf("round trip diverged:\n  first:  %s\n  second: %s", s1, s2)
+		}
+	}
+}
+
+func TestWalkVisitsAllNodes(t *testing.T) {
+	e := MustParse("select case a when 1 then f(b+c) end from t where x between g(1) and 2 and y in (3, 4) and z is null").Where
+	count := 0
+	Walk(e, func(Expr) bool { count++; return true })
+	if count < 12 {
+		t.Errorf("walk visited only %d nodes", count)
+	}
+	// Early termination.
+	count = 0
+	Walk(e, func(Expr) bool { count++; return false })
+	if count != 1 {
+		t.Errorf("walk with stop visited %d", count)
+	}
+}

@@ -1,0 +1,80 @@
+package sqlparse
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// TestParserNeverPanics feeds the parser random token soup and mutated
+// valid queries; it must return errors, never panic, and anything it
+// accepts must render and re-parse to a fixed point.
+func TestParserNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	vocab := []string{
+		"select", "from", "where", "group", "by", "order", "having",
+		"sum", "count", "avg", "min", "max", "between", "and", "or",
+		"not", "in", "is", "null", "case", "when", "then", "else", "end",
+		"(", ")", ",", "*", "+", "-", "/", "=", "<", ">", "<=", ">=", "<>",
+		"t", "a", "b", "c", "1", "2.5", "'x'", "date", "limit", "offset",
+		"distinct", "as", "join", "on", ".", ";",
+	}
+	for trial := 0; trial < 3000; trial++ {
+		n := 1 + rng.Intn(25)
+		parts := make([]string, n)
+		for i := range parts {
+			parts[i] = vocab[rng.Intn(len(vocab))]
+		}
+		q := strings.Join(parts, " ")
+		stmt, err := Parse(q)
+		if err != nil {
+			continue
+		}
+		// Accepted input must round-trip.
+		s1 := stmt.String()
+		stmt2, err := Parse(s1)
+		if err != nil {
+			t.Fatalf("accepted %q but re-parse of %q failed: %v", q, s1, err)
+		}
+		if s2 := stmt2.String(); s1 != s2 {
+			t.Fatalf("round trip diverged:\n  in:  %s\n  out: %s", s1, s2)
+		}
+	}
+}
+
+// TestParserMutationRobustness mutates a known-good query by deleting,
+// duplicating, and swapping tokens; no mutation may panic the parser.
+func TestParserMutationRobustness(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	base := "select l_returnflag , l_linestatus , sum ( l_quantity ) from lineitem where l_shipdate <= '1998-09-01' and l_id between 1 and 100 group by l_returnflag , l_linestatus order by 1 desc limit 10"
+	toks := strings.Fields(base)
+	for trial := 0; trial < 2000; trial++ {
+		mutated := append([]string(nil), toks...)
+		switch rng.Intn(3) {
+		case 0: // delete
+			i := rng.Intn(len(mutated))
+			mutated = append(mutated[:i], mutated[i+1:]...)
+		case 1: // duplicate
+			i := rng.Intn(len(mutated))
+			mutated = append(mutated[:i+1], mutated[i:]...)
+		default: // swap
+			i, j := rng.Intn(len(mutated)), rng.Intn(len(mutated))
+			mutated[i], mutated[j] = mutated[j], mutated[i]
+		}
+		// Parse must not panic; errors are fine.
+		_, _ = Parse(strings.Join(mutated, " "))
+	}
+}
+
+// TestLexerNeverPanics drives the lexer over random byte strings.
+func TestLexerNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 3000; trial++ {
+		n := rng.Intn(40)
+		b := make([]byte, n)
+		for i := range b {
+			b[i] = byte(rng.Intn(128))
+		}
+		_, _ = Lex(string(b))
+	}
+}

@@ -1,0 +1,173 @@
+// Package sqlparse provides the lexer, AST, and recursive-descent parser
+// for the SQL dialect used throughout the reproduction: the subset of
+// SQL-92 needed to express the paper's TPC-D-derived queries (Table 2)
+// and all four rewritten-query shapes of Section 5, including nested
+// group-by subqueries in FROM and multi-table comma joins.
+package sqlparse
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// TokenKind classifies lexical tokens.
+type TokenKind uint8
+
+// Token kinds.
+const (
+	TokEOF TokenKind = iota
+	TokIdent
+	TokKeyword
+	TokNumber
+	TokString
+	TokOp    // operators and punctuation
+	TokParam // ? positional parameter
+)
+
+// Token is one lexical token with its source position (byte offset).
+type Token struct {
+	Kind TokenKind
+	Text string // keywords are lower-cased; identifiers keep original case
+	Pos  int
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case TokEOF:
+		return "<eof>"
+	case TokString:
+		return fmt.Sprintf("'%s'", t.Text)
+	default:
+		return t.Text
+	}
+}
+
+var keywords = map[string]bool{
+	"select": true, "from": true, "where": true, "group": true, "by": true,
+	"having": true, "order": true, "asc": true, "desc": true, "limit": true,
+	"as": true, "and": true, "or": true, "not": true, "between": true,
+	"in": true, "is": true, "null": true, "distinct": true, "all": true,
+	"join": true, "inner": true, "on": true, "true": true, "false": true,
+	"case": true, "when": true, "then": true, "else": true, "end": true,
+	"like": true, "date": true, "offset": true,
+}
+
+// Lex splits input into tokens. It returns an error with byte position
+// on any character it cannot tokenize.
+func Lex(input string) ([]Token, error) {
+	var toks []Token
+	i := 0
+	n := len(input)
+	for i < n {
+		c := input[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '-' && i+1 < n && input[i+1] == '-':
+			// line comment
+			for i < n && input[i] != '\n' {
+				i++
+			}
+		case isIdentStart(c):
+			start := i
+			for i < n && isIdentPart(input[i]) {
+				i++
+			}
+			word := input[start:i]
+			lower := strings.ToLower(word)
+			if keywords[lower] {
+				toks = append(toks, Token{Kind: TokKeyword, Text: lower, Pos: start})
+			} else {
+				toks = append(toks, Token{Kind: TokIdent, Text: word, Pos: start})
+			}
+		case c >= '0' && c <= '9' || c == '.' && i+1 < n && input[i+1] >= '0' && input[i+1] <= '9':
+			start := i
+			seenDot := false
+			seenExp := false
+			for i < n {
+				d := input[i]
+				if d >= '0' && d <= '9' {
+					i++
+					continue
+				}
+				if d == '.' && !seenDot && !seenExp {
+					seenDot = true
+					i++
+					continue
+				}
+				if (d == 'e' || d == 'E') && !seenExp && i+1 < n && (isDigit(input[i+1]) || ((input[i+1] == '+' || input[i+1] == '-') && i+2 < n && isDigit(input[i+2]))) {
+					seenExp = true
+					i++
+					if input[i] == '+' || input[i] == '-' {
+						i++
+					}
+					continue
+				}
+				break
+			}
+			toks = append(toks, Token{Kind: TokNumber, Text: input[start:i], Pos: start})
+		case c == '\'':
+			start := i
+			i++
+			var sb strings.Builder
+			closed := false
+			for i < n {
+				if input[i] == '\'' {
+					if i+1 < n && input[i+1] == '\'' { // escaped quote
+						sb.WriteByte('\'')
+						i += 2
+						continue
+					}
+					i++
+					closed = true
+					break
+				}
+				sb.WriteByte(input[i])
+				i++
+			}
+			if !closed {
+				return nil, fmt.Errorf("sqlparse: unterminated string literal at byte %d", start)
+			}
+			toks = append(toks, Token{Kind: TokString, Text: sb.String(), Pos: start})
+		case c == '?':
+			toks = append(toks, Token{Kind: TokParam, Text: "?", Pos: i})
+			i++
+		default:
+			start := i
+			op, ok := lexOp(input[i:])
+			if !ok {
+				return nil, fmt.Errorf("sqlparse: unexpected character %q at byte %d", rune(c), i)
+			}
+			i += len(op)
+			toks = append(toks, Token{Kind: TokOp, Text: op, Pos: start})
+		}
+	}
+	toks = append(toks, Token{Kind: TokEOF, Pos: n})
+	return toks, nil
+}
+
+// lexOp matches the longest operator prefix.
+func lexOp(s string) (string, bool) {
+	twoChar := []string{"<=", ">=", "<>", "!=", "||"}
+	for _, op := range twoChar {
+		if strings.HasPrefix(s, op) {
+			return op, true
+		}
+	}
+	switch s[0] {
+	case '+', '-', '*', '/', '%', '=', '<', '>', '(', ')', ',', '.', ';':
+		return s[:1], true
+	}
+	return "", false
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= 0x80 && unicode.IsLetter(rune(c))
+}
+
+func isIdentPart(c byte) bool {
+	return isIdentStart(c) || c >= '0' && c <= '9' || c == '$'
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }

@@ -1,0 +1,266 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"github.com/approxdb/congress/internal/core"
+	"github.com/approxdb/congress/internal/engine"
+	"github.com/approxdb/congress/internal/metrics"
+	"github.com/approxdb/congress/internal/rewrite"
+	"github.com/approxdb/congress/internal/sqlparse"
+)
+
+// AccuracyRow is one bar of Figures 14-16: a strategy's error on one
+// query class.
+type AccuracyRow struct {
+	Strategy core.Strategy
+	MeanPct  float64 // L1 error (the figures' primary metric)
+	MaxPct   float64 // L∞ error (the paper reports relative order matches)
+	Missing  int     // groups absent from the approximate answer
+}
+
+// queryError runs the query exactly and approximately on one testbed
+// strategy and returns the group-error metrics. groupCols is the number
+// of leading grouping columns; aggCol indexes the compared aggregate.
+func (tb *Testbed) queryError(strat core.Strategy, query string, groupCols, aggCol int) (*metrics.GroupErrors, error) {
+	a := tb.ByStrategy[strat]
+	if a == nil {
+		return nil, fmt.Errorf("workload: testbed has no synopsis for %v", strat)
+	}
+	exact, err := a.Exact(query)
+	if err != nil {
+		return nil, err
+	}
+	approx, err := a.Answer(query)
+	if err != nil {
+		return nil, err
+	}
+	return metrics.CompareAnswers(exact, approx, groupCols, aggCol)
+}
+
+// GroupByAccuracy measures each strategy's error on a group-by query
+// (Figures 15 and 16; error is the mean percentage error over groups).
+func (tb *Testbed) GroupByAccuracy(query string, groupCols, aggCol int) ([]AccuracyRow, error) {
+	var out []AccuracyRow
+	for _, strat := range core.Strategies {
+		if _, ok := tb.ByStrategy[strat]; !ok {
+			continue
+		}
+		ge, err := tb.queryError(strat, query, groupCols, aggCol)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, AccuracyRow{
+			Strategy: strat,
+			MeanPct:  finiteOr(ge.L1(), 100),
+			MaxPct:   finiteOr(ge.LInf(), 100),
+			Missing:  ge.MissingGroups,
+		})
+	}
+	return out, nil
+}
+
+// Qg0Accuracy measures each strategy's mean error over the Q_g0 query
+// set (Figure 14; error is the mean percentage error over queries).
+func (tb *Testbed) Qg0Accuracy() ([]AccuracyRow, error) {
+	rng := rand.New(rand.NewSource(tb.Params.Seed + 1000))
+	queries := Qg0Set(tb.Params, rng)
+	var out []AccuracyRow
+	for _, strat := range core.Strategies {
+		a, ok := tb.ByStrategy[strat]
+		if !ok {
+			continue
+		}
+		var sum, worst float64
+		for _, q := range queries {
+			exact, err := a.Exact(q)
+			if err != nil {
+				return nil, err
+			}
+			approx, err := a.Answer(q)
+			if err != nil {
+				return nil, err
+			}
+			ev, _ := exact.Rows[0][0].AsFloat()
+			av, ok := approx.Rows[0][0].AsFloat()
+			if !ok {
+				av = 0 // empty sample selection estimates zero
+			}
+			e := finiteOr(metrics.RelativeErrorPct(ev, av), 100)
+			sum += e
+			if e > worst {
+				worst = e
+			}
+		}
+		out = append(out, AccuracyRow{
+			Strategy: strat,
+			MeanPct:  sum / float64(len(queries)),
+			MaxPct:   worst,
+		})
+	}
+	return out, nil
+}
+
+func finiteOr(v, fallback float64) float64 {
+	if math.IsInf(v, 0) || math.IsNaN(v) {
+		return fallback
+	}
+	return v
+}
+
+// Experiment1 regenerates Figures 14, 15, and 16: strategy accuracy on
+// Q_g0, Q_g3, and Q_g2 at the given parameters (the paper fixes SP=7%
+// and discusses z=1.5).
+func Experiment1(p Params) (qg0, qg3, qg2 []AccuracyRow, err error) {
+	tb, err := NewTestbed(p, core.Strategies)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if qg0, err = tb.Qg0Accuracy(); err != nil {
+		return nil, nil, nil, err
+	}
+	if qg3, err = tb.GroupByAccuracy(Qg3, 3, 3); err != nil {
+		return nil, nil, nil, err
+	}
+	if qg2, err = tb.GroupByAccuracy(Qg2, 2, 2); err != nil {
+		return nil, nil, nil, err
+	}
+	return qg0, qg3, qg2, nil
+}
+
+// SizeSweepPoint is one x-position of Figure 17.
+type SizeSweepPoint struct {
+	SamplePct float64
+	Rows      []AccuracyRow
+}
+
+// Experiment2 regenerates Figure 17: Q_g2 accuracy as the sample size
+// grows, at fixed skew (the paper fixes z = 0.86).
+func Experiment2(p Params, samplePcts []float64) ([]SizeSweepPoint, error) {
+	p = p.withDefaults()
+	var out []SizeSweepPoint
+	for _, sp := range samplePcts {
+		pp := p
+		pp.SamplePct = sp
+		tb, err := NewTestbed(pp, core.Strategies)
+		if err != nil {
+			return nil, err
+		}
+		rows, err := tb.GroupByAccuracy(Qg2, 2, 2)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, SizeSweepPoint{SamplePct: sp, Rows: rows})
+	}
+	return out, nil
+}
+
+// RewriteTiming is one cell of Table 3 / one curve point of Figure 18.
+type RewriteTiming struct {
+	Strategy rewrite.Strategy
+	Elapsed  time.Duration
+}
+
+// TimingPoint is one parameter setting's timing results, including the
+// exact (full-table) query time the paper reports as the baseline.
+type TimingPoint struct {
+	SamplePct float64
+	NumGroups int
+	Exact     time.Duration
+	Rewrites  []RewriteTiming
+}
+
+// timeQuery executes the statement five times and reports the mean of
+// the last four runs, as Section 7.3 does to mitigate startup effects.
+func timeQuery(cat *engine.Catalog, stmt *sqlparse.SelectStmt) (time.Duration, error) {
+	var total time.Duration
+	for run := 0; run < 5; run++ {
+		start := time.Now()
+		if _, err := engine.Execute(cat, stmt); err != nil {
+			return 0, err
+		}
+		if run > 0 {
+			total += time.Since(start)
+		}
+	}
+	return total / 4, nil
+}
+
+// RewritePerformance measures each rewrite strategy's Q_g2 execution
+// time on one testbed (one Congress synopsis), plus the exact time.
+func (tb *Testbed) RewritePerformance() (*TimingPoint, error) {
+	a, ok := tb.ByStrategy[core.Congress]
+	if !ok {
+		return nil, fmt.Errorf("workload: rewrite experiments need a Congress synopsis")
+	}
+	point := &TimingPoint{SamplePct: tb.Params.SamplePct, NumGroups: tb.Params.NumGroups}
+
+	exactStmt := sqlparse.MustParse(Qg2)
+	var err error
+	if point.Exact, err = timeQuery(a.Catalog(), exactStmt); err != nil {
+		return nil, err
+	}
+	// Pre-parse each rewritten query so the timing loop measures pure
+	// execution, as the paper's Oracle runs did.
+	for _, strat := range rewrite.Strategies {
+		sqlText, err := a.RewriteOnly(Qg2, strat)
+		if err != nil {
+			return nil, err
+		}
+		stmt, err := sqlparse.Parse(sqlText)
+		if err != nil {
+			return nil, err
+		}
+		d, err := timeQuery(a.Catalog(), stmt)
+		if err != nil {
+			return nil, err
+		}
+		point.Rewrites = append(point.Rewrites, RewriteTiming{Strategy: strat, Elapsed: d})
+	}
+	return point, nil
+}
+
+// Experiment3 regenerates Table 3: rewrite strategy times across sample
+// percentages at NG=1000.
+func Experiment3(p Params, samplePcts []float64) ([]*TimingPoint, error) {
+	p = p.withDefaults()
+	var out []*TimingPoint
+	for _, sp := range samplePcts {
+		pp := p
+		pp.SamplePct = sp
+		tb, err := NewTestbed(pp, []core.Strategy{core.Congress})
+		if err != nil {
+			return nil, err
+		}
+		point, err := tb.RewritePerformance()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, point)
+	}
+	return out, nil
+}
+
+// Experiment4 regenerates Figure 18: rewrite strategy times across
+// group counts at SP=7%.
+func Experiment4(p Params, groupCounts []int) ([]*TimingPoint, error) {
+	p = p.withDefaults()
+	var out []*TimingPoint
+	for _, ng := range groupCounts {
+		pp := p
+		pp.NumGroups = ng
+		tb, err := NewTestbed(pp, []core.Strategy{core.Congress})
+		if err != nil {
+			return nil, err
+		}
+		point, err := tb.RewritePerformance()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, point)
+	}
+	return out, nil
+}

@@ -1,0 +1,130 @@
+package workload
+
+import (
+	"fmt"
+
+	"github.com/approxdb/congress/internal/aqua"
+	"github.com/approxdb/congress/internal/core"
+	"github.com/approxdb/congress/internal/engine"
+	"github.com/approxdb/congress/internal/metrics"
+	"github.com/approxdb/congress/internal/tpcd"
+)
+
+// MaintenanceRow is one phase of the drift experiment: the Q_g2 error
+// of a stale (never-maintained) synopsis versus incrementally maintained
+// ones, after a batch of inserts shifted the data distribution.
+type MaintenanceRow struct {
+	Phase        int
+	InsertedRows int
+	StaleErr     float64 // synopsis built once, never updated
+	Eq8Err       float64 // Congress maintained via Eq. 8 decay
+	DeltaErr     float64 // Congress maintained via reservoir+delta
+}
+
+// MaintenanceExperiment quantifies the Section 6 claim that maintenance
+// "ensures that queries continue to be answered well even as the new
+// data changes the database significantly": it builds one synopsis,
+// then streams several insert batches with a *different* group-size
+// skew (drift), comparing a never-refreshed synopsis against the two
+// maintained Congress variants at each phase.
+func MaintenanceExperiment(p Params, phases int) ([]MaintenanceRow, error) {
+	p = p.withDefaults()
+	if phases < 1 {
+		return nil, fmt.Errorf("workload: need at least one phase")
+	}
+
+	base, err := tpcd.Generate(tpcd.Params{
+		TableSize: p.TableSize,
+		NumGroups: p.NumGroups,
+		GroupSkew: p.Skew,
+		Seed:      p.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Three independent middleware instances sharing one base relation.
+	newAqua := func(delta bool) (*aqua.Aqua, *aqua.Synopsis, error) {
+		cat := engine.NewCatalog()
+		cat.Register(base)
+		a := aqua.New(cat)
+		s, err := a.CreateSynopsis(aqua.Config{
+			Table:            "lineitem",
+			GroupCols:        tpcd.GroupingAttrs,
+			Strategy:         core.Congress,
+			Space:            p.SampleSize(),
+			DeltaMaintenance: delta,
+			Seed:             p.Seed + 7,
+		})
+		return a, s, err
+	}
+	staleAqua, _, err := newAqua(false)
+	if err != nil {
+		return nil, err
+	}
+	eq8Aqua, eq8Syn, err := newAqua(false)
+	if err != nil {
+		return nil, err
+	}
+	deltaAqua, deltaSyn, err := newAqua(true)
+	if err != nil {
+		return nil, err
+	}
+
+	// Drift stream: new data arrives with inverted skew assignment (a
+	// different seed reshuffles which groups are large).
+	batch := p.TableSize / 2
+	rows := make([]MaintenanceRow, 0, phases)
+	for phase := 1; phase <= phases; phase++ {
+		drift, err := tpcd.Generate(tpcd.Params{
+			TableSize: batch,
+			NumGroups: p.NumGroups,
+			GroupSkew: 1.5,
+			Seed:      p.Seed + int64(phase)*101,
+		})
+		if err != nil {
+			return nil, err
+		}
+		for _, row := range drift.Rows() {
+			base.Insert(row)
+			eq8Syn.Insert(row)
+			deltaSyn.Insert(row)
+			// The stale synopsis sees nothing.
+		}
+		if err := eq8Aqua.Refresh("lineitem"); err != nil {
+			return nil, err
+		}
+		if err := deltaAqua.Refresh("lineitem"); err != nil {
+			return nil, err
+		}
+
+		row := MaintenanceRow{Phase: phase, InsertedRows: phase * batch}
+		if row.StaleErr, err = qg2Error(staleAqua); err != nil {
+			return nil, err
+		}
+		if row.Eq8Err, err = qg2Error(eq8Aqua); err != nil {
+			return nil, err
+		}
+		if row.DeltaErr, err = qg2Error(deltaAqua); err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+func qg2Error(a *aqua.Aqua) (float64, error) {
+	exact, err := a.Exact(Qg2)
+	if err != nil {
+		return 0, err
+	}
+	approx, err := a.Answer(Qg2)
+	if err != nil {
+		return 0, err
+	}
+	ge, err := metrics.CompareAnswers(exact, approx, 2, 2)
+	if err != nil {
+		return 0, err
+	}
+	return finiteOr(ge.L1(), 100), nil
+}

@@ -1,0 +1,42 @@
+package workload
+
+import (
+	"github.com/approxdb/congress/internal/core"
+)
+
+// SkewSweepPoint is one x-position of the skew-sensitivity sweep: each
+// strategy's Q_g3 error at one group-size Zipf parameter.
+type SkewSweepPoint struct {
+	Skew float64
+	Rows []AccuracyRow
+}
+
+// ExperimentZ sweeps the group-size skew z across the Table 1 range,
+// measuring Q_g3 (finest grouping) accuracy per strategy. The paper's
+// Section 7.2.1 observation anchors the left end — at z=0 all four
+// strategies produce the same (uniform) allocation and hence the same
+// error — and the divergence grows with skew, with House degrading
+// fastest.
+func ExperimentZ(p Params, skews []float64) ([]SkewSweepPoint, error) {
+	p = p.withDefaults()
+	var out []SkewSweepPoint
+	for _, z := range skews {
+		pp := p
+		pp.Skew = z
+		if z == 0 {
+			// Zero is the zero-value sentinel in Params; an epsilon
+			// skew is numerically indistinguishable from uniform.
+			pp.Skew = 1e-9
+		}
+		tb, err := NewTestbed(pp, core.Strategies)
+		if err != nil {
+			return nil, err
+		}
+		rows, err := tb.GroupByAccuracy(Qg3, 3, 3)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, SkewSweepPoint{Skew: z, Rows: rows})
+	}
+	return out, nil
+}

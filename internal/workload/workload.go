@@ -1,0 +1,154 @@
+// Package workload defines the Section 7 experimental testbed: the
+// Table 1 parameter space, the Table 2 query classes (Q_g0, Q_g2,
+// Q_g3), and runners that regenerate every accuracy figure (14-17) and
+// performance table/figure (Table 3, Figure 18) of the paper.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/approxdb/congress/internal/aqua"
+	"github.com/approxdb/congress/internal/core"
+	"github.com/approxdb/congress/internal/engine"
+	"github.com/approxdb/congress/internal/tpcd"
+)
+
+// Params is the experiment parameter space of Table 1.
+type Params struct {
+	// TableSize is T (paper: 100K-6M, default 1M).
+	TableSize int
+	// SamplePct is SP, the sample size as a percentage of T
+	// (paper: 1-75, default 7).
+	SamplePct float64
+	// NumGroups is NG (paper: 10-200K, default 1000).
+	NumGroups int
+	// Skew is the group-size Zipf z (paper: 0-1.5, default 0.86).
+	Skew float64
+	// Qg0Queries is the number of random-range no-group-by queries in
+	// the Q_g0 set (paper: 20).
+	Qg0Queries int
+	// Seed drives data generation and sampling.
+	Seed int64
+}
+
+// DefaultParams mirrors the default column of Table 1.
+var DefaultParams = Params{
+	TableSize:  1_000_000,
+	SamplePct:  7,
+	NumGroups:  1000,
+	Skew:       0.86,
+	Qg0Queries: 20,
+	Seed:       1,
+}
+
+// withDefaults fills zero fields from DefaultParams.
+func (p Params) withDefaults() Params {
+	d := DefaultParams
+	if p.TableSize != 0 {
+		d.TableSize = p.TableSize
+	}
+	if p.SamplePct != 0 {
+		d.SamplePct = p.SamplePct
+	}
+	if p.NumGroups != 0 {
+		d.NumGroups = p.NumGroups
+	}
+	if p.Skew != 0 {
+		d.Skew = p.Skew
+	}
+	if p.Qg0Queries != 0 {
+		d.Qg0Queries = p.Qg0Queries
+	}
+	if p.Seed != 0 {
+		d.Seed = p.Seed
+	}
+	return d
+}
+
+// SampleSize converts SP to a tuple budget.
+func (p Params) SampleSize() int {
+	n := int(float64(p.TableSize) * p.SamplePct / 100)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// The Table 2 query texts.
+const (
+	// Qg2 groups on two attributes (derived from TPC-D Query 3).
+	Qg2 = `select l_returnflag, l_linestatus, sum(l_quantity), sum(l_extendedprice)
+from lineitem
+group by l_returnflag, l_linestatus`
+	// Qg3 groups at the finest granularity.
+	Qg3 = `select l_returnflag, l_linestatus, l_shipdate, sum(l_quantity)
+from lineitem
+group by l_returnflag, l_linestatus, l_shipdate`
+)
+
+// Qg0 builds one no-group-by range query: SELECT sum(l_quantity) FROM
+// lineitem WHERE s <= l_id AND l_id <= s+c.
+func Qg0(s, c int64) string {
+	return fmt.Sprintf("select sum(l_quantity) from lineitem where %d <= l_id and l_id <= %d", s, s+c)
+}
+
+// Qg0Set draws the paper's query set: n queries with s uniform in
+// [0, 0.95·T] and range width c = selectivity·T (the paper fixes c at
+// 70K on a 1M table, i.e. 7%%).
+func Qg0Set(p Params, rng *rand.Rand) []string {
+	c := int64(float64(p.TableSize) * 0.07)
+	if c < 1 {
+		c = 1
+	}
+	out := make([]string, p.Qg0Queries)
+	for i := range out {
+		s := int64(rng.Float64() * 0.95 * float64(p.TableSize))
+		out[i] = Qg0(s, c)
+	}
+	return out
+}
+
+// Testbed bundles a generated lineitem relation with one Aqua instance
+// (and synopsis) per allocation strategy, all sharing the same base
+// data. Building the data dominates setup cost, so the testbed is built
+// once per experiment and reused across strategies.
+type Testbed struct {
+	Params Params
+	Rel    *engine.Relation
+	// ByStrategy maps each allocation strategy to an Aqua middleware
+	// whose catalog holds the shared base relation plus that strategy's
+	// synopsis relations.
+	ByStrategy map[core.Strategy]*aqua.Aqua
+}
+
+// NewTestbed generates the data and builds one synopsis per strategy.
+func NewTestbed(p Params, strategies []core.Strategy) (*Testbed, error) {
+	p = p.withDefaults()
+	rel, err := tpcd.Generate(tpcd.Params{
+		TableSize: p.TableSize,
+		NumGroups: p.NumGroups,
+		GroupSkew: p.Skew,
+		Seed:      p.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	tb := &Testbed{Params: p, Rel: rel, ByStrategy: make(map[core.Strategy]*aqua.Aqua)}
+	for _, strat := range strategies {
+		cat := engine.NewCatalog()
+		cat.Register(rel)
+		a := aqua.New(cat)
+		if _, err := a.CreateSynopsis(aqua.Config{
+			Table:     "lineitem",
+			GroupCols: tpcd.GroupingAttrs,
+			Strategy:  strat,
+			Space:     p.SampleSize(),
+			Seed:      p.Seed + int64(strat) + 17,
+		}); err != nil {
+			return nil, fmt.Errorf("workload: synopsis for %v: %w", strat, err)
+		}
+		tb.ByStrategy[strat] = a
+	}
+	return tb, nil
+}

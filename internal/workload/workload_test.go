@@ -1,0 +1,231 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"github.com/approxdb/congress/internal/core"
+)
+
+// smallParams keeps experiment tests fast while preserving the paper's
+// shapes: heavy skew so House suffers on small groups.
+var smallParams = Params{
+	TableSize:  30000,
+	SamplePct:  7,
+	NumGroups:  27,
+	Skew:       1.5,
+	Qg0Queries: 10,
+	Seed:       7,
+}
+
+func TestParamsDefaults(t *testing.T) {
+	p := Params{}.withDefaults()
+	if p.TableSize != 1_000_000 || p.SamplePct != 7 || p.NumGroups != 1000 || p.Qg0Queries != 20 {
+		t.Errorf("defaults %+v", p)
+	}
+	if got := (Params{TableSize: 1000, SamplePct: 10}).SampleSize(); got != 100 {
+		t.Errorf("sample size %d", got)
+	}
+	if got := (Params{TableSize: 10, SamplePct: 0.5}).SampleSize(); got != 1 {
+		t.Errorf("tiny sample size %d, want clamp to 1", got)
+	}
+}
+
+func TestQg0Set(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	qs := Qg0Set(smallParams, rng)
+	if len(qs) != 10 {
+		t.Fatalf("%d queries", len(qs))
+	}
+	for _, q := range qs {
+		if !strings.Contains(q, "l_id") || !strings.Contains(q, "sum(l_quantity)") {
+			t.Errorf("bad Qg0 %q", q)
+		}
+	}
+}
+
+func TestNewTestbed(t *testing.T) {
+	tb, err := NewTestbed(smallParams, core.Strategies)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.ByStrategy) != 4 {
+		t.Fatalf("strategies %d", len(tb.ByStrategy))
+	}
+	if tb.Rel.NumRows() != smallParams.TableSize {
+		t.Fatalf("rows %d", tb.Rel.NumRows())
+	}
+}
+
+// TestExperiment1Shapes checks the headline claims of Section 7.2.1 on
+// a scaled-down testbed: Senate loses to House on Q_g0; House loses to
+// Senate on Q_g3; Congress is competitive everywhere (within a factor
+// of the best, never the worst by a wide margin).
+func TestExperiment1Shapes(t *testing.T) {
+	qg0, qg3, qg2, err := Experiment1(smallParams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(rows []AccuracyRow, s core.Strategy) AccuracyRow {
+		for _, r := range rows {
+			if r.Strategy == s {
+				return r
+			}
+		}
+		t.Fatalf("strategy %v missing", s)
+		return AccuracyRow{}
+	}
+
+	// Figure 14: Senate worst on Q_g0.
+	if h, s := get(qg0, core.House).MeanPct, get(qg0, core.Senate).MeanPct; s <= h {
+		t.Errorf("Qg0: senate %.2f%% should exceed house %.2f%%", s, h)
+	}
+	// Figure 15: House worst on Q_g3, Senate best.
+	if h, s := get(qg3, core.House).MeanPct, get(qg3, core.Senate).MeanPct; h <= s {
+		t.Errorf("Qg3: house %.2f%% should exceed senate %.2f%%", h, s)
+	}
+	// Congress within 2.5x of the best everywhere (the paper's
+	// "consistently best or close to best").
+	for name, rows := range map[string][]AccuracyRow{"qg0": qg0, "qg3": qg3, "qg2": qg2} {
+		best := rows[0].MeanPct
+		for _, r := range rows {
+			if r.MeanPct < best {
+				best = r.MeanPct
+			}
+		}
+		c := get(rows, core.Congress).MeanPct
+		if c > best*2.5+1 {
+			t.Errorf("%s: congress %.2f%% vs best %.2f%% — not competitive", name, c, best)
+		}
+	}
+	// No strategy may drop groups on the group-by queries (user
+	// requirement 1).
+	for _, r := range append(append([]AccuracyRow{}, qg3...), qg2...) {
+		if r.Strategy != core.House && r.Missing != 0 {
+			t.Errorf("%v missing %d groups", r.Strategy, r.Missing)
+		}
+	}
+}
+
+// TestExperiment2ErrorsShrink checks Figure 17's shape: Congress error
+// drops (weakly) as the sample grows.
+func TestExperiment2ErrorsShrink(t *testing.T) {
+	points, err := Experiment2(smallParams, []float64{2, 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("points %d", len(points))
+	}
+	congress := func(p SizeSweepPoint) float64 {
+		for _, r := range p.Rows {
+			if r.Strategy == core.Congress {
+				return r.MeanPct
+			}
+		}
+		t.Fatal("congress row missing")
+		return 0
+	}
+	lo, hi := congress(points[0]), congress(points[1])
+	if hi >= lo {
+		t.Errorf("congress error did not drop with sample size: 2%%->%.2f%%, 20%%->%.2f%%", lo, hi)
+	}
+}
+
+// TestExperimentZShape checks the skew sweep's anchors: at z=0 the four
+// strategies' errors are within noise of each other (identical
+// allocations), and at z=1.5 House is far worse than Senate.
+func TestExperimentZShape(t *testing.T) {
+	p := smallParams
+	p.TableSize = 20000
+	points, err := ExperimentZ(p, []float64{0, 1.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(rows []AccuracyRow, s core.Strategy) float64 {
+		for _, r := range rows {
+			if r.Strategy == s {
+				return r.MeanPct
+			}
+		}
+		t.Fatal("missing strategy")
+		return 0
+	}
+	flat := points[0].Rows
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, r := range flat {
+		lo = math.Min(lo, r.MeanPct)
+		hi = math.Max(hi, r.MeanPct)
+	}
+	if hi > 2*lo+5 {
+		t.Errorf("z=0 errors should be close: spread %.2f%%..%.2f%%", lo, hi)
+	}
+	// At this small scale (27 large-ish groups) the gap is moderate;
+	// require a clear ordering rather than the paper-scale blowout.
+	skewed := points[1].Rows
+	if get(skewed, core.House) < 1.3*get(skewed, core.Senate) {
+		t.Errorf("z=1.5: house %.2f%% should clearly exceed senate %.2f%%",
+			get(skewed, core.House), get(skewed, core.Senate))
+	}
+}
+
+// TestMaintenanceExperiment checks the drift experiment's headline: the
+// stale synopsis degrades while the maintained ones stay materially
+// better.
+func TestMaintenanceExperiment(t *testing.T) {
+	p := smallParams
+	p.TableSize = 12000
+	rows, err := MaintenanceExperiment(p, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows %d", len(rows))
+	}
+	last := rows[len(rows)-1]
+	if last.InsertedRows != 12000 {
+		t.Errorf("inserted %d", last.InsertedRows)
+	}
+	if last.StaleErr <= last.Eq8Err || last.StaleErr <= last.DeltaErr {
+		t.Errorf("maintenance did not help: stale %.2f%%, eq8 %.2f%%, delta %.2f%%",
+			last.StaleErr, last.Eq8Err, last.DeltaErr)
+	}
+	if _, err := MaintenanceExperiment(p, 0); err == nil {
+		t.Error("zero phases accepted")
+	}
+}
+
+// TestExperiment3And4Timings checks Table 3 / Figure 18 mechanics: all
+// four strategies produce positive timings and all are faster than the
+// exact query at small sample fractions.
+func TestExperiment3And4Timings(t *testing.T) {
+	points, err := Experiment3(smallParams, []float64{5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := points[0]
+	if p.Exact <= 0 {
+		t.Fatal("exact timing missing")
+	}
+	if len(p.Rewrites) != 4 {
+		t.Fatalf("rewrites %d", len(p.Rewrites))
+	}
+	for _, rt := range p.Rewrites {
+		if rt.Elapsed <= 0 {
+			t.Errorf("%v elapsed %v", rt.Strategy, rt.Elapsed)
+		}
+		if rt.Elapsed > p.Exact {
+			t.Errorf("%v slower than exact: %v vs %v", rt.Strategy, rt.Elapsed, p.Exact)
+		}
+	}
+
+	points4, err := Experiment4(smallParams, []int{8, 27})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points4) != 2 || points4[0].NumGroups != 8 {
+		t.Fatalf("experiment 4 points %+v", points4)
+	}
+}

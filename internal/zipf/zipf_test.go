@@ -1,0 +1,174 @@
+package zipf
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, 1.0); err == nil {
+		t.Error("expected error for n=0")
+	}
+	if _, err := New(-3, 1.0); err == nil {
+		t.Error("expected error for negative n")
+	}
+	if _, err := New(10, -0.1); err == nil {
+		t.Error("expected error for negative z")
+	}
+	if _, err := New(1, 0); err != nil {
+		t.Errorf("n=1,z=0 should be valid: %v", err)
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustNew(0, 1) did not panic")
+		}
+	}()
+	MustNew(0, 1)
+}
+
+func TestProbabilitiesSumToOne(t *testing.T) {
+	for _, z := range []float64{0, 0.5, 0.86, 1.0, 1.5} {
+		d := MustNew(1000, z)
+		var sum float64
+		for i := 0; i < d.N(); i++ {
+			sum += d.Prob(i)
+		}
+		if math.Abs(sum-1.0) > 1e-9 {
+			t.Errorf("z=%v: probabilities sum to %v, want 1", z, sum)
+		}
+	}
+}
+
+func TestZeroSkewIsUniform(t *testing.T) {
+	d := MustNew(50, 0)
+	want := 1.0 / 50.0
+	for i := 0; i < 50; i++ {
+		if math.Abs(d.Prob(i)-want) > 1e-12 {
+			t.Fatalf("rank %d has prob %v, want uniform %v", i, d.Prob(i), want)
+		}
+	}
+}
+
+func TestProbabilitiesMonotoneNonIncreasing(t *testing.T) {
+	d := MustNew(200, 1.5)
+	for i := 1; i < d.N(); i++ {
+		if d.Prob(i) > d.Prob(i-1) {
+			t.Fatalf("prob increased from rank %d to %d", i-1, i)
+		}
+	}
+}
+
+func TestSkew086Gives9010(t *testing.T) {
+	// z = 0.86 is chosen by the paper because it yields roughly a 90-10
+	// distribution: the top 10% of ranks carry ~90% of the mass for
+	// large n. Verify the top decile carries well over half the mass
+	// and far more than uniform would.
+	d := MustNew(1000, 0.86)
+	var top float64
+	for i := 0; i < 100; i++ {
+		top += d.Prob(i)
+	}
+	if top < 0.5 {
+		t.Errorf("top decile carries %v of mass, expected heavy skew", top)
+	}
+}
+
+func TestCountsSumExactly(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(500)
+		total := rng.Intn(100000)
+		z := rng.Float64() * 2
+		counts := MustNew(n, z).Counts(total)
+		sum := 0
+		for _, c := range counts {
+			sum += c
+		}
+		return sum == total
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCountsAllNonEmptyWhenTotalCovers(t *testing.T) {
+	counts := MustNew(100, 1.5).Counts(100)
+	for i, c := range counts {
+		if c < 1 {
+			t.Fatalf("rank %d got %d items; every group must be non-empty", i, c)
+		}
+	}
+}
+
+func TestCountsMonotone(t *testing.T) {
+	counts := MustNew(64, 1.0).Counts(100000)
+	for i := 1; i < len(counts); i++ {
+		if counts[i] > counts[i-1]+1 {
+			// Largest-remainder rounding can flip adjacent ranks by at
+			// most one item.
+			t.Fatalf("counts not (nearly) monotone at %d: %d then %d", i, counts[i-1], counts[i])
+		}
+	}
+}
+
+func TestCountsZeroAndNegativeTotal(t *testing.T) {
+	d := MustNew(10, 1.0)
+	for _, total := range []int{0, -5} {
+		for i, c := range d.Counts(total) {
+			if c != 0 {
+				t.Fatalf("total=%d rank=%d got %d, want 0", total, i, c)
+			}
+		}
+	}
+}
+
+func TestNextMatchesDistribution(t *testing.T) {
+	d := MustNew(20, 1.2)
+	rng := rand.New(rand.NewSource(42))
+	const draws = 200000
+	hist := make([]int, d.N())
+	for i := 0; i < draws; i++ {
+		r := d.Next(rng)
+		if r < 0 || r >= d.N() {
+			t.Fatalf("rank %d out of range", r)
+		}
+		hist[r]++
+	}
+	// Chi-squared-ish sanity: each empirical frequency within 10% of
+	// expectation (plus slack for tiny cells).
+	for i, h := range hist {
+		want := d.Prob(i) * draws
+		if want < 50 {
+			continue
+		}
+		if math.Abs(float64(h)-want) > 0.1*want+3*math.Sqrt(want) {
+			t.Errorf("rank %d: got %d draws, want ~%.0f", i, h, want)
+		}
+	}
+}
+
+func TestNextCoversAllRanksEventually(t *testing.T) {
+	d := MustNew(5, 0)
+	rng := rand.New(rand.NewSource(7))
+	seen := make(map[int]bool)
+	for i := 0; i < 10000 && len(seen) < 5; i++ {
+		seen[d.Next(rng)] = true
+	}
+	if len(seen) != 5 {
+		t.Errorf("uniform draws over 5 ranks only hit %d ranks", len(seen))
+	}
+}
+
+func BenchmarkNext(b *testing.B) {
+	d := MustNew(100000, 0.86)
+	rng := rand.New(rand.NewSource(1))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		d.Next(rng)
+	}
+}

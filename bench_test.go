@@ -493,6 +493,81 @@ func BenchmarkMaintenanceDrift(b *testing.B) {
 	b.ReportMetric(maintained, "maintained-pct-err")
 }
 
+// BenchmarkParallelBuild compares serial one-pass construction against
+// the sharded parallel path at increasing worker counts. Run with
+// -congress.rows=1000000 to reproduce the ≥1M-row comparison; the
+// speedup tracks available cores (workers beyond GOMAXPROCS add only
+// merge overhead).
+func BenchmarkParallelBuild(b *testing.B) {
+	rel := tpcd.MustGenerate(tpcd.Params{TableSize: *benchRows, NumGroups: 1000, GroupSkew: 0.86, Seed: 4})
+	g := core.MustGrouping(rel.Schema, tpcd.GroupingAttrs)
+	space := *benchRows / 20
+	b.Run("serial", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			rng := rand.New(rand.NewSource(5))
+			if _, _, err := core.Build(rel, g, core.Congress, space, rng); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	for _, workers := range []int{2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := core.BuildParallel(rel, g, core.Congress, space, 5, workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkEstimateDirect guards the Estimate hot path: the grouping
+// column and aggregate column indices are resolved once per call, not
+// once per sampled row, so a wide schema does not slow the per-row
+// loop.
+func BenchmarkEstimateDirect(b *testing.B) {
+	w := Open()
+	cols := make([]engine.Column, 0, 26)
+	cols = append(cols, Col("region", String), Col("product", String))
+	for i := 0; i < 23; i++ {
+		cols = append(cols, Col(fmt.Sprintf("pad%02d", i), Float))
+	}
+	cols = append(cols, Col("amount", Float))
+	tbl, err := w.CreateTable("wide", cols...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	regions := []string{"east", "west", "north", "south"}
+	products := []string{"pen", "ink", "desk"}
+	pad := make([]Value, 23)
+	for i := range pad {
+		pad[i] = F(float64(i))
+	}
+	for i := 0; i < 20_000; i++ {
+		row := make([]Value, 0, 26)
+		row = append(row, Str(regions[i%len(regions)]), Str(products[i%len(products)]))
+		row = append(row, pad...)
+		row = append(row, F(float64(i%100)))
+		if err := tbl.Insert(row...); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := w.BuildSynopsis(SynopsisSpec{
+		Table: "wide", GroupBy: []string{"region", "product"}, Space: 1200, Seed: 3,
+	}); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := w.Estimate("wide", []string{"region", "product"}, Sum, "amount", 0.9); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkSynopsisConstruction measures end-to-end one-pass synopsis
 // construction (cube + allocation + materialization) per strategy.
 func BenchmarkSynopsisConstruction(b *testing.B) {

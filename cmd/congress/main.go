@@ -17,6 +17,8 @@
 //	-query SQL     query to run (default the paper's Q_g2)
 //	-explain       print the rewritten SQL instead of executing
 //	-seed N        RNG seed (default 1)
+//	-workers N     worker goroutines for synopsis construction (default GOMAXPROCS)
+//	-metrics       print the telemetry counters before exiting
 package main
 
 import (
@@ -61,6 +63,8 @@ func run(args []string, out io.Writer) error {
 	saveSample := fs.String("save-sample", "", "write the integrated sample relation to this CSV file")
 	repl := fs.Bool("repl", false, "read queries from stdin; prefix a query with 'exact ' to bypass the synopsis")
 	showAlloc := fs.Bool("show-allocation", false, "print the Figure 5-style space allocation table for the synopsis")
+	workers := fs.Int("workers", core.DefaultWorkers(), "worker goroutines for synopsis construction (1 = serial)")
+	showMetrics := fs.Bool("metrics", false, "print the telemetry counters before exiting")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -115,17 +119,21 @@ func run(args []string, out io.Writer) error {
 	fmt.Fprintf(out, "building %s synopsis of %d tuples (%.1f%%) ...\n", strategy, space, *spacePct)
 	start = time.Now()
 	syn, err := a.CreateSynopsis(aqua.Config{
-		Table:     rel.Name,
-		GroupCols: grouping,
-		Strategy:  strategy,
-		Space:     space,
-		Rewrite:   rw,
-		Seed:      *seed,
+		Table:        rel.Name,
+		GroupCols:    grouping,
+		Strategy:     strategy,
+		Space:        space,
+		Rewrite:      rw,
+		Seed:         *seed,
+		BuildWorkers: *workers,
 	})
 	if err != nil {
 		return err
 	}
 	fmt.Fprintf(out, "  done in %v\n\n", time.Since(start).Round(time.Millisecond))
+	if *showMetrics {
+		defer func() { fmt.Fprintf(out, "\n%s", a.Telemetry().Snapshot()) }()
+	}
 
 	if *saveSample != "" {
 		sampleRel, ok := cat.Lookup(syn.Tables(rewrite.Integrated).Sample)

@@ -28,6 +28,28 @@ func TestRunEndToEnd(t *testing.T) {
 	}
 }
 
+func TestRunWorkersAndMetrics(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{
+		"-rows", "5000", "-groups", "27", "-skew", "1.2",
+		"-workers", "4", "-metrics",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, frag := range []string{
+		"speedup:",
+		"congress_rows_scanned_total",
+		"congress_build_total 1",
+		"congress_answer_total",
+	} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("output missing %q:\n%s", frag, s)
+		}
+	}
+}
+
 func TestRunExplain(t *testing.T) {
 	var out strings.Builder
 	err := run([]string{"-rows", "3000", "-groups", "8", "-explain", "-rewrite", "keynormalized"}, &out)

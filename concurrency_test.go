@@ -1,0 +1,157 @@
+package congress
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestConcurrentInsertApproxRefresh exercises the concurrency contract
+// of Warehouse: Insert, Approx, Estimate, RefreshSynopsis, and
+// AllocationTable may all run concurrently against one warehouse. Run
+// with -race; the seed code's unguarded maintainer and synopsis state
+// race here.
+func TestConcurrentInsertApproxRefresh(t *testing.T) {
+	w, tbl := buildSalesWarehouse(t)
+	if err := w.BuildSynopsis(SynopsisSpec{
+		Table: "sales", GroupBy: []string{"region", "product"}, Space: 600, Seed: 9,
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	const (
+		inserters    = 4
+		insertsEach  = 800
+		readers      = 3
+		queriesEach  = 60
+		refreshes    = 40
+		estimateEach = 60
+	)
+	regions := []string{"east", "west", "tiny", "north", "south"}
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, inserters+readers*2+1)
+
+	for i := 0; i < inserters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < insertsEach; j++ {
+				r := regions[(i+j)%len(regions)]
+				if err := tbl.Insert(Str(r), Str("pen"), F(float64(j%50))); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}(i)
+	}
+
+	for i := 0; i < readers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < queriesEach; j++ {
+				if _, err := w.Approx(`select region, sum(amount) from sales group by region`); err != nil {
+					errCh <- err
+					return
+				}
+				if _, err := w.AllocationTable("sales"); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < estimateEach; j++ {
+				if _, err := w.Estimate("sales", []string{"region"}, Sum, "amount", 0.9); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}()
+	}
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for j := 0; j < refreshes; j++ {
+			if err := w.RefreshSynopsis("sales"); err != nil {
+				errCh <- err
+				return
+			}
+		}
+	}()
+
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+
+	// After the dust settles the warehouse must still be coherent.
+	if err := w.RefreshSynopsis("sales"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := w.Approx(`select region, count(*) from sales group by region`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) == 0 {
+		t.Fatal("no groups after concurrent run")
+	}
+	if got := tbl.NumRows(); got != 10000+inserters*insertsEach {
+		t.Fatalf("row count %d, want %d", got, 10000+inserters*insertsEach)
+	}
+}
+
+// TestConcurrentBuildAndQueryDistinctTables: synopsis construction on
+// one table must not race with traffic against another.
+func TestConcurrentBuildAndQueryDistinctTables(t *testing.T) {
+	w, _ := buildSalesWarehouse(t)
+	if err := w.BuildSynopsis(SynopsisSpec{
+		Table: "sales", GroupBy: []string{"region"}, Space: 300, Seed: 1,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	other, err := w.CreateTable("returns", Col("region", String), Col("amount", Float))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2000; i++ {
+		if err := other.Insert(Str("east"), F(float64(i%7))); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, 2)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if err := w.BuildSynopsis(SynopsisSpec{
+			Table: "returns", GroupBy: []string{"region"}, Space: 100,
+			Seed: 2, BuildWorkers: 4,
+		}); err != nil {
+			errCh <- err
+		}
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for j := 0; j < 50; j++ {
+			if _, err := w.Approx(`select region, sum(amount) from sales group by region`); err != nil {
+				errCh <- err
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	if _, err := w.Approx(`select region, count(*) from returns group by region`); err != nil {
+		t.Fatal(err)
+	}
+}

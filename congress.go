@@ -34,11 +34,15 @@ package congress
 import (
 	"fmt"
 	"math/rand"
+	"strings"
+	"time"
 
 	"github.com/approxdb/congress/internal/aqua"
 	"github.com/approxdb/congress/internal/core"
+	"github.com/approxdb/congress/internal/datacube"
 	"github.com/approxdb/congress/internal/engine"
 	"github.com/approxdb/congress/internal/estimate"
+	"github.com/approxdb/congress/internal/metrics"
 	"github.com/approxdb/congress/internal/rewrite"
 )
 
@@ -202,9 +206,18 @@ type SynopsisSpec struct {
 	// geometrically more sample space. Decay in (0,1] is the per-step
 	// multiplier into the past.
 	Recency *Recency
+	// BuildWorkers shards the one-pass construction scan across this
+	// many goroutines (<= 1 builds serially). The sample is
+	// deterministic for a fixed (Seed, BuildWorkers) pair; pass
+	// congress.DefaultBuildWorkers() to saturate the machine.
+	BuildWorkers int
 	// Seed fixes sampling randomness for reproducibility (0 = 1).
 	Seed int64
 }
+
+// DefaultBuildWorkers returns the BuildWorkers value that saturates the
+// machine (GOMAXPROCS).
+func DefaultBuildWorkers() int { return core.DefaultWorkers() }
 
 // BuildSynopsis precomputes a biased sample of the table and registers
 // the sample relations used to answer queries approximately. Existing
@@ -221,6 +234,7 @@ func (w *Warehouse) BuildSynopsis(spec SynopsisSpec) error {
 		VarianceColumn:   spec.VarianceColumn,
 		TargetGroupings:  spec.TargetGroupings,
 		Recency:          spec.Recency,
+		BuildWorkers:     spec.BuildWorkers,
 		Seed:             spec.Seed,
 	})
 	return err
@@ -262,6 +276,7 @@ func (w *Warehouse) BuildJoinSynopsis(join JoinSpec, spec SynopsisSpec) error {
 		VarianceColumn:   spec.VarianceColumn,
 		TargetGroupings:  spec.TargetGroupings,
 		Recency:          spec.Recency,
+		BuildWorkers:     spec.BuildWorkers,
 		Seed:             spec.Seed,
 	})
 	return err
@@ -313,26 +328,35 @@ func (w *Warehouse) Explain(sql string, strat RewriteStrategy) (string, error) {
 // without SQL, returning per-group estimates with confidence bounds.
 // grouping selects the output grouping columns (a subset of the
 // synopsis's GroupBy); agg and aggCol pick the operator and the
-// aggregated column; confidence 0 means 90%.
+// aggregated column; confidence 0 means 90%. Multi-column group keys
+// join the rendered values with EstimateKeySep; split them back with
+// SplitEstimateKey.
 func (w *Warehouse) Estimate(table string, grouping []string, agg estimate.Aggregate, aggCol string, confidence float64) ([]estimate.GroupEstimate, error) {
+	start := time.Now()
 	syn, ok := w.aq.Synopsis(table)
 	if !ok {
 		return nil, fmt.Errorf("congress: no synopsis for %q", table)
 	}
-	rel, _ := w.cat.Lookup(table)
-	// Validate the grouping columns against the schema up front.
-	if _, err := core.NewGrouping(rel.Schema, grouping); err != nil {
+	rel, ok := w.cat.Lookup(table)
+	if !ok {
+		return nil, fmt.Errorf("congress: synopsis for %q exists but its base relation is gone from the catalog", table)
+	}
+	// Validate the grouping columns against the schema up front, and
+	// resolve their ordinals once — not per sampled row.
+	g, err := core.NewGrouping(rel.Schema, grouping)
+	if err != nil {
 		return nil, err
 	}
+	cols := g.Columns()
 	ci := rel.Schema.Index(aggCol)
 	if ci < 0 {
 		return nil, fmt.Errorf("congress: unknown aggregate column %q", aggCol)
 	}
-	return estimate.Run(syn.Sample(), estimate.Query{
+	ests, err := estimate.Run(syn.Sample(), estimate.Query{
 		GroupKey: func(row Row) string {
-			parts := make([]string, 0, len(grouping))
-			for _, name := range grouping {
-				parts = append(parts, row[rel.Schema.Index(name)].String())
+			parts := make([]string, 0, len(cols))
+			for _, c := range cols {
+				parts = append(parts, row[c].String())
 			}
 			return joinParts(parts)
 		},
@@ -342,18 +366,28 @@ func (w *Warehouse) Estimate(table string, grouping []string, agg estimate.Aggre
 		Agg:        agg,
 		Confidence: confidence,
 	})
+	if err == nil {
+		w.aq.Telemetry().ObserveEstimate(time.Since(start))
+	}
+	return ests, err
 }
 
-// joinParts joins display values with a separator for Estimate keys.
+// EstimateKeySep separates the rendered grouping values inside a
+// multi-column Estimate group key. It is the same unit separator the
+// engine's composite group keys use (datacube.KeySep), which cannot
+// occur in rendered values' natural text the way "/" can — so keys like
+// ("a/b","c") and ("a","b/c") stay distinct.
+const EstimateKeySep = datacube.KeySep
+
+// joinParts joins display values into an Estimate group key.
 func joinParts(parts []string) string {
-	out := ""
-	for i, p := range parts {
-		if i > 0 {
-			out += "/"
-		}
-		out += p
-	}
-	return out
+	return strings.Join(parts, EstimateKeySep)
+}
+
+// SplitEstimateKey splits a multi-column Estimate group key back into
+// the rendered per-column values.
+func SplitEstimateKey(key string) []string {
+	return strings.Split(key, EstimateKeySep)
 }
 
 // Aggregate re-exports the direct-estimation aggregate selector.
@@ -365,6 +399,18 @@ const (
 	Count = estimate.Count
 	Avg   = estimate.Avg
 )
+
+// MetricsSnapshot is a point-in-time reading of the warehouse's
+// operational counters; see Warehouse.Metrics.
+type MetricsSnapshot = metrics.TelemetrySnapshot
+
+// Metrics reports the warehouse's operational counters: rows scanned by
+// synopsis construction, strata materialized, build/refresh/answer/
+// estimate counts and latencies, and the incremental-maintainer feed
+// depth. Safe to call concurrently with any other operation.
+func (w *Warehouse) Metrics() MetricsSnapshot {
+	return w.aq.Telemetry().Snapshot()
+}
 
 // NewRand builds a deterministic random source, convenience for
 // examples and tools.

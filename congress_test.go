@@ -175,6 +175,131 @@ func TestEstimateDirect(t *testing.T) {
 	}
 }
 
+// TestEstimateMissingBaseRelation: a synopsis whose backing relation
+// has vanished from the catalog must yield an error, not a nil-pointer
+// panic (regression: Estimate ignored the catalog-lookup result).
+func TestEstimateMissingBaseRelation(t *testing.T) {
+	w, _ := buildSalesWarehouse(t)
+	if err := w.BuildSynopsis(SynopsisSpec{
+		Table: "sales", GroupBy: []string{"region", "product"}, Space: 500, Seed: 2,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	w.cat.Drop("sales")
+	if _, err := w.Estimate("sales", []string{"region"}, Sum, "amount", 0); err == nil {
+		t.Error("Estimate over a dropped base relation returned no error")
+	}
+}
+
+// TestEstimateKeyNoSeparatorCollision: groupings whose string values
+// contain the old "/" separator must not collide (regression: joinParts
+// rendered ("a/b","c") and ("a","b/c") to the same key).
+func TestEstimateKeyNoSeparatorCollision(t *testing.T) {
+	w := Open()
+	tbl, err := w.CreateTable("t",
+		Col("g1", String), Col("g2", String), Col("v", Float))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		if err := tbl.Insert(Str("a/b"), Str("c"), F(1)); err != nil {
+			t.Fatal(err)
+		}
+		if err := tbl.Insert(Str("a"), Str("b/c"), F(10)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.BuildSynopsis(SynopsisSpec{
+		Table: "t", GroupBy: []string{"g1", "g2"}, Space: 100, Seed: 4,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	ests, err := w.Estimate("t", []string{"g1", "g2"}, Sum, "v", 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ests) != 2 {
+		t.Fatalf("estimates for ambiguous keys merged: got %d groups, want 2: %+v", len(ests), ests)
+	}
+	for _, e := range ests {
+		parts := SplitEstimateKey(e.Key)
+		if len(parts) != 2 {
+			t.Errorf("key %q splits into %v, want 2 parts", e.Key, parts)
+		}
+	}
+}
+
+// TestBuildSynopsisParallelWorkers: the facade accepts BuildWorkers and
+// a parallel build answers queries just like a serial one.
+func TestBuildSynopsisParallelWorkers(t *testing.T) {
+	w, _ := buildSalesWarehouse(t)
+	if err := w.BuildSynopsis(SynopsisSpec{
+		Table: "sales", GroupBy: []string{"region", "product"}, Space: 1000,
+		Seed: 3, BuildWorkers: 4,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	exact, err := w.Query(`select region, sum(amount) from sales group by region order by region`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx, err := w.Approx(`select region, sum(amount) from sales group by region order by region`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(approx.Rows) != len(exact.Rows) {
+		t.Fatalf("approx groups %d, exact %d", len(approx.Rows), len(exact.Rows))
+	}
+	for i := range exact.Rows {
+		ev, _ := exact.Rows[i][1].AsFloat()
+		av, _ := approx.Rows[i][1].AsFloat()
+		if math.Abs(ev-av) > 0.25*ev {
+			t.Errorf("group %v: approx %.0f vs exact %.0f", exact.Rows[i][0], av, ev)
+		}
+	}
+}
+
+func TestMetricsSnapshot(t *testing.T) {
+	w, tbl := buildSalesWarehouse(t)
+	if err := w.BuildSynopsis(SynopsisSpec{
+		Table: "sales", GroupBy: []string{"region", "product"}, Space: 500, Seed: 2,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Insert(Str("east"), Str("pen"), F(1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Approx(`select region, count(*) from sales group by region`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Estimate("sales", []string{"region"}, Count, "amount", 0); err != nil {
+		t.Fatal(err)
+	}
+	m := w.Metrics()
+	if m.Build.Count != 1 || m.Build.Total <= 0 {
+		t.Errorf("build stats %+v", m.Build)
+	}
+	if m.RowsScanned < 10000 {
+		t.Errorf("rows scanned %d, want >= table size", m.RowsScanned)
+	}
+	if m.StrataTouched != 5 {
+		t.Errorf("strata touched %d, want 5", m.StrataTouched)
+	}
+	if m.Answer.Count != 1 || m.Estimate.Count != 1 {
+		t.Errorf("op counts %+v", m)
+	}
+	if m.MaintainerInserts != 1 || m.MaintainerQueueDepth != 1 {
+		t.Errorf("maintainer counters %+v", m)
+	}
+	if err := w.RefreshSynopsis("sales"); err != nil {
+		t.Fatal(err)
+	}
+	m = w.Metrics()
+	if m.Refresh.Count != 1 || m.MaintainerQueueDepth != 0 {
+		t.Errorf("post-refresh counters refresh=%+v depth=%d", m.Refresh, m.MaintainerQueueDepth)
+	}
+}
+
 func TestInsertFeedsMaintainer(t *testing.T) {
 	w, tbl := buildSalesWarehouse(t)
 	if err := w.BuildSynopsis(SynopsisSpec{

@@ -11,9 +11,12 @@ import (
 	"math/rand"
 	"sort"
 	"strings"
+	"sync"
+	"time"
 
 	"github.com/approxdb/congress/internal/core"
 	"github.com/approxdb/congress/internal/engine"
+	"github.com/approxdb/congress/internal/metrics"
 	"github.com/approxdb/congress/internal/rewrite"
 	"github.com/approxdb/congress/internal/sample"
 	"github.com/approxdb/congress/internal/sqlparse"
@@ -56,43 +59,71 @@ type Config struct {
 	// instead of the default Eq. 8 probability-decay maintainer. Only
 	// meaningful for the Congress strategy.
 	DeltaMaintenance bool
+	// BuildWorkers shards the one-pass construction scan (data-cube
+	// pre-scan and reservoir materialization) across this many
+	// goroutines. Values <= 1 build serially. The sample drawn is
+	// deterministic for a fixed (Seed, BuildWorkers) pair; different
+	// worker counts draw different, equally valid samples. Use
+	// core.DefaultWorkers() to saturate the machine.
+	BuildWorkers int
 	// Seed fixes the sampling randomness (0 = seed 1).
 	Seed int64
 }
 
 // Aqua is the middleware instance sitting atop one engine catalog.
+//
+// Aqua is safe for concurrent use: the synopsis registry is guarded by
+// an RWMutex, and each Synopsis serializes its own mutations (maintainer
+// feeds, refreshes) behind a per-synopsis lock while queries read
+// immutable sample snapshots.
 type Aqua struct {
-	cat      *engine.Catalog
+	cat *engine.Catalog
+	tel *metrics.Telemetry
+
+	mu       sync.RWMutex
 	synopses map[string]*Synopsis // by lower-cased base table name
 }
 
 // New creates an Aqua instance over the catalog (the "warehouse DBMS").
 func New(cat *engine.Catalog) *Aqua {
-	return &Aqua{cat: cat, synopses: make(map[string]*Synopsis)}
+	return &Aqua{cat: cat, tel: metrics.NewTelemetry(), synopses: make(map[string]*Synopsis)}
 }
 
 // Catalog returns the backing engine catalog.
 func (a *Aqua) Catalog() *engine.Catalog { return a.cat }
 
+// Telemetry returns the middleware's operational counters.
+func (a *Aqua) Telemetry() *metrics.Telemetry { return a.tel }
+
 // Synopsis is one materialized biased sample with the relations backing
 // all four rewrite strategies, plus an incremental maintainer that keeps
 // the sample up to date under inserts without touching the base table.
+//
+// The mutex guards the mutable state: the current sample snapshot and
+// gid assignment (swapped wholesale by Refresh) and the maintainer
+// (mutated by every Insert). Sample snapshots are immutable once
+// published, so readers that grab the pointer under the lock may keep
+// using it lock-free afterwards.
 type Synopsis struct {
 	cfg      Config
 	grouping *core.Grouping
-	sample   *sample.Stratified[engine.Row]
 	alloc    *core.Allocation
+	tel      *metrics.Telemetry
+
+	mu       sync.RWMutex
+	sample   *sample.Stratified[engine.Row]
+	gidByKey map[string]int64
+	pending  int64 // maintainer inserts not yet surfaced by Refresh
+
+	maintainer core.Maintainer
 
 	// Relations registered in the catalog, one layout per rewrite
-	// family.
+	// family. Names are fixed at creation.
 	integratedName string // base columns + sf
 	normName       string // base columns only
 	normAuxName    string // group columns + sf
 	keyName        string // base columns + gid
 	keyAuxName     string // gid + sf
-	gidByKey       map[string]int64
-
-	maintainer core.Maintainer
 }
 
 // CreateSynopsis builds a synopsis: scans the base relation, allocates
@@ -101,6 +132,7 @@ type Synopsis struct {
 // strategies. It also arms an incremental maintainer seeded with the
 // same strategy so future inserts keep the synopsis fresh.
 func (a *Aqua) CreateSynopsis(cfg Config) (*Synopsis, error) {
+	start := time.Now()
 	if cfg.Space <= 0 {
 		return nil, fmt.Errorf("aqua: synopsis space must be positive")
 	}
@@ -118,7 +150,7 @@ func (a *Aqua) CreateSynopsis(cfg Config) (*Synopsis, error) {
 	}
 	rng := rand.New(rand.NewSource(seed))
 
-	cube, err := core.BuildCube(rel, g)
+	cube, err := core.BuildCubeParallel(rel, g, cfg.BuildWorkers)
 	if err != nil {
 		return nil, err
 	}
@@ -160,12 +192,17 @@ func (a *Aqua) CreateSynopsis(cfg Config) (*Synopsis, error) {
 		vecs = append(vecs, rv)
 	}
 	alloc := core.CombineVectors(X, vecs...)
-	st, err := core.Materialize(rel, g, cube, alloc, rng)
+	var st *sample.Stratified[engine.Row]
+	if cfg.BuildWorkers > 1 {
+		st, err = core.MaterializeParallel(rel, g, cube, alloc, seed, cfg.BuildWorkers)
+	} else {
+		st, err = core.Materialize(rel, g, cube, alloc, rng)
+	}
 	if err != nil {
 		return nil, err
 	}
 
-	s := &Synopsis{cfg: cfg, grouping: g, sample: st, alloc: alloc}
+	s := &Synopsis{cfg: cfg, grouping: g, sample: st, alloc: alloc, tel: a.tel}
 	s.nameTables()
 	if err := s.materialize(a.cat, rel.Schema); err != nil {
 		return nil, err
@@ -191,16 +228,27 @@ func (a *Aqua) CreateSynopsis(cfg Config) (*Synopsis, error) {
 	if err != nil {
 		return nil, err
 	}
-	for _, row := range rel.Rows() {
+	rows := rel.Rows()
+	for _, row := range rows {
 		s.maintainer.Insert(row)
 	}
 
+	// Two construction scans (cube + materialize) plus the maintainer
+	// seeding pass read the whole relation.
+	a.tel.AddRowsScanned(3 * int64(len(rows)))
+	a.tel.AddStrataTouched(int64(st.NumStrata()))
+	a.tel.ObserveBuild(time.Since(start))
+
+	a.mu.Lock()
 	a.synopses[strings.ToLower(cfg.Table)] = s
+	a.mu.Unlock()
 	return s, nil
 }
 
 // Synopsis returns the synopsis for a base table, if any.
 func (a *Aqua) Synopsis(table string) (*Synopsis, bool) {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
 	s, ok := a.synopses[strings.ToLower(table)]
 	return s, ok
 }
@@ -308,8 +356,15 @@ func (s *Synopsis) Tables(strat rewrite.Strategy) rewrite.Tables {
 	return t
 }
 
-// Sample exposes the stratified sample backing the synopsis.
-func (s *Synopsis) Sample() *sample.Stratified[engine.Row] { return s.sample }
+// Sample exposes the stratified sample backing the synopsis. The
+// returned snapshot is immutable — a later Refresh publishes a new
+// snapshot rather than mutating this one — so callers may read it
+// without further synchronization.
+func (s *Synopsis) Sample() *sample.Stratified[engine.Row] {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.sample
+}
 
 // AllocationRow is one line of the Figure 5-style allocation table.
 type AllocationRow struct {
@@ -331,8 +386,9 @@ type AllocationRow struct {
 // Figure 5 — sorted by descending target.
 func (s *Synopsis) AllocationTable() []AllocationRow {
 	groupIdx := s.grouping.Columns()
-	out := make([]AllocationRow, 0, s.sample.NumStrata())
-	s.sample.Each(func(str *sample.Stratum[engine.Row]) {
+	st := s.Sample()
+	out := make([]AllocationRow, 0, st.NumStrata())
+	st.Each(func(str *sample.Stratum[engine.Row]) {
 		row := AllocationRow{
 			Population: str.Population,
 			PreScale:   s.alloc.PreScale[str.Key],
@@ -358,56 +414,97 @@ func (s *Synopsis) AllocationTable() []AllocationRow {
 // Allocation exposes the space allocation that produced the synopsis.
 func (s *Synopsis) Allocation() *core.Allocation { return s.alloc }
 
+// gid returns the stable group id assigned to a finest-group key by the
+// latest materialization.
+func (s *Synopsis) gid(key string) (int64, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	id, ok := s.gidByKey[key]
+	return id, ok
+}
+
 // Grouping exposes the grouping G of the synopsis.
 func (s *Synopsis) Grouping() *core.Grouping { return s.grouping }
 
 // Maintainer exposes the incremental maintainer armed at creation.
+// Maintainers are not internally synchronized: callers driving one
+// directly must not race with concurrent Insert or Refresh on the same
+// synopsis.
 func (s *Synopsis) Maintainer() core.Maintainer { return s.maintainer }
 
 // Insert feeds a newly inserted warehouse tuple to the synopsis
 // maintainer (the base relation is assumed to be updated by the caller;
-// Aqua never re-reads it, per Section 6).
+// Aqua never re-reads it, per Section 6). Safe for concurrent use with
+// Refresh and with readers.
 func (s *Synopsis) Insert(row engine.Row) {
+	s.mu.Lock()
 	s.maintainer.Insert(row)
+	s.pending++
+	s.mu.Unlock()
+	s.tel.MaintainerInsert()
 }
 
 // Refresh re-materializes the sample relations from the maintainer's
-// current snapshot, making maintained state visible to queries.
+// current snapshot, making maintained state visible to queries. Safe for
+// concurrent use with Insert and with readers; concurrent Refresh calls
+// on the same synopsis are serialized.
 func (a *Aqua) Refresh(table string) error {
+	start := time.Now()
 	s, ok := a.Synopsis(table)
 	if !ok {
 		return fmt.Errorf("aqua: no synopsis for %q", table)
-	}
-	st, err := s.maintainer.Snapshot()
-	if err != nil {
-		return err
 	}
 	rel, ok := a.cat.Lookup(s.cfg.Table)
 	if !ok {
 		return fmt.Errorf("aqua: base table %q vanished", s.cfg.Table)
 	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, err := s.maintainer.Snapshot()
+	if err != nil {
+		return err
+	}
 	s.sample = st
-	return s.materialize(a.cat, rel.Schema)
+	if err := s.materialize(a.cat, rel.Schema); err != nil {
+		return err
+	}
+	drained := s.pending
+	s.pending = 0
+	a.tel.MaintainerDrained(drained)
+	a.tel.AddStrataTouched(int64(st.NumStrata()))
+	a.tel.ObserveRefresh(time.Since(start))
+	return nil
 }
 
 // Answer rewrites the query with the synopsis's default strategy and
 // executes it, returning the approximate answer.
 func (a *Aqua) Answer(query string) (*engine.Result, error) {
+	start := time.Now()
 	s, stmt, err := a.route(query)
 	if err != nil {
 		return nil, err
 	}
-	return a.answer(s, stmt, s.cfg.Rewrite)
+	res, err := a.answer(s, stmt, s.cfg.Rewrite)
+	if err == nil {
+		a.tel.ObserveAnswer(time.Since(start))
+	}
+	return res, err
 }
 
 // AnswerWith answers using an explicit rewriting strategy (used by the
 // Section 7.3 rewriting experiments).
 func (a *Aqua) AnswerWith(query string, strat rewrite.Strategy) (*engine.Result, error) {
+	start := time.Now()
 	s, stmt, err := a.route(query)
 	if err != nil {
 		return nil, err
 	}
-	return a.answer(s, stmt, strat)
+	res, err := a.answer(s, stmt, strat)
+	if err == nil {
+		a.tel.ObserveAnswer(time.Since(start))
+	}
+	return res, err
 }
 
 // RewriteOnly returns the rewritten SQL without executing it (for

@@ -24,7 +24,7 @@ func (a *Aqua) UpdateScaleFactor(table string, strat rewrite.Strategy, groupKey 
 	if !ok {
 		return 0, fmt.Errorf("aqua: no synopsis for %q", table)
 	}
-	stratum, ok := s.sample.Get(groupKey)
+	stratum, ok := s.Sample().Get(groupKey)
 	if !ok {
 		return 0, fmt.Errorf("aqua: unknown group %q", groupKey)
 	}
@@ -84,7 +84,7 @@ func (a *Aqua) UpdateScaleFactor(table string, strat rewrite.Strategy, groupKey 
 		if !ok {
 			return 0, fmt.Errorf("aqua: aux relation %q missing", s.keyAuxName)
 		}
-		id, ok := s.gidByKey[groupKey]
+		id, ok := s.gid(groupKey)
 		if !ok {
 			return 0, fmt.Errorf("aqua: group %q has no gid", groupKey)
 		}

@@ -1,0 +1,226 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// stratumFingerprint renders a stratified sample into a comparable form:
+// per-stratum populations plus the exact multiset of sampled tuples.
+func stratumFingerprint(t *testing.T, st interface {
+	Each(func(*sampleStratum))
+}) string {
+	t.Helper()
+	out := ""
+	st.Each(func(s *sampleStratum) {
+		out += fmt.Sprintf("%q pop=%d:", s.Key, s.Population)
+		for _, row := range s.Items {
+			out += fmt.Sprintf(" %d", row[2].I)
+		}
+		out += "\n"
+	})
+	return out
+}
+
+func TestBuildCubeParallelMatchesSequential(t *testing.T) {
+	rel, g := buildRelation(t, map[[2]string]int{
+		{"a1", "b1"}: 3000, {"a1", "b2"}: 700, {"a2", "b1"}: 90, {"a2", "b3"}: 11,
+	})
+	seq, err := BuildCube(rel, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 3, 8, 64} {
+		par, err := BuildCubeParallel(rel, g, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if par.Total() != seq.Total() {
+			t.Fatalf("workers=%d: total %d vs %d", workers, par.Total(), seq.Total())
+		}
+		for mask := uint32(0); int(mask) < seq.NumGroupings(); mask++ {
+			seq.GroupsUnder(mask, func(key string, n int64) {
+				if got := par.Count(mask, key); got != n {
+					t.Errorf("workers=%d mask=%b group %q: count %d vs %d", workers, mask, key, got, n)
+				}
+			})
+			if par.NumGroups(mask) != seq.NumGroups(mask) {
+				t.Errorf("workers=%d mask=%b: %d groups vs %d", workers, mask, par.NumGroups(mask), seq.NumGroups(mask))
+			}
+		}
+	}
+}
+
+func TestCubeMergeRejectsMismatchedAttrs(t *testing.T) {
+	rel, g := buildRelation(t, map[[2]string]int{{"a1", "b1"}: 5})
+	cube, err := BuildCube(rel, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g1 := MustGrouping(rel.Schema, []string{"a"})
+	other, err := BuildCube(rel, g1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cube.Merge(other); err == nil {
+		t.Error("merge of mismatched cubes accepted")
+	}
+}
+
+// TestMaterializeParallelDeterministic is the reproducibility guarantee:
+// a fixed (seed, workers) pair must produce the identical sample.
+func TestMaterializeParallelDeterministic(t *testing.T) {
+	rel, g := buildRelation(t, map[[2]string]int{
+		{"a1", "b1"}: 5000, {"a1", "b2"}: 1200, {"a2", "b1"}: 300, {"a2", "b2"}: 40, {"a3", "b3"}: 7,
+	})
+	cube, err := BuildCube(rel, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alloc, err := Allocate(Congress, cube, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		first, err := MaterializeParallel(rel, g, cube, alloc, 42, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		second, err := MaterializeParallel(rel, g, cube, alloc, 42, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a, b := stratumFingerprint(t, first), stratumFingerprint(t, second); a != b {
+			t.Errorf("workers=%d: two runs with the same seed diverge:\n%s\nvs\n%s", workers, a, b)
+		}
+	}
+}
+
+// TestMaterializeParallelSerialEquivalence: with workers <= 1 the
+// parallel entry point must reproduce the sequential Materialize bit for
+// bit (same reservoir walk from the same seeded RNG).
+func TestMaterializeParallelSerialEquivalence(t *testing.T) {
+	rel, g := buildRelation(t, map[[2]string]int{
+		{"a1", "b1"}: 900, {"a2", "b2"}: 90, {"a3", "b3"}: 9,
+	})
+	cube, err := BuildCube(rel, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alloc, err := Allocate(Congress, cube, 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := Materialize(rel, g, cube, alloc, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := MaterializeParallel(rel, g, cube, alloc, 7, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, b := stratumFingerprint(t, serial), stratumFingerprint(t, par); a != b {
+		t.Errorf("workers=1 diverges from sequential Materialize:\n%s\nvs\n%s", a, b)
+	}
+}
+
+// TestMaterializeParallelSizesAndMembership: every stratum must hit the
+// integer target exactly (min(target, population)), contain only tuples
+// of its own group, and never contain a duplicate base tuple.
+func TestMaterializeParallelSizesAndMembership(t *testing.T) {
+	rel, g := buildRelation(t, map[[2]string]int{
+		{"a1", "b1"}: 4000, {"a1", "b2"}: 800, {"a2", "b1"}: 150, {"a2", "b2"}: 12, {"a3", "b1"}: 3,
+	})
+	cube, err := BuildCube(rel, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alloc, err := Allocate(Congress, cube, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	populations := make(map[string]int64)
+	cube.FinestGroups(func(key string, n int64) { populations[key] = n })
+	targets := alloc.IntegerTargets(populations)
+
+	for _, workers := range []int{2, 5, 8} {
+		st, err := MaterializeParallel(rel, g, cube, alloc, 9, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st.Each(func(s *sampleStratum) {
+			want := targets[s.Key]
+			if int64(want) > s.Population {
+				want = int(s.Population)
+			}
+			if len(s.Items) != want {
+				t.Errorf("workers=%d stratum %q: %d items, want %d", workers, s.Key, len(s.Items), want)
+			}
+			seen := make(map[int64]bool, len(s.Items))
+			for _, row := range s.Items {
+				if g.Key(row) != s.Key {
+					t.Errorf("workers=%d stratum %q holds foreign tuple of group %q", workers, s.Key, g.Key(row))
+				}
+				if seen[row[2].I] {
+					t.Errorf("workers=%d stratum %q holds duplicate tuple %d", workers, s.Key, row[2].I)
+				}
+				seen[row[2].I] = true
+			}
+		})
+	}
+}
+
+// TestMaterializeParallelUniformWithinGroup repeats the S1 uniformity
+// check for the merged parallel sample: across many draws, every tuple
+// of a group must be included approximately equally often, i.e. the
+// weighted reservoir union does not bias toward any shard.
+func TestMaterializeParallelUniformWithinGroup(t *testing.T) {
+	rel, g := buildRelation(t, map[[2]string]int{{"a1", "b1"}: 40})
+	cube, err := BuildCube(rel, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alloc, err := Allocate(Senate, cube, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make(map[int64]int)
+	const trials = 4000
+	for i := 0; i < trials; i++ {
+		st, err := MaterializeParallel(rel, g, cube, alloc, int64(i+1), 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, _ := st.Get(rowKey("a1", "b1"))
+		if len(s.Items) != 10 {
+			t.Fatalf("trial %d: %d items, want 10", i, len(s.Items))
+		}
+		for _, row := range s.Items {
+			counts[row[2].I]++
+		}
+	}
+	want := float64(trials) * 10 / 40
+	for v, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Errorf("tuple %d included %d times, want ~%.0f", v, c, want)
+		}
+	}
+}
+
+func TestBuildParallel(t *testing.T) {
+	rel, g := buildRelation(t, map[[2]string]int{
+		{"a1", "b1"}: 1000, {"a2", "b2"}: 100, {"a3", "b3"}: 10,
+	})
+	st, alloc, err := BuildParallel(rel, g, Congress, 200, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Size() == 0 || alloc == nil {
+		t.Fatalf("empty parallel build: size=%d", st.Size())
+	}
+	if st.Population() != 1110 {
+		t.Fatalf("population %d", st.Population())
+	}
+}

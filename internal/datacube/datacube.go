@@ -172,6 +172,35 @@ func (c *Cube) GroupsUnder(mask uint32, fn func(key string, count int64)) {
 	}
 }
 
+// Merge folds another cube's counts into this one. Both cubes must be
+// defined over the same grouping attributes (in the same order). Merging
+// is how parallel one-pass construction combines per-worker partial
+// cubes into the full data cube; counts are additive, so the result is
+// identical to a single sequential scan.
+func (c *Cube) Merge(other *Cube) error {
+	if len(other.attrs) != len(c.attrs) {
+		return fmt.Errorf("datacube: merging cube with %d attributes into cube with %d", len(other.attrs), len(c.attrs))
+	}
+	for i, a := range c.attrs {
+		if other.attrs[i] != a {
+			return fmt.Errorf("datacube: merging cube over %v into cube over %v", other.attrs, c.attrs)
+		}
+	}
+	for mask, m := range other.counts {
+		dst := c.counts[mask]
+		for k, v := range m {
+			dst[k] += v
+		}
+	}
+	for k, id := range other.ids {
+		if _, ok := c.ids[k]; !ok {
+			c.ids[k] = append(GroupID(nil), id...)
+		}
+	}
+	c.total += other.total
+	return nil
+}
+
 // Clone returns a deep copy of the cube.
 func (c *Cube) Clone() *Cube {
 	out := MustNew(c.attrs)

@@ -1,0 +1,181 @@
+package metrics
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// Telemetry aggregates lightweight operational counters for the
+// build/maintain/answer paths. All methods are safe for concurrent use
+// (plain atomics, no locks) and are nil-receiver tolerant so
+// instrumented code never needs a guard. One Telemetry instance is owned
+// by each Aqua middleware; Snapshot reads a consistent-enough point-in-
+// time view for reporting.
+//
+// Exported metric names (used by Snapshot.String and the README):
+//
+//	congress_rows_scanned_total        rows read by synopsis construction scans
+//	congress_strata_touched_total      strata written by build + refresh materialization
+//	congress_build_total               synopsis builds completed
+//	congress_build_seconds_total       cumulative build wall time
+//	congress_refresh_total             synopsis refreshes completed
+//	congress_refresh_seconds_total     cumulative refresh wall time
+//	congress_answer_total              approximate answers served (SQL path)
+//	congress_answer_seconds_total      cumulative answer wall time
+//	congress_estimate_total            direct estimates served (no-SQL path)
+//	congress_estimate_seconds_total    cumulative estimate wall time
+//	congress_maintainer_inserts_total  tuples fed to incremental maintainers
+//	congress_maintainer_queue_depth    maintained tuples not yet visible to queries
+type Telemetry struct {
+	rowsScanned       atomic.Int64
+	strataTouched     atomic.Int64
+	maintainerInserts atomic.Int64
+	maintainerQueue   atomic.Int64
+
+	build    opStats
+	refresh  opStats
+	answer   opStats
+	estimate opStats
+}
+
+// opStats accumulates a count and total duration for one operation kind.
+type opStats struct {
+	count atomic.Int64
+	nanos atomic.Int64
+}
+
+func (o *opStats) observe(d time.Duration) {
+	o.count.Add(1)
+	o.nanos.Add(int64(d))
+}
+
+func (o *opStats) snapshot() OpSnapshot {
+	return OpSnapshot{Count: o.count.Load(), Total: time.Duration(o.nanos.Load())}
+}
+
+// NewTelemetry returns a zeroed telemetry instance.
+func NewTelemetry() *Telemetry { return &Telemetry{} }
+
+// AddRowsScanned records rows read by a construction or refresh scan.
+func (t *Telemetry) AddRowsScanned(n int64) {
+	if t != nil {
+		t.rowsScanned.Add(n)
+	}
+}
+
+// AddStrataTouched records strata materialized into sample relations.
+func (t *Telemetry) AddStrataTouched(n int64) {
+	if t != nil {
+		t.strataTouched.Add(n)
+	}
+}
+
+// MaintainerInsert records one tuple fed to an incremental maintainer;
+// the tuple is invisible to queries until the next refresh, so it also
+// deepens the maintainer queue.
+func (t *Telemetry) MaintainerInsert() {
+	if t != nil {
+		t.maintainerInserts.Add(1)
+		t.maintainerQueue.Add(1)
+	}
+}
+
+// MaintainerDrained records that a refresh made n queued tuples visible.
+func (t *Telemetry) MaintainerDrained(n int64) {
+	if t != nil {
+		t.maintainerQueue.Add(-n)
+	}
+}
+
+// ObserveBuild records one completed synopsis build.
+func (t *Telemetry) ObserveBuild(d time.Duration) {
+	if t != nil {
+		t.build.observe(d)
+	}
+}
+
+// ObserveRefresh records one completed synopsis refresh.
+func (t *Telemetry) ObserveRefresh(d time.Duration) {
+	if t != nil {
+		t.refresh.observe(d)
+	}
+}
+
+// ObserveAnswer records one approximate answer served via SQL rewriting.
+func (t *Telemetry) ObserveAnswer(d time.Duration) {
+	if t != nil {
+		t.answer.observe(d)
+	}
+}
+
+// ObserveEstimate records one direct (no-SQL) estimate served.
+func (t *Telemetry) ObserveEstimate(d time.Duration) {
+	if t != nil {
+		t.estimate.observe(d)
+	}
+}
+
+// OpSnapshot is the point-in-time reading of one operation kind.
+type OpSnapshot struct {
+	Count int64
+	Total time.Duration
+}
+
+// Avg returns the mean latency, or 0 with no observations.
+func (o OpSnapshot) Avg() time.Duration {
+	if o.Count == 0 {
+		return 0
+	}
+	return o.Total / time.Duration(o.Count)
+}
+
+// TelemetrySnapshot is a point-in-time reading of all counters.
+type TelemetrySnapshot struct {
+	RowsScanned          int64
+	StrataTouched        int64
+	MaintainerInserts    int64
+	MaintainerQueueDepth int64
+	Build                OpSnapshot
+	Refresh              OpSnapshot
+	Answer               OpSnapshot
+	Estimate             OpSnapshot
+}
+
+// Snapshot reads the current counter values. A nil telemetry reads as
+// all zeros.
+func (t *Telemetry) Snapshot() TelemetrySnapshot {
+	if t == nil {
+		return TelemetrySnapshot{}
+	}
+	return TelemetrySnapshot{
+		RowsScanned:          t.rowsScanned.Load(),
+		StrataTouched:        t.strataTouched.Load(),
+		MaintainerInserts:    t.maintainerInserts.Load(),
+		MaintainerQueueDepth: t.maintainerQueue.Load(),
+		Build:                t.build.snapshot(),
+		Refresh:              t.refresh.snapshot(),
+		Answer:               t.answer.snapshot(),
+		Estimate:             t.estimate.snapshot(),
+	}
+}
+
+// String renders the snapshot in a flat name=value form using the
+// canonical metric names.
+func (s TelemetrySnapshot) String() string {
+	out := ""
+	out += fmt.Sprintf("congress_rows_scanned_total %d\n", s.RowsScanned)
+	out += fmt.Sprintf("congress_strata_touched_total %d\n", s.StrataTouched)
+	for _, op := range []struct {
+		name string
+		s    OpSnapshot
+	}{
+		{"build", s.Build}, {"refresh", s.Refresh}, {"answer", s.Answer}, {"estimate", s.Estimate},
+	} {
+		out += fmt.Sprintf("congress_%s_total %d\n", op.name, op.s.Count)
+		out += fmt.Sprintf("congress_%s_seconds_total %.6f\n", op.name, op.s.Total.Seconds())
+	}
+	out += fmt.Sprintf("congress_maintainer_inserts_total %d\n", s.MaintainerInserts)
+	out += fmt.Sprintf("congress_maintainer_queue_depth %d\n", s.MaintainerQueueDepth)
+	return out
+}

@@ -1,0 +1,94 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTelemetryCountersAndSnapshot(t *testing.T) {
+	tel := NewTelemetry()
+	tel.AddRowsScanned(100)
+	tel.AddRowsScanned(50)
+	tel.AddStrataTouched(7)
+	tel.ObserveBuild(2 * time.Millisecond)
+	tel.ObserveBuild(4 * time.Millisecond)
+	tel.ObserveRefresh(time.Millisecond)
+	tel.ObserveAnswer(3 * time.Millisecond)
+	tel.ObserveEstimate(5 * time.Millisecond)
+	for i := 0; i < 10; i++ {
+		tel.MaintainerInsert()
+	}
+	tel.MaintainerDrained(6)
+
+	s := tel.Snapshot()
+	if s.RowsScanned != 150 || s.StrataTouched != 7 {
+		t.Errorf("scan counters %+v", s)
+	}
+	if s.Build.Count != 2 || s.Build.Total != 6*time.Millisecond || s.Build.Avg() != 3*time.Millisecond {
+		t.Errorf("build stats %+v", s.Build)
+	}
+	if s.Refresh.Count != 1 || s.Answer.Count != 1 || s.Estimate.Count != 1 {
+		t.Errorf("op counts %+v", s)
+	}
+	if s.MaintainerInserts != 10 || s.MaintainerQueueDepth != 4 {
+		t.Errorf("maintainer counters %+v", s)
+	}
+}
+
+func TestTelemetryNilSafe(t *testing.T) {
+	var tel *Telemetry
+	tel.AddRowsScanned(1)
+	tel.AddStrataTouched(1)
+	tel.MaintainerInsert()
+	tel.MaintainerDrained(1)
+	tel.ObserveBuild(time.Second)
+	tel.ObserveRefresh(time.Second)
+	tel.ObserveAnswer(time.Second)
+	tel.ObserveEstimate(time.Second)
+	if s := tel.Snapshot(); s.RowsScanned != 0 || s.Build.Count != 0 {
+		t.Errorf("nil telemetry snapshot %+v", s)
+	}
+	if (OpSnapshot{}).Avg() != 0 {
+		t.Error("zero-op Avg not 0")
+	}
+}
+
+func TestTelemetryConcurrent(t *testing.T) {
+	tel := NewTelemetry()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				tel.AddRowsScanned(1)
+				tel.MaintainerInsert()
+				tel.ObserveAnswer(time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	s := tel.Snapshot()
+	if s.RowsScanned != 8000 || s.MaintainerInserts != 8000 || s.Answer.Count != 8000 {
+		t.Errorf("concurrent counters %+v", s)
+	}
+}
+
+func TestTelemetrySnapshotString(t *testing.T) {
+	tel := NewTelemetry()
+	tel.AddRowsScanned(3)
+	tel.ObserveBuild(time.Second)
+	out := tel.Snapshot().String()
+	for _, want := range []string{
+		"congress_rows_scanned_total 3",
+		"congress_build_total 1",
+		"congress_build_seconds_total 1.000000",
+		"congress_maintainer_queue_depth 0",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("snapshot output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,436 @@
+// Command congressd serves a congressional-samples warehouse over
+// HTTP/JSON, and doubles as its own load generator.
+//
+// Serve mode (default) generates or loads a lineitem table, builds a
+// synopsis, and serves the /v1 API until SIGINT/SIGTERM, then drains
+// in-flight requests gracefully:
+//
+//	congressd serve -addr :8642 -rows 200000 -groups 1000 -strategy congress
+//
+// Loadgen mode drives a server with concurrent clients for a fixed
+// duration and reports p50/p95/p99 latency and error rates, writing a
+// machine-readable summary to BENCH_server.json:
+//
+//	congressd loadgen -self -clients 8 -duration 10s
+//	congressd loadgen -url http://localhost:8642 -clients 16 -duration 30s
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log/slog"
+	"math/rand"
+	"os"
+	"os/signal"
+	"sort"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	congress "github.com/approxdb/congress"
+	"github.com/approxdb/congress/internal/engine"
+	"github.com/approxdb/congress/internal/server"
+	"github.com/approxdb/congress/internal/tpcd"
+	"github.com/approxdb/congress/internal/workload"
+	"github.com/approxdb/congress/pkg/client"
+)
+
+func main() {
+	args := os.Args[1:]
+	mode := "serve"
+	if len(args) > 0 && (args[0] == "serve" || args[0] == "loadgen") {
+		mode, args = args[0], args[1:]
+	}
+	var err error
+	switch mode {
+	case "serve":
+		err = runServe(args, os.Stdout)
+	case "loadgen":
+		err = runLoadgen(args, os.Stdout)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "congressd:", err)
+		os.Exit(1)
+	}
+}
+
+// warehouseFlags are the demo-warehouse knobs shared by serve mode and
+// loadgen -self.
+type warehouseFlags struct {
+	rows      *int
+	groups    *int
+	skew      *float64
+	spacePct  *float64
+	strategy  *string
+	rewrite   *string
+	seed      *int64
+	workers   *int
+	loadCSV   *string
+	table     *string
+	groupCols *string
+}
+
+func addWarehouseFlags(fs *flag.FlagSet) *warehouseFlags {
+	return &warehouseFlags{
+		rows:      fs.Int("rows", 200_000, "generated table size"),
+		groups:    fs.Int("groups", 1000, "number of groups"),
+		skew:      fs.Float64("skew", 0.86, "group-size Zipf z"),
+		spacePct:  fs.Float64("space-pct", 7, "synopsis size as % of table"),
+		strategy:  fs.String("strategy", "congress", "house|senate|basic|congress"),
+		rewrite:   fs.String("rewrite", "integrated", "integrated|nested|normalized|keynormalized"),
+		seed:      fs.Int64("seed", 1, "RNG seed"),
+		workers:   fs.Int("workers", congress.DefaultBuildWorkers(), "synopsis build workers"),
+		loadCSV:   fs.String("load", "", "load the base table from a typed CSV instead of generating"),
+		table:     fs.String("table", "lineitem", "base table name when loading from CSV"),
+		groupCols: fs.String("group-cols", "", "comma-separated grouping columns (default: TPC-D grouping attributes)"),
+	}
+}
+
+// buildWarehouse materializes the demo warehouse described by the flags.
+func buildWarehouse(wf *warehouseFlags, log *slog.Logger) (*congress.Warehouse, error) {
+	var rel *engine.Relation
+	start := time.Now()
+	if *wf.loadCSV != "" {
+		f, err := os.Open(*wf.loadCSV)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		if rel, err = engine.ReadCSV(*wf.table, f); err != nil {
+			return nil, err
+		}
+	} else {
+		var err error
+		rel, err = tpcd.Generate(tpcd.Params{
+			TableSize: *wf.rows, NumGroups: *wf.groups, GroupSkew: *wf.skew, Seed: *wf.seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	log.Info("table ready", slog.String("table", rel.Name),
+		slog.Int("rows", rel.NumRows()), slog.Duration("took", time.Since(start)))
+
+	strategy, err := congress.ParseStrategy(*wf.strategy)
+	if err != nil {
+		return nil, err
+	}
+	rw, err := congress.ParseRewriteStrategy(*wf.rewrite)
+	if err != nil {
+		return nil, err
+	}
+	grouping := tpcd.GroupingAttrs
+	if *wf.groupCols != "" {
+		grouping = splitCSV(*wf.groupCols)
+	}
+
+	w := congress.Open()
+	w.AttachRelation(rel)
+	space := int(float64(rel.NumRows()) * *wf.spacePct / 100)
+	start = time.Now()
+	if err := w.BuildSynopsis(congress.SynopsisSpec{
+		Table:        rel.Name,
+		GroupBy:      grouping,
+		Space:        space,
+		Strategy:     strategy,
+		Rewrite:      rw,
+		BuildWorkers: *wf.workers,
+		Seed:         *wf.seed,
+	}); err != nil {
+		return nil, err
+	}
+	log.Info("synopsis ready", slog.String("strategy", strategy.String()),
+		slog.Int("space", space), slog.Duration("took", time.Since(start)))
+	return w, nil
+}
+
+func splitCSV(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func newLogger(level string) (*slog.Logger, error) {
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(level)); err != nil {
+		return nil, fmt.Errorf("bad -log-level %q: %v", level, err)
+	}
+	return slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lvl})), nil
+}
+
+// ----- serve mode -----
+
+func runServe(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("congressd serve", flag.ContinueOnError)
+	addr := fs.String("addr", ":8642", "listen address")
+	wf := addWarehouseFlags(fs)
+	maxConcurrent := fs.Int("max-concurrent", 0, "max requests executing at once (0 = 4×GOMAXPROCS)")
+	queueDepth := fs.Int("queue-depth", 0, "admission queue depth before shedding with 429 (0 = 4×max-concurrent)")
+	timeout := fs.Duration("timeout", 10*time.Second, "default per-request deadline")
+	maxTimeout := fs.Duration("max-timeout", 60*time.Second, "upper clamp on client-requested timeout_ms")
+	retryAfter := fs.Duration("retry-after", time.Second, "Retry-After hint on 429 responses")
+	shutdownGrace := fs.Duration("shutdown-grace", 10*time.Second, "drain window for in-flight requests on SIGINT/SIGTERM")
+	logLevel := fs.String("log-level", "info", "debug|info|warn|error")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	log, err := newLogger(*logLevel)
+	if err != nil {
+		return err
+	}
+
+	w, err := buildWarehouse(wf, log)
+	if err != nil {
+		return err
+	}
+	srv := server.New(server.Options{
+		Warehouse:      w,
+		Logger:         log,
+		MaxConcurrent:  *maxConcurrent,
+		QueueDepth:     *queueDepth,
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTimeout,
+		RetryAfter:     *retryAfter,
+	})
+	bound, err := srv.Start(*addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "congressd listening on %s\n", bound)
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	<-ctx.Done()
+	stop()
+
+	drainCtx, cancel := context.WithTimeout(context.Background(), *shutdownGrace)
+	defer cancel()
+	return srv.Shutdown(drainCtx)
+}
+
+// ----- loadgen mode -----
+
+// benchReport is the BENCH_server.json schema.
+type benchReport struct {
+	URL           string           `json:"url"`
+	Clients       int              `json:"clients"`
+	DurationSec   float64          `json:"duration_sec"`
+	Requests      int64            `json:"requests"`
+	Errors        int64            `json:"errors"`
+	Shed          int64            `json:"shed"`
+	ErrorRate     float64          `json:"error_rate"`
+	ThroughputRPS float64          `json:"throughput_rps"`
+	LatencyMS     latencySummary   `json:"latency_ms"`
+	ByKind        map[string]int64 `json:"requests_by_kind"`
+	ByCode        map[string]int64 `json:"errors_by_code,omitempty"`
+	Warehouse     map[string]any   `json:"warehouse,omitempty"`
+}
+
+type latencySummary struct {
+	P50  float64 `json:"p50"`
+	P95  float64 `json:"p95"`
+	P99  float64 `json:"p99"`
+	Mean float64 `json:"mean"`
+	Max  float64 `json:"max"`
+}
+
+func runLoadgen(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("congressd loadgen", flag.ContinueOnError)
+	url := fs.String("url", "", "target server base URL (empty with -self runs an in-process server)")
+	self := fs.Bool("self", false, "spin up an in-process server over a generated warehouse")
+	clients := fs.Int("clients", 8, "concurrent client goroutines")
+	duration := fs.Duration("duration", 10*time.Second, "load duration")
+	insertPct := fs.Int("insert-pct", 10, "percent of requests that are inserts")
+	estimatePct := fs.Int("estimate-pct", 20, "percent of requests that are direct estimates")
+	timeoutMS := fs.Int64("timeout-ms", 0, "per-request timeout_ms to send (0 = server default)")
+	outPath := fs.String("out", "BENCH_server.json", "summary JSON path (empty to skip)")
+	seed := fs.Int64("loadgen-seed", 42, "workload RNG seed")
+	wf := addWarehouseFlags(fs)
+	logLevel := fs.String("log-level", "warn", "debug|info|warn|error")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	log, err := newLogger(*logLevel)
+	if err != nil {
+		return err
+	}
+
+	base := *url
+	var srv *server.Server
+	if base == "" {
+		if !*self {
+			return errors.New("loadgen: need -url or -self")
+		}
+		w, err := buildWarehouse(wf, log)
+		if err != nil {
+			return err
+		}
+		srv = server.New(server.Options{Warehouse: w, Logger: log})
+		bound, err := srv.Start("127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		base = "http://" + bound
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			srv.Shutdown(ctx)
+		}()
+	}
+
+	c := client.New(base)
+	if err := c.Health(context.Background()); err != nil {
+		return fmt.Errorf("loadgen: target %s not healthy: %w", base, err)
+	}
+
+	type sample struct {
+		d    time.Duration
+		kind string
+		err  error
+	}
+	var (
+		mu      sync.Mutex
+		samples []sample
+	)
+	ctx, cancel := context.WithTimeout(context.Background(), *duration)
+	defer cancel()
+	start := time.Now()
+	var wg sync.WaitGroup
+	for ci := 0; ci < *clients; ci++ {
+		wg.Add(1)
+		go func(ci int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(*seed + int64(ci)))
+			timed := make([]sample, 0, 1024)
+			for ctx.Err() == nil {
+				t0 := time.Now()
+				kind, err := oneRequest(ctx, c, rng, *insertPct, *estimatePct, *timeoutMS)
+				d := time.Since(t0)
+				if ctx.Err() != nil && err != nil {
+					break // don't count a request cut off by the run deadline
+				}
+				timed = append(timed, sample{d: d, kind: kind, err: err})
+			}
+			mu.Lock()
+			samples = append(samples, timed...)
+			mu.Unlock()
+		}(ci)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	rep := benchReport{
+		URL:         base,
+		Clients:     *clients,
+		DurationSec: elapsed.Seconds(),
+		ByKind:      map[string]int64{},
+		ByCode:      map[string]int64{},
+	}
+	if *url == "" {
+		rep.Warehouse = map[string]any{
+			"rows": *wf.rows, "groups": *wf.groups, "skew": *wf.skew,
+			"space_pct": *wf.spacePct, "strategy": *wf.strategy,
+		}
+	}
+	lats := make([]float64, 0, len(samples))
+	var sum, max float64
+	for _, s := range samples {
+		rep.Requests++
+		rep.ByKind[s.kind]++
+		ms := float64(s.d) / float64(time.Millisecond)
+		if s.err != nil {
+			rep.Errors++
+			code := "transport"
+			var ae *client.APIError
+			if errors.As(s.err, &ae) {
+				code = ae.Code
+				if client.IsOverloaded(s.err) {
+					rep.Shed++
+				}
+			}
+			rep.ByCode[code]++
+			continue
+		}
+		lats = append(lats, ms)
+		sum += ms
+		if ms > max {
+			max = ms
+		}
+	}
+	sort.Float64s(lats)
+	if n := len(lats); n > 0 {
+		rep.LatencyMS = latencySummary{
+			P50:  lats[n/2],
+			P95:  lats[min(n-1, n*95/100)],
+			P99:  lats[min(n-1, n*99/100)],
+			Mean: sum / float64(n),
+			Max:  max,
+		}
+	}
+	if rep.Requests > 0 {
+		rep.ErrorRate = float64(rep.Errors) / float64(rep.Requests)
+	}
+	rep.ThroughputRPS = float64(rep.Requests) / elapsed.Seconds()
+
+	fmt.Fprintf(out, "loadgen: %d clients, %.1fs: %d requests (%.0f req/s), %d errors (%.2f%%), %d shed\n",
+		rep.Clients, rep.DurationSec, rep.Requests, rep.ThroughputRPS, rep.Errors, 100*rep.ErrorRate, rep.Shed)
+	fmt.Fprintf(out, "latency ms: p50=%.2f p95=%.2f p99=%.2f mean=%.2f max=%.2f\n",
+		rep.LatencyMS.P50, rep.LatencyMS.P95, rep.LatencyMS.P99, rep.LatencyMS.Mean, rep.LatencyMS.Max)
+	if *outPath != "" {
+		b, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*outPath, append(b, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote %s\n", *outPath)
+	}
+	return nil
+}
+
+// oneRequest issues a single randomized request from the workload mix
+// and reports its kind.
+func oneRequest(ctx context.Context, c *client.Client, rng *rand.Rand, insertPct, estimatePct int, timeoutMS int64) (string, error) {
+	roll := rng.Intn(100)
+	switch {
+	case roll < insertPct:
+		row := []any{
+			rng.Int63n(1 << 40), rng.Intn(3), rng.Intn(2),
+			fmt.Sprintf("1994-%02d-%02d", 1+rng.Intn(12), 1+rng.Intn(28)),
+			float64(1 + rng.Intn(50)), 100 * float64(1+rng.Intn(500)),
+		}
+		_, err := c.Insert(ctx, client.InsertRequest{Table: "lineitem", Rows: [][]any{row}})
+		return "insert", err
+	case roll < insertPct+estimatePct:
+		_, err := c.Query(ctx, client.QueryRequest{
+			Estimate: &client.EstimateRequest{
+				Table:   "lineitem",
+				GroupBy: []string{"l_returnflag", "l_linestatus"},
+				Agg:     "sum",
+				Column:  "l_quantity",
+			},
+			TimeoutMS: timeoutMS,
+		})
+		return "estimate", err
+	default:
+		_, err := c.Query(ctx, client.QueryRequest{SQL: workload.Qg2, TimeoutMS: timeoutMS})
+		return "approx", err
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

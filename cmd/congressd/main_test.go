@@ -1,0 +1,57 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestLoadgenSelf exercises the whole binary path end to end: build a
+// warehouse, start an in-process server, drive it with concurrent
+// clients, and write the BENCH_server.json summary.
+func TestLoadgenSelf(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "BENCH_server.json")
+	var sb strings.Builder
+	err := runLoadgen([]string{
+		"-self", "-rows", "5000", "-groups", "50", "-clients", "4",
+		"-duration", "500ms", "-out", out,
+	}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep benchReport
+	if err := json.Unmarshal(b, &rep); err != nil {
+		t.Fatalf("BENCH_server.json is not valid JSON: %v\n%s", err, b)
+	}
+	if rep.Requests == 0 {
+		t.Error("loadgen made no requests")
+	}
+	if rep.Errors != 0 {
+		t.Errorf("loadgen saw %d errors: %v", rep.Errors, rep.ByCode)
+	}
+	if rep.LatencyMS.P99 < rep.LatencyMS.P50 {
+		t.Errorf("nonsensical latency summary: %+v", rep.LatencyMS)
+	}
+	if !strings.Contains(sb.String(), "loadgen:") {
+		t.Errorf("missing human summary in output: %q", sb.String())
+	}
+}
+
+func TestSplitCSV(t *testing.T) {
+	got := splitCSV(" a, b ,,c ")
+	want := []string{"a", "b", "c"}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}

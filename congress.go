@@ -32,6 +32,7 @@
 package congress
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"strings"
@@ -148,11 +149,20 @@ func (w *Warehouse) CreateTable(name string, cols ...engine.Column) (*Table, err
 	return &Table{w: w, rel: rel}, nil
 }
 
-// Table returns a handle to an existing table.
+// AttachRelation registers an existing engine relation (one produced by
+// the tpcd generator or engine.ReadCSV) as a warehouse table, avoiding a
+// row-by-row copy through CreateTable/Insert.
+func (w *Warehouse) AttachRelation(rel *engine.Relation) *Table {
+	w.cat.Register(rel)
+	return &Table{w: w, rel: rel}
+}
+
+// Table returns a handle to an existing table. The error wraps
+// ErrUnknownTable for errors.Is classification.
 func (w *Warehouse) Table(name string) (*Table, error) {
 	rel, ok := w.cat.Lookup(name)
 	if !ok {
-		return nil, fmt.Errorf("congress: unknown table %q", name)
+		return nil, fmt.Errorf("congress: %w %q", ErrUnknownTable, name)
 	}
 	return &Table{w: w, rel: rel}, nil
 }
@@ -174,6 +184,11 @@ func (t *Table) Insert(vals ...Value) error {
 
 // NumRows returns the table's row count.
 func (t *Table) NumRows() int { return t.rel.NumRows() }
+
+// Columns returns a copy of the table's schema columns, in order.
+func (t *Table) Columns() []engine.Column {
+	return append([]engine.Column(nil), t.rel.Schema.Cols...)
+}
 
 // Name returns the table name.
 func (t *Table) Name() string { return t.rel.Name }
@@ -307,15 +322,32 @@ func (w *Warehouse) Query(sql string) (*Result, error) {
 	return engine.ExecuteSQL(w.cat, sql)
 }
 
+// QueryCtx executes SQL exactly under a context: parse errors wrap
+// ErrBadQuery, and the deadline or cancellation is observed inside the
+// engine's row-scan loops so a large scan stops promptly.
+func (w *Warehouse) QueryCtx(ctx context.Context, sql string) (*Result, error) {
+	return w.aq.ExactCtx(ctx, sql)
+}
+
 // Approx answers an aggregate query approximately from the table's
 // synopsis using its configured rewrite strategy.
 func (w *Warehouse) Approx(sql string) (*Result, error) {
 	return w.aq.Answer(sql)
 }
 
+// ApproxCtx is Approx under a context (see QueryCtx).
+func (w *Warehouse) ApproxCtx(ctx context.Context, sql string) (*Result, error) {
+	return w.aq.AnswerCtx(ctx, sql)
+}
+
 // ApproxWith answers approximately using an explicit rewrite strategy.
 func (w *Warehouse) ApproxWith(sql string, strat RewriteStrategy) (*Result, error) {
 	return w.aq.AnswerWith(sql, strat)
+}
+
+// ApproxWithCtx is ApproxWith under a context (see QueryCtx).
+func (w *Warehouse) ApproxWithCtx(ctx context.Context, sql string, strat RewriteStrategy) (*Result, error) {
+	return w.aq.AnswerWithCtx(ctx, sql, strat)
 }
 
 // Explain returns the rewritten SQL a strategy would execute, without
@@ -332,10 +364,18 @@ func (w *Warehouse) Explain(sql string, strat RewriteStrategy) (string, error) {
 // join the rendered values with EstimateKeySep; split them back with
 // SplitEstimateKey.
 func (w *Warehouse) Estimate(table string, grouping []string, agg estimate.Aggregate, aggCol string, confidence float64) ([]estimate.GroupEstimate, error) {
+	return w.EstimateCtx(context.Background(), table, grouping, agg, aggCol, confidence)
+}
+
+// EstimateCtx is Estimate under a context: the deadline or cancellation
+// is observed inside the per-row estimation loop. Validation errors wrap
+// ErrBadQuery and a missing synopsis wraps ErrNoSynopsis, for errors.Is
+// classification by callers such as the HTTP server.
+func (w *Warehouse) EstimateCtx(ctx context.Context, table string, grouping []string, agg estimate.Aggregate, aggCol string, confidence float64) ([]estimate.GroupEstimate, error) {
 	start := time.Now()
 	syn, ok := w.aq.Synopsis(table)
 	if !ok {
-		return nil, fmt.Errorf("congress: no synopsis for %q", table)
+		return nil, fmt.Errorf("%w %q", ErrNoSynopsis, table)
 	}
 	rel, ok := w.cat.Lookup(table)
 	if !ok {
@@ -345,14 +385,14 @@ func (w *Warehouse) Estimate(table string, grouping []string, agg estimate.Aggre
 	// resolve their ordinals once — not per sampled row.
 	g, err := core.NewGrouping(rel.Schema, grouping)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("%w: %v", ErrBadQuery, err)
 	}
 	cols := g.Columns()
 	ci := rel.Schema.Index(aggCol)
 	if ci < 0 {
-		return nil, fmt.Errorf("congress: unknown aggregate column %q", aggCol)
+		return nil, fmt.Errorf("%w: unknown aggregate column %q", ErrBadQuery, aggCol)
 	}
-	ests, err := estimate.Run(syn.Sample(), estimate.Query{
+	ests, err := estimate.RunCtx(ctx, syn.Sample(), estimate.Query{
 		GroupKey: func(row Row) string {
 			parts := make([]string, 0, len(cols))
 			for _, c := range cols {
@@ -410,6 +450,92 @@ type MetricsSnapshot = metrics.TelemetrySnapshot
 // depth. Safe to call concurrently with any other operation.
 func (w *Warehouse) Metrics() MetricsSnapshot {
 	return w.aq.Telemetry().Snapshot()
+}
+
+// Typed sentinel errors, re-exported from the aqua middleware so callers
+// of the public API can classify failures with errors.Is: ErrBadQuery is
+// a malformed or unsupported query (a client error), ErrNoSynopsis and
+// ErrUnknownTable are missing-resource errors.
+var (
+	ErrBadQuery     = aqua.ErrBadQuery
+	ErrNoSynopsis   = aqua.ErrNoSynopsis
+	ErrUnknownTable = aqua.ErrUnknownTable
+)
+
+// SynopsisInfo summarizes one registered synopsis for listings (the
+// congressd /v1/synopses endpoint, diagnostics).
+type SynopsisInfo struct {
+	// Table is the base relation the synopsis covers.
+	Table string
+	// GroupBy is the grouping attribute set G.
+	GroupBy []string
+	// Strategy names the allocation strategy.
+	Strategy string
+	// Space is the configured budget X in tuples.
+	Space int
+	// SampleSize is the number of tuples currently materialized.
+	SampleSize int
+	// Strata is the number of finest groups in the sample.
+	Strata int
+	// PendingInserts counts maintainer inserts not yet surfaced by a
+	// refresh.
+	PendingInserts int64
+}
+
+// Synopses lists every registered synopsis, sorted by table name so the
+// output is deterministic.
+func (w *Warehouse) Synopses() []SynopsisInfo {
+	syns := w.aq.Synopses()
+	out := make([]SynopsisInfo, 0, len(syns))
+	for _, s := range syns {
+		st := s.Sample()
+		out = append(out, SynopsisInfo{
+			Table:          s.Table(),
+			GroupBy:        s.GroupCols(),
+			Strategy:       s.Strategy().String(),
+			Space:          s.Space(),
+			SampleSize:     st.Size(),
+			Strata:         st.NumStrata(),
+			PendingInserts: s.Pending(),
+		})
+	}
+	return out
+}
+
+// ParseStrategy resolves an allocation-strategy name
+// (house|senate|basic|congress, case-insensitive) for CLI flags and API
+// requests.
+func ParseStrategy(s string) (Strategy, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "house":
+		return House, nil
+	case "senate":
+		return Senate, nil
+	case "basic", "basiccongress", "basic-congress":
+		return BasicCongress, nil
+	case "congress", "":
+		return Congress, nil
+	default:
+		return 0, fmt.Errorf("%w: unknown allocation strategy %q", ErrBadQuery, s)
+	}
+}
+
+// ParseRewriteStrategy resolves a rewrite-strategy name
+// (integrated|nested|normalized|keynormalized, case-insensitive) for CLI
+// flags and API requests.
+func ParseRewriteStrategy(s string) (RewriteStrategy, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "integrated", "":
+		return Integrated, nil
+	case "nested", "nestedintegrated", "nested-integrated":
+		return NestedIntegrated, nil
+	case "normalized":
+		return Normalized, nil
+	case "keynormalized", "key-normalized":
+		return KeyNormalized, nil
+	default:
+		return 0, fmt.Errorf("%w: unknown rewrite strategy %q", ErrBadQuery, s)
+	}
 }
 
 // NewRand builds a deterministic random source, convenience for

@@ -7,6 +7,7 @@
 package aqua
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -138,7 +139,7 @@ func (a *Aqua) CreateSynopsis(cfg Config) (*Synopsis, error) {
 	}
 	rel, ok := a.cat.Lookup(cfg.Table)
 	if !ok {
-		return nil, fmt.Errorf("aqua: unknown table %q", cfg.Table)
+		return nil, fmt.Errorf("aqua: %w %q", ErrUnknownTable, cfg.Table)
 	}
 	g, err := core.NewGrouping(rel.Schema, cfg.GroupCols)
 	if err != nil {
@@ -251,6 +252,21 @@ func (a *Aqua) Synopsis(table string) (*Synopsis, bool) {
 	defer a.mu.RUnlock()
 	s, ok := a.synopses[strings.ToLower(table)]
 	return s, ok
+}
+
+// Synopses returns every registered synopsis, sorted by base table name
+// so listings (the server's /v1/synopses, tests) are deterministic.
+func (a *Aqua) Synopses() []*Synopsis {
+	a.mu.RLock()
+	out := make([]*Synopsis, 0, len(a.synopses))
+	for _, s := range a.synopses {
+		out = append(out, s)
+	}
+	a.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool {
+		return strings.ToLower(out[i].cfg.Table) < strings.ToLower(out[j].cfg.Table)
+	})
+	return out
 }
 
 func (s *Synopsis) nameTables() {
@@ -402,11 +418,17 @@ func (s *Synopsis) AllocationTable() []AllocationRow {
 		}
 		out = append(out, row)
 	})
+	// Total order (target desc, then group, then population) so repeated
+	// calls — and hence API responses and tests — render identically.
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Target != out[j].Target {
 			return out[i].Target > out[j].Target
 		}
-		return fmt.Sprint(out[i].Group) < fmt.Sprint(out[j].Group)
+		gi, gj := fmt.Sprint(out[i].Group), fmt.Sprint(out[j].Group)
+		if gi != gj {
+			return gi < gj
+		}
+		return out[i].Population > out[j].Population
 	})
 	return out
 }
@@ -425,6 +447,32 @@ func (s *Synopsis) gid(key string) (int64, bool) {
 
 // Grouping exposes the grouping G of the synopsis.
 func (s *Synopsis) Grouping() *core.Grouping { return s.grouping }
+
+// Table returns the base relation name the synopsis covers.
+func (s *Synopsis) Table() string { return s.cfg.Table }
+
+// GroupCols returns a copy of the grouping attribute set G.
+func (s *Synopsis) GroupCols() []string {
+	return append([]string(nil), s.cfg.GroupCols...)
+}
+
+// Strategy returns the allocation strategy the synopsis was built with.
+func (s *Synopsis) Strategy() core.Strategy { return s.cfg.Strategy }
+
+// Space returns the synopsis space budget X in tuples.
+func (s *Synopsis) Space() int { return s.cfg.Space }
+
+// DefaultRewrite returns the rewriting strategy Answer uses for this
+// synopsis.
+func (s *Synopsis) DefaultRewrite() rewrite.Strategy { return s.cfg.Rewrite }
+
+// Pending returns the number of maintainer inserts not yet surfaced by a
+// Refresh.
+func (s *Synopsis) Pending() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.pending
+}
 
 // Maintainer exposes the incremental maintainer armed at creation.
 // Maintainers are not internally synchronized: callers driving one
@@ -452,7 +500,7 @@ func (a *Aqua) Refresh(table string) error {
 	start := time.Now()
 	s, ok := a.Synopsis(table)
 	if !ok {
-		return fmt.Errorf("aqua: no synopsis for %q", table)
+		return fmt.Errorf("%w %q", ErrNoSynopsis, table)
 	}
 	rel, ok := a.cat.Lookup(s.cfg.Table)
 	if !ok {
@@ -480,12 +528,19 @@ func (a *Aqua) Refresh(table string) error {
 // Answer rewrites the query with the synopsis's default strategy and
 // executes it, returning the approximate answer.
 func (a *Aqua) Answer(query string) (*engine.Result, error) {
+	return a.AnswerCtx(context.Background(), query)
+}
+
+// AnswerCtx is Answer under a context: the deadline or cancellation is
+// observed inside the rewritten query's row-scan loops, so an abandoned
+// request stops scanning promptly.
+func (a *Aqua) AnswerCtx(ctx context.Context, query string) (*engine.Result, error) {
 	start := time.Now()
 	s, stmt, err := a.route(query)
 	if err != nil {
 		return nil, err
 	}
-	res, err := a.answer(s, stmt, s.cfg.Rewrite)
+	res, err := a.answer(ctx, s, stmt, s.cfg.Rewrite)
 	if err == nil {
 		a.tel.ObserveAnswer(time.Since(start))
 	}
@@ -495,12 +550,17 @@ func (a *Aqua) Answer(query string) (*engine.Result, error) {
 // AnswerWith answers using an explicit rewriting strategy (used by the
 // Section 7.3 rewriting experiments).
 func (a *Aqua) AnswerWith(query string, strat rewrite.Strategy) (*engine.Result, error) {
+	return a.AnswerWithCtx(context.Background(), query, strat)
+}
+
+// AnswerWithCtx is AnswerWith under a context (see AnswerCtx).
+func (a *Aqua) AnswerWithCtx(ctx context.Context, query string, strat rewrite.Strategy) (*engine.Result, error) {
 	start := time.Now()
 	s, stmt, err := a.route(query)
 	if err != nil {
 		return nil, err
 	}
-	res, err := a.answer(s, stmt, strat)
+	res, err := a.answer(ctx, s, stmt, strat)
 	if err == nil {
 		a.tel.ObserveAnswer(time.Since(start))
 	}
@@ -524,28 +584,39 @@ func (a *Aqua) RewriteOnly(query string, strat rewrite.Strategy) (string, error)
 // Exact executes the query against the base relation, bypassing the
 // synopsis (ground truth for experiments).
 func (a *Aqua) Exact(query string) (*engine.Result, error) {
-	return engine.ExecuteSQL(a.cat, query)
+	return a.ExactCtx(context.Background(), query)
+}
+
+// ExactCtx is Exact under a context: parse errors are wrapped in
+// ErrBadQuery and the deadline is observed inside the engine's scan
+// loops.
+func (a *Aqua) ExactCtx(ctx context.Context, query string) (*engine.Result, error) {
+	stmt, err := sqlparse.Parse(query)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadQuery, err)
+	}
+	return engine.ExecuteCtx(ctx, a.cat, stmt)
 }
 
 func (a *Aqua) route(query string) (*Synopsis, *sqlparse.SelectStmt, error) {
 	stmt, err := sqlparse.Parse(query)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, fmt.Errorf("%w: %v", ErrBadQuery, err)
 	}
 	if len(stmt.From) != 1 || stmt.From[0].Subquery != nil {
-		return nil, nil, fmt.Errorf("aqua: approximate answering supports single-table queries")
+		return nil, nil, fmt.Errorf("%w: approximate answering supports single-table queries", ErrBadQuery)
 	}
 	s, ok := a.Synopsis(stmt.From[0].Name)
 	if !ok {
-		return nil, nil, fmt.Errorf("aqua: no synopsis for table %q", stmt.From[0].Name)
+		return nil, nil, fmt.Errorf("%w %q", ErrNoSynopsis, stmt.From[0].Name)
 	}
 	return s, stmt, nil
 }
 
-func (a *Aqua) answer(s *Synopsis, stmt *sqlparse.SelectStmt, strat rewrite.Strategy) (*engine.Result, error) {
+func (a *Aqua) answer(ctx context.Context, s *Synopsis, stmt *sqlparse.SelectStmt, strat rewrite.Strategy) (*engine.Result, error) {
 	rewritten, err := rewrite.Rewrite(stmt, strat, s.Tables(strat))
 	if err != nil {
 		return nil, err
 	}
-	return engine.Execute(a.cat, rewritten)
+	return engine.ExecuteCtx(ctx, a.cat, rewritten)
 }

@@ -1,0 +1,28 @@
+package aqua
+
+import (
+	"errors"
+
+	"github.com/approxdb/congress/internal/engine"
+)
+
+// Typed sentinel errors for the route/Answer/Exact paths. Callers — in
+// particular the HTTP server — classify failures with errors.Is instead
+// of string matching: ErrBadQuery maps to a client error (HTTP 400),
+// ErrNoSynopsis and ErrUnknownTable to not-found (HTTP 404), and
+// anything else to an internal failure.
+var (
+	// ErrBadQuery wraps SQL parse errors and query shapes the
+	// approximate-answering path does not support (multi-table FROM,
+	// derived tables).
+	ErrBadQuery = errors.New("aqua: bad query")
+
+	// ErrNoSynopsis reports a query against a table that has no
+	// precomputed synopsis.
+	ErrNoSynopsis = errors.New("aqua: no synopsis for table")
+
+	// ErrUnknownTable aliases the engine's sentinel so both the exact
+	// path (engine resolution) and the synopsis-construction path report
+	// a missing relation as the same error.
+	ErrUnknownTable = engine.ErrUnknownTable
+)

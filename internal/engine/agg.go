@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
@@ -24,7 +25,7 @@ const zScore90 = 1.6448536269514722
 // accumulator per distinct aggregate expression, then evaluates the
 // select list (and HAVING and ORDER BY keys) once per group with the
 // aggregate results bound.
-func aggregate(items []sqlparse.SelectItem, groupBy []sqlparse.Expr, having sqlparse.Expr, orderBy []sqlparse.OrderItem, in *input) ([]sortableRow, error) {
+func aggregate(goCtx context.Context, items []sqlparse.SelectItem, groupBy []sqlparse.Expr, having sqlparse.Expr, orderBy []sqlparse.OrderItem, in *input) ([]sortableRow, error) {
 	// Collect the distinct aggregate calls appearing anywhere.
 	aggExprs := make([]*sqlparse.FuncCall, 0, 4)
 	seen := make(map[string]bool)
@@ -58,7 +59,10 @@ func aggregate(items []sqlparse.SelectItem, groupBy []sqlparse.Expr, having sqlp
 
 	ctx := &evalCtx{env: in.env}
 	var kb strings.Builder
-	for _, r := range in.rows {
+	for ri, r := range in.rows {
+		if err := pollCtx(goCtx, ri); err != nil {
+			return nil, err
+		}
 		ctx.row = r
 		kb.Reset()
 		for _, g := range groupBy {

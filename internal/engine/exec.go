@@ -1,12 +1,35 @@
 package engine
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
 
 	"github.com/approxdb/congress/internal/sqlparse"
 )
+
+// ErrUnknownTable is wrapped by errors reporting a FROM-clause reference
+// to a relation the catalog does not hold, so callers (the aqua router,
+// the HTTP server) can distinguish "no such table" from other failures
+// with errors.Is instead of string matching.
+var ErrUnknownTable = errors.New("unknown table")
+
+// pollEvery is how many rows a scan loop processes between context
+// cancellation checks: small enough that a 1ms deadline interrupts a
+// large scan promptly, large enough that the check is free on the
+// fast path (a mask test plus a branch).
+const pollEvery = 1024
+
+// pollCtx returns the context's error every pollEvery-th iteration and
+// nil otherwise. Call it with the loop index from every row-scan loop.
+func pollCtx(ctx context.Context, i int) error {
+	if i&(pollEvery-1) != 0 {
+		return nil
+	}
+	return ctx.Err()
+}
 
 // Result is the output of executing a query: named columns and rows.
 type Result struct {
@@ -54,15 +77,30 @@ func (r *Result) String() string {
 
 // ExecuteSQL parses and executes a query against the catalog.
 func ExecuteSQL(cat *Catalog, query string) (*Result, error) {
+	return ExecuteSQLCtx(context.Background(), cat, query)
+}
+
+// ExecuteSQLCtx parses and executes a query under a context: a deadline
+// or cancellation is observed inside the row-scan loops, so a saturated
+// or abandoned query stops promptly instead of finishing its scans.
+func ExecuteSQLCtx(ctx context.Context, cat *Catalog, query string) (*Result, error) {
 	stmt, err := sqlparse.Parse(query)
 	if err != nil {
 		return nil, err
 	}
-	return Execute(cat, stmt)
+	return ExecuteCtx(ctx, cat, stmt)
 }
 
 // Execute runs a parsed SELECT against the catalog.
 func Execute(cat *Catalog, stmt *sqlparse.SelectStmt) (*Result, error) {
+	return ExecuteCtx(context.Background(), cat, stmt)
+}
+
+// ExecuteCtx runs a parsed SELECT against the catalog, checking the
+// context for cancellation every pollEvery scanned rows in every filter,
+// join, aggregation, and projection loop (including recursively executed
+// derived tables).
+func ExecuteCtx(ctx context.Context, cat *Catalog, stmt *sqlparse.SelectStmt) (*Result, error) {
 	if len(stmt.From) == 0 {
 		return executeNoFrom(stmt)
 	}
@@ -70,7 +108,7 @@ func Execute(cat *Catalog, stmt *sqlparse.SelectStmt) (*Result, error) {
 	// Resolve FROM inputs (recursively executing derived tables).
 	inputs := make([]*input, 0, len(stmt.From)+len(stmt.Joins))
 	for _, ref := range stmt.From {
-		in, err := resolveRef(cat, ref)
+		in, err := resolveRef(ctx, cat, ref)
 		if err != nil {
 			return nil, err
 		}
@@ -83,7 +121,7 @@ func Execute(cat *Catalog, stmt *sqlparse.SelectStmt) (*Result, error) {
 		conjuncts = splitConjuncts(stmt.Where)
 	}
 	for _, j := range stmt.Joins {
-		in, err := resolveRef(cat, j.Right)
+		in, err := resolveRef(ctx, cat, j.Right)
 		if err != nil {
 			return nil, err
 		}
@@ -101,7 +139,7 @@ func Execute(cat *Catalog, stmt *sqlparse.SelectStmt) (*Result, error) {
 			if !exprResolvesIn(c, in.env) {
 				continue
 			}
-			if err := in.filter(c); err != nil {
+			if err := in.filter(ctx, c); err != nil {
 				return nil, err
 			}
 			used[i] = true
@@ -125,7 +163,7 @@ func Execute(cat *Catalog, stmt *sqlparse.SelectStmt) (*Result, error) {
 				used[i] = true
 			}
 		}
-		joined, err := joinInputs(cur, next, keys)
+		joined, err := joinInputs(ctx, cur, next, keys)
 		if err != nil {
 			return nil, err
 		}
@@ -137,12 +175,12 @@ func Execute(cat *Catalog, stmt *sqlparse.SelectStmt) (*Result, error) {
 		if used[i] {
 			continue
 		}
-		if err := cur.filter(c); err != nil {
+		if err := cur.filter(ctx, c); err != nil {
 			return nil, err
 		}
 	}
 
-	return project(stmt, cur)
+	return project(ctx, stmt, cur)
 }
 
 // executeNoFrom evaluates a FROM-less SELECT (constant expressions).
@@ -171,12 +209,15 @@ type input struct {
 	rows []Row
 }
 
-func (in *input) filter(pred sqlparse.Expr) error {
-	ctx := &evalCtx{env: in.env}
+func (in *input) filter(ctx context.Context, pred sqlparse.Expr) error {
+	ec := &evalCtx{env: in.env}
 	out := in.rows[:0]
-	for _, row := range in.rows {
-		ctx.row = row
-		v, err := ctx.eval(pred)
+	for i, row := range in.rows {
+		if err := pollCtx(ctx, i); err != nil {
+			return err
+		}
+		ec.row = row
+		v, err := ec.eval(pred)
 		if err != nil {
 			return err
 		}
@@ -188,10 +229,10 @@ func (in *input) filter(pred sqlparse.Expr) error {
 	return nil
 }
 
-func resolveRef(cat *Catalog, ref sqlparse.TableRef) (*input, error) {
+func resolveRef(ctx context.Context, cat *Catalog, ref sqlparse.TableRef) (*input, error) {
 	qual := ref.Alias
 	if ref.Subquery != nil {
-		sub, err := Execute(cat, ref.Subquery)
+		sub, err := ExecuteCtx(ctx, cat, ref.Subquery)
 		if err != nil {
 			return nil, err
 		}
@@ -203,7 +244,7 @@ func resolveRef(cat *Catalog, ref sqlparse.TableRef) (*input, error) {
 	}
 	rel, ok := cat.Lookup(ref.Name)
 	if !ok {
-		return nil, fmt.Errorf("engine: unknown table %q", ref.Name)
+		return nil, fmt.Errorf("engine: %w %q", ErrUnknownTable, ref.Name)
 	}
 	if qual == "" {
 		qual = ref.Name
@@ -272,7 +313,7 @@ func equiKey(e sqlparse.Expr, left, right *rowEnv) (joinKey, bool) {
 // joinInputs joins two materialized inputs. With keys it builds a hash
 // table on the right side; without keys it falls back to a nested-loop
 // cross product.
-func joinInputs(left, right *input, keys []joinKey) (*input, error) {
+func joinInputs(ctx context.Context, left, right *input, keys []joinKey) (*input, error) {
 	env := newRowEnv()
 	env.merge(left.env)
 	env.merge(right.env)
@@ -280,7 +321,10 @@ func joinInputs(left, right *input, keys []joinKey) (*input, error) {
 
 	if len(keys) == 0 {
 		out.rows = make([]Row, 0, len(left.rows)*max(1, len(right.rows)))
-		for _, lr := range left.rows {
+		for li, lr := range left.rows {
+			if err := pollCtx(ctx, li); err != nil {
+				return nil, err
+			}
 			for _, rr := range right.rows {
 				out.rows = append(out.rows, concatRows(lr, rr))
 			}
@@ -290,7 +334,10 @@ func joinInputs(left, right *input, keys []joinKey) (*input, error) {
 
 	ht := make(map[string][]Row, len(right.rows))
 	var kb strings.Builder
-	for _, rr := range right.rows {
+	for ri, rr := range right.rows {
+		if err := pollCtx(ctx, ri); err != nil {
+			return nil, err
+		}
 		kb.Reset()
 		for _, k := range keys {
 			kb.WriteString(rr[k.right].GroupKey())
@@ -298,7 +345,10 @@ func joinInputs(left, right *input, keys []joinKey) (*input, error) {
 		key := kb.String()
 		ht[key] = append(ht[key], rr)
 	}
-	for _, lr := range left.rows {
+	for li, lr := range left.rows {
+		if err := pollCtx(ctx, li); err != nil {
+			return nil, err
+		}
 		kb.Reset()
 		for _, k := range keys {
 			kb.WriteString(lr[k.left].GroupKey())
@@ -330,7 +380,7 @@ func outputName(item sqlparse.SelectItem) string {
 
 // project applies grouping/aggregation (if any), HAVING, DISTINCT,
 // ORDER BY, and LIMIT/OFFSET to produce the final result.
-func project(stmt *sqlparse.SelectStmt, in *input) (*Result, error) {
+func project(ctx context.Context, stmt *sqlparse.SelectStmt, in *input) (*Result, error) {
 	// Expand SELECT *.
 	items := make([]sqlparse.SelectItem, 0, len(stmt.Select))
 	for _, item := range stmt.Select {
@@ -393,18 +443,21 @@ func project(stmt *sqlparse.SelectStmt, in *input) (*Result, error) {
 	var rows []sortableRow
 
 	if hasAgg {
-		grouped, err := aggregate(items, groupBy, stmt.Having, orderBy, in)
+		grouped, err := aggregate(ctx, items, groupBy, stmt.Having, orderBy, in)
 		if err != nil {
 			return nil, err
 		}
 		rows = grouped
 	} else {
-		ctx := &evalCtx{env: in.env}
-		for _, r := range in.rows {
-			ctx.row = r
+		ec := &evalCtx{env: in.env}
+		for ri, r := range in.rows {
+			if err := pollCtx(ctx, ri); err != nil {
+				return nil, err
+			}
+			ec.row = r
 			out := make(Row, len(items))
 			for i, item := range items {
-				v, err := ctx.eval(item.Expr)
+				v, err := ec.eval(item.Expr)
 				if err != nil {
 					return nil, err
 				}
@@ -412,7 +465,7 @@ func project(stmt *sqlparse.SelectStmt, in *input) (*Result, error) {
 			}
 			var keys []Value
 			for _, o := range orderBy {
-				v, err := ctx.eval(o.Expr)
+				v, err := ec.eval(o.Expr)
 				if err != nil {
 					return nil, err
 				}

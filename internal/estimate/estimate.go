@@ -10,6 +10,7 @@
 package estimate
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -17,6 +18,10 @@ import (
 	"github.com/approxdb/congress/internal/engine"
 	"github.com/approxdb/congress/internal/sample"
 )
+
+// pollEvery is how many sampled rows the estimation loop processes
+// between context cancellation checks (mirrors engine.pollEvery).
+const pollEvery = 1024
 
 // Aggregate selects the aggregate operator to estimate.
 type Aggregate int
@@ -71,6 +76,14 @@ type GroupEstimate struct {
 // Run executes the estimation. Output order follows sorted stratum keys
 // grouped by output key first appearance.
 func Run(st *sample.Stratified[engine.Row], q Query) ([]GroupEstimate, error) {
+	return RunCtx(context.Background(), st, q)
+}
+
+// RunCtx executes the estimation under a context: a deadline or
+// cancellation is observed inside the per-row scan loop (checked every
+// pollEvery sampled rows), so a query against a large sample stops
+// promptly when its caller gives up.
+func RunCtx(ctx context.Context, st *sample.Stratified[engine.Row], q Query) ([]GroupEstimate, error) {
 	if q.Value == nil {
 		return nil, errors.New("estimate: Query.Value is required")
 	}
@@ -93,9 +106,11 @@ func Run(st *sample.Stratified[engine.Row], q Query) ([]GroupEstimate, error) {
 	cells := make(map[string]*cell)
 	var order []string
 
-	st.Each(func(s *sample.Stratum[engine.Row]) {
-		if len(s.Items) == 0 {
-			return
+	scanned := 0 // rows visited across strata, for cancellation polling
+	for _, sk := range st.Keys() {
+		s, ok := st.Get(sk)
+		if !ok || len(s.Items) == 0 {
+			continue
 		}
 		sf := s.ScaleFactor()
 		if sf < 1 {
@@ -113,6 +128,12 @@ func Run(st *sample.Stratified[engine.Row], q Query) ([]GroupEstimate, error) {
 			countVarTr float64
 		)
 		for _, row := range s.Items {
+			if scanned&(pollEvery-1) == 0 {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+			}
+			scanned++
 			v, ok := q.Value(row)
 			if !ok {
 				continue
@@ -132,7 +153,7 @@ func Run(st *sample.Stratified[engine.Row], q Query) ([]GroupEstimate, error) {
 			countVarTr += sf * (sf - 1)
 		}
 		if n == 0 {
-			return
+			continue
 		}
 		c := cells[key]
 		if c == nil {
@@ -148,7 +169,7 @@ func Run(st *sample.Stratified[engine.Row], q Query) ([]GroupEstimate, error) {
 			s2 := m2 / float64(n-1)
 			c.variance += sf * sf * float64(n) * (1 - 1/sf) * s2
 		}
-	})
+	}
 
 	out := make([]GroupEstimate, 0, len(order))
 	for _, key := range order {

@@ -1,0 +1,157 @@
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// histogram bucket layout: upper bounds double from 100µs to ~52s, with
+// a final catch-all +Inf bucket. Fixed at compile time so Observe is one
+// loop over a small array and one atomic add — safe for concurrent use
+// with no locks.
+const numHistBuckets = 20
+
+// histBounds holds the bucket upper bounds in seconds.
+var histBounds = func() [numHistBuckets]float64 {
+	var b [numHistBuckets]float64
+	d := 100 * time.Microsecond
+	for i := range b {
+		b[i] = d.Seconds()
+		d *= 2
+	}
+	return b
+}()
+
+// Histogram is a fixed-bucket latency histogram. All methods are safe
+// for concurrent use and nil-receiver tolerant, matching Telemetry.
+type Histogram struct {
+	counts [numHistBuckets + 1]atomic.Int64 // last bucket is +Inf
+	nanos  atomic.Int64
+	total  atomic.Int64
+}
+
+// NewHistogram returns a zeroed histogram.
+func NewHistogram() *Histogram { return &Histogram{} }
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	s := d.Seconds()
+	i := 0
+	for i < numHistBuckets && s > histBounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.nanos.Add(int64(d))
+	h.total.Add(1)
+}
+
+// HistogramSnapshot is a point-in-time reading of a histogram.
+type HistogramSnapshot struct {
+	// Count is the number of observations.
+	Count int64
+	// Sum is the total observed duration.
+	Sum time.Duration
+	// Counts holds per-bucket (non-cumulative) observation counts; the
+	// final entry is the +Inf bucket.
+	Counts [numHistBuckets + 1]int64
+}
+
+// Snapshot reads the current histogram state. A nil histogram reads as
+// empty.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	var s HistogramSnapshot
+	if h == nil {
+		return s
+	}
+	// total is read first so Count never exceeds the bucket sum under a
+	// concurrent Observe.
+	s.Count = h.total.Load()
+	s.Sum = time.Duration(h.nanos.Load())
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	return s
+}
+
+// Quantile returns the p-quantile (0 < p < 1) as the upper bound of the
+// bucket where the cumulative count crosses p·Count — an upper estimate
+// with bucket resolution. An empty histogram returns 0; observations in
+// the +Inf bucket report the largest finite bound.
+func (s HistogramSnapshot) Quantile(p float64) time.Duration {
+	if s.Count == 0 || p <= 0 || p >= 1 {
+		return 0
+	}
+	rank := int64(p*float64(s.Count) + 0.5)
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i, c := range s.Counts {
+		cum += c
+		if cum >= rank {
+			if i >= numHistBuckets {
+				break // +Inf bucket: clamp to the largest finite bound
+			}
+			return time.Duration(histBounds[i] * float64(time.Second))
+		}
+	}
+	return time.Duration(histBounds[numHistBuckets-1] * float64(time.Second))
+}
+
+// Render writes the histogram in Prometheus text exposition format under
+// the given metric name, with cumulative _bucket lines, _sum and _count,
+// plus p50/p95/p99 quantile gauges. Label pairs (key, value, key, value,
+// ...) are attached to every line; output is deterministic for a fixed
+// snapshot.
+func (s HistogramSnapshot) Render(sb *strings.Builder, name string, labels ...string) {
+	base := renderLabels(labels)
+	var cum int64
+	for i, c := range s.Counts {
+		cum += c
+		le := "+Inf"
+		if i < numHistBuckets {
+			le = trimFloat(histBounds[i])
+		}
+		fmt.Fprintf(sb, "%s_bucket%s %d\n", name, renderLabels(append(append([]string(nil), labels...), "le", le)), cum)
+	}
+	fmt.Fprintf(sb, "%s_sum%s %.6f\n", name, base, s.Sum.Seconds())
+	fmt.Fprintf(sb, "%s_count%s %d\n", name, base, s.Count)
+	for _, q := range []float64{0.5, 0.95, 0.99} {
+		fmt.Fprintf(sb, "%s%s %.6f\n", name,
+			renderLabels(append(append([]string(nil), labels...), "quantile", trimFloat(q))),
+			s.Quantile(q).Seconds())
+	}
+}
+
+// renderLabels formats label pairs as {k="v",...}, sorted by key so the
+// exposition is deterministic. Empty input renders as no label block.
+func renderLabels(pairs []string) string {
+	if len(pairs) == 0 {
+		return ""
+	}
+	type kv struct{ k, v string }
+	kvs := make([]kv, 0, len(pairs)/2)
+	for i := 0; i+1 < len(pairs); i += 2 {
+		kvs = append(kvs, kv{pairs[i], pairs[i+1]})
+	}
+	sort.Slice(kvs, func(i, j int) bool { return kvs[i].k < kvs[j].k })
+	parts := make([]string, len(kvs))
+	for i, p := range kvs {
+		parts[i] = fmt.Sprintf("%s=%q", p.k, p.v)
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// trimFloat renders a float compactly (0.0001 not 1e-04) for label
+// values.
+func trimFloat(f float64) string {
+	out := fmt.Sprintf("%f", f)
+	out = strings.TrimRight(out, "0")
+	return strings.TrimRight(out, ".")
+}

@@ -1,0 +1,83 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramObserveAndQuantile(t *testing.T) {
+	h := NewHistogram()
+	// 90 fast observations, 10 slow ones: p50 must land in a fast
+	// bucket, p99 in a slow one.
+	for i := 0; i < 90; i++ {
+		h.Observe(150 * time.Microsecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(80 * time.Millisecond)
+	}
+	s := h.Snapshot()
+	if s.Count != 100 {
+		t.Fatalf("count = %d, want 100", s.Count)
+	}
+	if got := s.Quantile(0.5); got > time.Millisecond {
+		t.Errorf("p50 = %v, want <= 1ms", got)
+	}
+	if got := s.Quantile(0.99); got < 50*time.Millisecond {
+		t.Errorf("p99 = %v, want >= 50ms", got)
+	}
+	if s.Sum < 800*time.Millisecond {
+		t.Errorf("sum = %v, want >= 800ms", s.Sum)
+	}
+}
+
+func TestHistogramNilAndEmpty(t *testing.T) {
+	var h *Histogram
+	h.Observe(time.Second) // must not panic
+	s := h.Snapshot()
+	if s.Count != 0 || s.Quantile(0.5) != 0 {
+		t.Fatalf("nil histogram not empty: %+v", s)
+	}
+}
+
+func TestHistogramRenderDeterministic(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(3 * time.Millisecond)
+	h.Observe(20 * time.Millisecond)
+	var a, b strings.Builder
+	snap := h.Snapshot()
+	snap.Render(&a, "server_request_seconds", "route", "query")
+	snap.Render(&b, "server_request_seconds", "route", "query")
+	if a.String() != b.String() {
+		t.Fatalf("render not deterministic:\n%s\nvs\n%s", a.String(), b.String())
+	}
+	out := a.String()
+	for _, want := range []string{
+		`server_request_seconds_bucket{le="+Inf",route="query"} 2`,
+		`server_request_seconds_count{route="query"} 2`,
+		`server_request_seconds{quantile="0.99",route="query"}`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(time.Duration(i) * time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := h.Snapshot().Count; got != 8000 {
+		t.Fatalf("count = %d, want 8000", got)
+	}
+}

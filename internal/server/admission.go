@@ -1,0 +1,70 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+)
+
+// errSaturated is returned by acquire when both the worker semaphore and
+// the backpressure queue are full; the handler maps it to 429 with a
+// Retry-After hint.
+var errSaturated = errors.New("server: overloaded, admission queue full")
+
+// admission is the server's load-shedding gate: at most maxConcurrent
+// requests execute at once, at most queueDepth more wait for a slot, and
+// everything beyond that is shed immediately so the server stays
+// responsive instead of accumulating unbounded work.
+type admission struct {
+	sem   chan struct{} // worker slots (capacity = maxConcurrent)
+	queue chan struct{} // waiting slots (capacity = queueDepth)
+
+	queued atomic.Int64 // current waiters, for the metrics gauge
+}
+
+func newAdmission(maxConcurrent, queueDepth int) *admission {
+	if maxConcurrent < 1 {
+		maxConcurrent = 1
+	}
+	if queueDepth < 0 {
+		queueDepth = 0
+	}
+	return &admission{
+		sem:   make(chan struct{}, maxConcurrent),
+		queue: make(chan struct{}, queueDepth),
+	}
+}
+
+// acquire claims a worker slot, waiting in the bounded queue if all
+// slots are busy. It returns a release function on success; errSaturated
+// when the queue is full; or the context's error if the caller's
+// deadline fires while queued.
+func (ad *admission) acquire(ctx context.Context) (release func(), err error) {
+	release = func() { <-ad.sem }
+	// Fast path: a free worker slot.
+	select {
+	case ad.sem <- struct{}{}:
+		return release, nil
+	default:
+	}
+	// Slow path: claim a queue slot or shed.
+	select {
+	case ad.queue <- struct{}{}:
+	default:
+		return nil, errSaturated
+	}
+	ad.queued.Add(1)
+	defer func() {
+		ad.queued.Add(-1)
+		<-ad.queue
+	}()
+	select {
+	case ad.sem <- struct{}{}:
+		return release, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// depth reports the current number of queued waiters.
+func (ad *admission) depth() int64 { return ad.queued.Load() }

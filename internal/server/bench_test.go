@@ -1,0 +1,54 @@
+package server
+
+import (
+	"context"
+	"testing"
+
+	"github.com/approxdb/congress/internal/workload"
+	"github.com/approxdb/congress/pkg/client"
+)
+
+// BenchmarkServerQuery measures one approximate group-by answer through
+// the full network stack — JSON encode, HTTP round trip, admission,
+// rewrite, execution, JSON decode — the served counterpart of the
+// library-level BenchmarkEstimateDirect.
+func BenchmarkServerQuery(b *testing.B) {
+	w := testWarehouse(b, 50_000, 200)
+	_, c := testServer(b, Options{Warehouse: w})
+	ctx := context.Background()
+	req := client.QueryRequest{SQL: workload.Qg2}
+	if _, err := c.Query(ctx, req); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Query(ctx, req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkServerEstimate is the network-served direct-estimation path
+// with confidence bounds.
+func BenchmarkServerEstimate(b *testing.B) {
+	w := testWarehouse(b, 50_000, 200)
+	_, c := testServer(b, Options{Warehouse: w})
+	ctx := context.Background()
+	req := client.QueryRequest{Estimate: &client.EstimateRequest{
+		Table:   "lineitem",
+		GroupBy: []string{"l_returnflag", "l_linestatus"},
+		Agg:     "sum",
+		Column:  "l_quantity",
+	}}
+	if _, err := c.Query(ctx, req); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Query(ctx, req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,94 @@
+package server
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/approxdb/congress/internal/metrics"
+)
+
+// serverMetrics aggregates the server-side counters and latency
+// histograms exposed on /metrics next to the warehouse's congress_*
+// telemetry. Metric names (all deterministic, sorted rendering):
+//
+//	server_in_flight                      requests currently executing
+//	server_admission_queue_depth          requests waiting for a worker slot
+//	server_requests_shed_total            requests rejected with 429
+//	server_panics_recovered_total         handler panics turned into 500s
+//	server_requests_total{route,code}     completed requests by route and status
+//	server_request_seconds{route,...}     per-route latency histogram + quantiles
+//	server_request_seconds_all{...}       all-routes latency histogram + quantiles
+type serverMetrics struct {
+	inFlight atomic.Int64
+	shed     atomic.Int64
+	panics   atomic.Int64
+
+	all     *metrics.Histogram
+	byRoute map[string]*metrics.Histogram // fixed key set, created up front
+
+	mu       sync.Mutex
+	requests map[string]int64 // "route\x00code" -> count
+}
+
+// metricRoutes is the fixed label set; creating every histogram up front
+// keeps Observe lock-free.
+var metricRoutes = []string{"exact", "healthz", "insert", "metrics", "query", "synopses"}
+
+func newServerMetrics() *serverMetrics {
+	m := &serverMetrics{
+		all:      metrics.NewHistogram(),
+		byRoute:  make(map[string]*metrics.Histogram, len(metricRoutes)),
+		requests: make(map[string]int64),
+	}
+	for _, r := range metricRoutes {
+		m.byRoute[r] = metrics.NewHistogram()
+	}
+	return m
+}
+
+// observe records one completed request.
+func (m *serverMetrics) observe(route string, code int, d time.Duration) {
+	m.all.Observe(d)
+	if h, ok := m.byRoute[route]; ok {
+		h.Observe(d)
+	}
+	m.mu.Lock()
+	m.requests[route+"\x00"+fmt.Sprint(code)]++
+	m.mu.Unlock()
+}
+
+// render writes the server_* exposition block, with every multi-valued
+// family sorted by label so output is deterministic for a fixed state.
+func (m *serverMetrics) render(sb *strings.Builder, queueDepth int64) {
+	fmt.Fprintf(sb, "server_in_flight %d\n", m.inFlight.Load())
+	fmt.Fprintf(sb, "server_admission_queue_depth %d\n", queueDepth)
+	fmt.Fprintf(sb, "server_requests_shed_total %d\n", m.shed.Load())
+	fmt.Fprintf(sb, "server_panics_recovered_total %d\n", m.panics.Load())
+
+	m.mu.Lock()
+	keys := make([]string, 0, len(m.requests))
+	for k := range m.requests {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	lines := make([]string, 0, len(keys))
+	for _, k := range keys {
+		route, code, _ := strings.Cut(k, "\x00")
+		lines = append(lines, fmt.Sprintf("server_requests_total{code=%q,route=%q} %d\n", code, route, m.requests[k]))
+	}
+	m.mu.Unlock()
+	for _, l := range lines {
+		sb.WriteString(l)
+	}
+
+	m.all.Snapshot().Render(sb, "server_request_seconds_all")
+	for _, r := range metricRoutes {
+		if snap := m.byRoute[r].Snapshot(); snap.Count > 0 {
+			snap.Render(sb, "server_request_seconds", "route", r)
+		}
+	}
+}

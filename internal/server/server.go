@@ -1,0 +1,606 @@
+// Package server is congressd's HTTP/JSON query service over an Aqua
+// warehouse: approximate answers from precomputed congressional
+// synopses served over the network with per-request deadlines, admission
+// control with bounded queueing and load shedding, structured request
+// logging, panic recovery, operational metrics, and graceful shutdown.
+//
+// Endpoints:
+//
+//	POST /v1/query     approximate answer (SQL rewrite or direct estimate)
+//	POST /v1/exact     exact answer against the base tables
+//	POST /v1/insert    feed rows to a table and its synopsis maintainer
+//	GET  /v1/synopses  list registered synopses (+allocation tables)
+//	GET  /metrics      congress_* telemetry + server_* histograms
+//	GET  /healthz      liveness probe
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
+	"runtime"
+	"runtime/debug"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	congress "github.com/approxdb/congress"
+	"github.com/approxdb/congress/internal/aqua"
+	"github.com/approxdb/congress/internal/engine"
+	"github.com/approxdb/congress/internal/estimate"
+	"github.com/approxdb/congress/pkg/client"
+)
+
+// Options configures a Server. The zero value of every field has a
+// sensible default.
+type Options struct {
+	// Warehouse is the warehouse to serve (required).
+	Warehouse *congress.Warehouse
+	// Logger receives structured request and lifecycle logs; defaults to
+	// slog.Default().
+	Logger *slog.Logger
+	// MaxConcurrent bounds requests executing simultaneously (the worker
+	// semaphore). Default 4×GOMAXPROCS.
+	MaxConcurrent int
+	// QueueDepth bounds requests waiting for a worker slot; beyond it
+	// requests are shed with 429. Default 4×MaxConcurrent.
+	QueueDepth int
+	// DefaultTimeout applies when a request carries no timeout_ms.
+	// Default 10s.
+	DefaultTimeout time.Duration
+	// MaxTimeout clamps client-requested timeouts. Default 60s.
+	MaxTimeout time.Duration
+	// RetryAfter is the backoff hint attached to 429 responses. Default 1s.
+	RetryAfter time.Duration
+}
+
+func (o *Options) withDefaults() {
+	if o.Logger == nil {
+		o.Logger = slog.Default()
+	}
+	if o.MaxConcurrent <= 0 {
+		o.MaxConcurrent = 4 * runtime.GOMAXPROCS(0)
+	}
+	if o.QueueDepth == 0 {
+		o.QueueDepth = 4 * o.MaxConcurrent
+	}
+	if o.QueueDepth < 0 {
+		o.QueueDepth = 0
+	}
+	if o.DefaultTimeout <= 0 {
+		o.DefaultTimeout = 10 * time.Second
+	}
+	if o.MaxTimeout <= 0 {
+		o.MaxTimeout = 60 * time.Second
+	}
+	if o.RetryAfter <= 0 {
+		o.RetryAfter = time.Second
+	}
+}
+
+// Server serves one warehouse over HTTP. Create with New, start with
+// Start (or mount Handler on your own listener), stop with Shutdown.
+type Server struct {
+	w    *congress.Warehouse
+	opts Options
+	log  *slog.Logger
+	adm  *admission
+	met  *serverMetrics
+	mux  *http.ServeMux
+	http *http.Server
+
+	reqID atomic.Int64
+
+	// onExecute, when set, runs inside query-path handlers after
+	// admission but before execution. Tests use it to hold worker slots
+	// open deterministically.
+	onExecute func()
+}
+
+// New builds a Server over the warehouse. It panics if opts.Warehouse is
+// nil (a programming error, not a runtime condition).
+func New(opts Options) *Server {
+	if opts.Warehouse == nil {
+		panic("server: Options.Warehouse is required")
+	}
+	opts.withDefaults()
+	s := &Server{
+		w:    opts.Warehouse,
+		opts: opts,
+		log:  opts.Logger,
+		adm:  newAdmission(opts.MaxConcurrent, opts.QueueDepth),
+		met:  newServerMetrics(),
+		mux:  http.NewServeMux(),
+	}
+	s.mux.Handle("POST /v1/query", s.instrument("query", s.handleQuery))
+	s.mux.Handle("POST /v1/exact", s.instrument("exact", s.handleExact))
+	s.mux.Handle("POST /v1/insert", s.instrument("insert", s.handleInsert))
+	s.mux.Handle("GET /v1/synopses", s.instrument("synopses", s.handleSynopses))
+	s.mux.Handle("GET /metrics", s.instrument("metrics", s.handleMetrics))
+	s.mux.Handle("GET /healthz", s.instrument("healthz", s.handleHealthz))
+	s.http = &http.Server{Handler: s.mux}
+	return s
+}
+
+// Handler returns the fully wired HTTP handler (for tests and embedding).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Start listens on addr (e.g. ":8642", "127.0.0.1:0") and serves in a
+// background goroutine, returning the bound address. Serve errors other
+// than http.ErrServerClosed are logged.
+func (s *Server) Start(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	go func() {
+		if err := s.http.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			s.log.Error("serve failed", slog.String("err", err.Error()))
+		}
+	}()
+	s.log.Info("congressd listening", slog.String("addr", ln.Addr().String()),
+		slog.Int("max_concurrent", s.opts.MaxConcurrent), slog.Int("queue_depth", s.opts.QueueDepth))
+	return ln.Addr().String(), nil
+}
+
+// Shutdown gracefully stops the server: it stops accepting new
+// connections, waits (up to ctx's deadline) for in-flight requests to
+// drain, then flushes a final metrics snapshot to the structured log.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.log.Info("congressd shutting down, draining in-flight requests")
+	err := s.http.Shutdown(ctx)
+	m := s.w.Metrics()
+	lat := s.met.all.Snapshot()
+	s.log.Info("final metrics",
+		slog.Int64("answers_served", m.Answer.Count),
+		slog.Int64("estimates_served", m.Estimate.Count),
+		slog.Int64("maintainer_inserts", m.MaintainerInserts),
+		slog.Int64("requests_total", lat.Count),
+		slog.Int64("requests_shed", s.met.shed.Load()),
+		slog.Int64("panics_recovered", s.met.panics.Load()),
+		slog.Duration("latency_p50", lat.Quantile(0.5)),
+		slog.Duration("latency_p95", lat.Quantile(0.95)),
+		slog.Duration("latency_p99", lat.Quantile(0.99)),
+	)
+	return err
+}
+
+// requestCtx derives the execution context for one request: the client
+// disconnect is inherited from r, and the effective deadline is the
+// request's timeout_ms (clamped to MaxTimeout) or DefaultTimeout.
+func (s *Server) requestCtx(r *http.Request, timeoutMS int64) (context.Context, context.CancelFunc) {
+	d := s.opts.DefaultTimeout
+	if timeoutMS > 0 {
+		d = time.Duration(timeoutMS) * time.Millisecond
+		if d > s.opts.MaxTimeout {
+			d = s.opts.MaxTimeout
+		}
+	}
+	return context.WithTimeout(r.Context(), d)
+}
+
+// statusWriter captures the status code and byte count for logging and
+// metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(b)
+	w.bytes += n
+	return n, err
+}
+
+// instrument wraps a handler with panic recovery, in-flight accounting,
+// latency observation, and one structured log line per request.
+func (s *Server) instrument(route string, h func(http.ResponseWriter, *http.Request)) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := s.reqID.Add(1)
+		sw := &statusWriter{ResponseWriter: w}
+		sw.Header().Set("X-Request-Id", fmt.Sprint(id))
+		start := time.Now()
+		s.met.inFlight.Add(1)
+		defer func() {
+			if p := recover(); p != nil {
+				s.met.panics.Add(1)
+				s.log.Error("panic recovered",
+					slog.Int64("request_id", id),
+					slog.String("route", route),
+					slog.Any("panic", p),
+					slog.String("stack", string(debug.Stack())),
+				)
+				if sw.status == 0 {
+					writeError(sw, http.StatusInternalServerError, "internal", "internal server error")
+				}
+			}
+			dur := time.Since(start)
+			s.met.inFlight.Add(-1)
+			s.met.observe(route, sw.status, dur)
+			lvl := slog.LevelInfo
+			if sw.status >= 500 {
+				lvl = slog.LevelError
+			}
+			s.log.LogAttrs(r.Context(), lvl, "request",
+				slog.Int64("request_id", id),
+				slog.String("method", r.Method),
+				slog.String("path", r.URL.Path),
+				slog.String("route", route),
+				slog.Int("status", sw.status),
+				slog.Int("bytes", sw.bytes),
+				slog.String("remote", r.RemoteAddr),
+				slog.Duration("duration", dur),
+			)
+		}()
+		h(sw, r)
+	})
+}
+
+// admit runs the admission gate, writing the 429/timeout response itself
+// when the request cannot proceed. Callers must invoke release() (when
+// ok) after finishing their work.
+func (s *Server) admit(ctx context.Context, w http.ResponseWriter) (release func(), ok bool) {
+	release, err := s.adm.acquire(ctx)
+	if err == nil {
+		return release, true
+	}
+	if errors.Is(err, errSaturated) {
+		s.met.shed.Add(1)
+		w.Header().Set("Retry-After", fmt.Sprint(int(s.opts.RetryAfter.Seconds())))
+		writeError(w, http.StatusTooManyRequests, "overloaded", "server overloaded, retry later")
+		return nil, false
+	}
+	s.writeMappedError(w, err, http.StatusServiceUnavailable, "internal")
+	return nil, false
+}
+
+// ----- handlers -----
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req client.QueryRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if (req.SQL == "") == (req.Estimate == nil) {
+		writeError(w, http.StatusBadRequest, "bad_query", "exactly one of sql or estimate must be set")
+		return
+	}
+	ctx, cancel := s.requestCtx(r, req.TimeoutMS)
+	defer cancel()
+	release, ok := s.admit(ctx, w)
+	if !ok {
+		return
+	}
+	defer release()
+	if s.onExecute != nil {
+		s.onExecute()
+	}
+
+	start := time.Now()
+	resp := client.QueryResponse{}
+	if req.Estimate != nil {
+		e := req.Estimate
+		agg, err := parseAggregate(e.Agg)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad_query", err.Error())
+			return
+		}
+		ests, err := s.w.EstimateCtx(ctx, e.Table, e.GroupBy, agg, e.Column, e.Confidence)
+		if err != nil {
+			s.writeMappedError(w, err, http.StatusBadRequest, "bad_query")
+			return
+		}
+		resp.Groups = make([]client.GroupEstimate, len(ests))
+		for i, g := range ests {
+			resp.Groups[i] = client.GroupEstimate{
+				Group:   congress.SplitEstimateKey(g.Key),
+				Value:   g.Value,
+				Bound:   g.Bound,
+				SampleN: g.SampleN,
+			}
+		}
+	} else {
+		var res *congress.Result
+		var err error
+		if req.Rewrite != "" {
+			var strat congress.RewriteStrategy
+			if strat, err = congress.ParseRewriteStrategy(req.Rewrite); err == nil {
+				res, err = s.w.ApproxWithCtx(ctx, req.SQL, strat)
+			}
+		} else {
+			res, err = s.w.ApproxCtx(ctx, req.SQL)
+		}
+		if err != nil {
+			s.writeMappedError(w, err, http.StatusBadRequest, "bad_query")
+			return
+		}
+		resp.Columns, resp.Rows = resultToWire(res)
+	}
+	resp.ElapsedMS = float64(time.Since(start)) / float64(time.Millisecond)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleExact(w http.ResponseWriter, r *http.Request) {
+	var req client.ExactRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if req.SQL == "" {
+		writeError(w, http.StatusBadRequest, "bad_query", "sql is required")
+		return
+	}
+	ctx, cancel := s.requestCtx(r, req.TimeoutMS)
+	defer cancel()
+	release, ok := s.admit(ctx, w)
+	if !ok {
+		return
+	}
+	defer release()
+	if s.onExecute != nil {
+		s.onExecute()
+	}
+
+	start := time.Now()
+	res, err := s.w.QueryCtx(ctx, req.SQL)
+	if err != nil {
+		s.writeMappedError(w, err, http.StatusBadRequest, "bad_query")
+		return
+	}
+	var resp client.QueryResponse
+	resp.Columns, resp.Rows = resultToWire(res)
+	resp.ElapsedMS = float64(time.Since(start)) / float64(time.Millisecond)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
+	var req client.InsertRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if req.Table == "" || len(req.Rows) == 0 {
+		writeError(w, http.StatusBadRequest, "bad_request", "table and rows are required")
+		return
+	}
+	ctx, cancel := s.requestCtx(r, 0)
+	defer cancel()
+	release, ok := s.admit(ctx, w)
+	if !ok {
+		return
+	}
+	defer release()
+
+	tbl, err := s.w.Table(req.Table)
+	if err != nil {
+		s.writeMappedError(w, err, http.StatusBadRequest, "bad_request")
+		return
+	}
+	cols := tbl.Columns()
+	inserted := 0
+	for _, raw := range req.Rows {
+		if len(raw) != len(cols) {
+			writeError(w, http.StatusBadRequest, "bad_request",
+				fmt.Sprintf("row %d has %d values, table %q has %d columns (%d rows inserted before failure)",
+					inserted, len(raw), req.Table, len(cols), inserted))
+			return
+		}
+		row := make([]congress.Value, len(raw))
+		for i, rv := range raw {
+			v, err := jsonToValue(rv, cols[i])
+			if err != nil {
+				writeError(w, http.StatusBadRequest, "bad_request",
+					fmt.Sprintf("row %d column %q: %v (%d rows inserted before failure)", inserted, cols[i].Name, err, inserted))
+				return
+			}
+			row[i] = v
+		}
+		if err := tbl.Insert(row...); err != nil {
+			writeError(w, http.StatusBadRequest, "bad_request", err.Error())
+			return
+		}
+		inserted++
+	}
+	resp := client.InsertResponse{Inserted: inserted}
+	if req.Refresh {
+		if err := s.w.RefreshSynopsis(req.Table); err != nil {
+			s.writeMappedError(w, err, http.StatusInternalServerError, "internal")
+			return
+		}
+		resp.Refreshed = true
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleSynopses(w http.ResponseWriter, r *http.Request) {
+	withAlloc := r.URL.Query().Get("allocation") != ""
+	infos := s.w.Synopses()
+	resp := client.SynopsesResponse{Synopses: make([]client.SynopsisInfo, 0, len(infos))}
+	for _, si := range infos {
+		ci := client.SynopsisInfo{
+			Table:          si.Table,
+			GroupBy:        si.GroupBy,
+			Strategy:       si.Strategy,
+			Space:          si.Space,
+			SampleSize:     si.SampleSize,
+			Strata:         si.Strata,
+			PendingInserts: si.PendingInserts,
+		}
+		if withAlloc {
+			rows, err := s.w.AllocationTable(si.Table)
+			if err == nil {
+				ci.Allocation = make([]client.AllocationRow, len(rows))
+				for i, ar := range rows {
+					ci.Allocation[i] = client.AllocationRow{
+						Group:      ar.Group,
+						Population: ar.Population,
+						PreScale:   ar.PreScale,
+						Target:     ar.Target,
+						Actual:     ar.Actual,
+					}
+				}
+			}
+		}
+		resp.Synopses = append(resp.Synopses, ci)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	var sb strings.Builder
+	sb.WriteString(s.w.Metrics().String())
+	s.met.render(&sb, s.adm.depth())
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	w.Write([]byte(sb.String()))
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// ----- helpers -----
+
+// decodeBody parses the JSON request body, writing a 400 on failure.
+func decodeBody(w http.ResponseWriter, r *http.Request, into any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 16<<20))
+	if err := dec.Decode(into); err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", "malformed JSON body: "+err.Error())
+		return false
+	}
+	return true
+}
+
+// statusCanceledClient is the nginx-convention status for "client closed
+// request"; nothing standard fits a caller that went away.
+const statusCanceledClient = 499
+
+// writeMappedError classifies err via the typed sentinels and writes the
+// matching status; unrecognized errors fall back to the given status and
+// code (400/bad_query on the query paths — executing a user-supplied
+// query, remaining failures are the query's fault; 500 only for true
+// internal failures and recovered panics).
+func (s *Server) writeMappedError(w http.ResponseWriter, err error, fallback int, fallbackCode string) {
+	status, code := fallback, fallbackCode
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		status, code = http.StatusGatewayTimeout, "deadline_exceeded"
+	case errors.Is(err, context.Canceled):
+		status, code = statusCanceledClient, "canceled"
+	case errors.Is(err, aqua.ErrNoSynopsis):
+		status, code = http.StatusNotFound, "no_synopsis"
+	case errors.Is(err, engine.ErrUnknownTable):
+		status, code = http.StatusNotFound, "unknown_table"
+	case errors.Is(err, aqua.ErrBadQuery):
+		status, code = http.StatusBadRequest, "bad_query"
+	}
+	writeError(w, status, code, err.Error())
+}
+
+func writeError(w http.ResponseWriter, status int, code, msg string) {
+	writeJSON(w, status, client.ErrorBody{Error: msg, Code: code})
+}
+
+func writeJSON(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	enc.Encode(body)
+}
+
+// parseAggregate resolves the estimate aggregate name.
+func parseAggregate(s string) (estimate.Aggregate, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "sum":
+		return estimate.Sum, nil
+	case "count":
+		return estimate.Count, nil
+	case "avg":
+		return estimate.Avg, nil
+	default:
+		return 0, fmt.Errorf("unknown aggregate %q (want sum|count|avg)", s)
+	}
+}
+
+// resultToWire converts an engine result to JSON-native columns/rows.
+func resultToWire(res *congress.Result) ([]string, [][]any) {
+	rows := make([][]any, len(res.Rows))
+	for i, r := range res.Rows {
+		out := make([]any, len(r))
+		for j, v := range r {
+			out[j] = valueToJSON(v)
+		}
+		rows[i] = out
+	}
+	return res.Columns, rows
+}
+
+func valueToJSON(v engine.Value) any {
+	switch v.K {
+	case engine.KindNull:
+		return nil
+	case engine.KindBool:
+		return v.I != 0
+	case engine.KindInt:
+		return v.I
+	case engine.KindFloat:
+		return v.F
+	default: // strings and dates render as display text
+		return v.String()
+	}
+}
+
+// jsonToValue converts one JSON-decoded value to the column's kind.
+func jsonToValue(raw any, col engine.Column) (engine.Value, error) {
+	if raw == nil {
+		return engine.Null, nil
+	}
+	switch col.Kind {
+	case engine.KindInt:
+		f, ok := raw.(float64)
+		if !ok || f != float64(int64(f)) {
+			return engine.Null, fmt.Errorf("want integer, got %v", raw)
+		}
+		return engine.NewInt(int64(f)), nil
+	case engine.KindFloat:
+		f, ok := raw.(float64)
+		if !ok {
+			return engine.Null, fmt.Errorf("want number, got %v", raw)
+		}
+		return engine.NewFloat(f), nil
+	case engine.KindString:
+		s, ok := raw.(string)
+		if !ok {
+			return engine.Null, fmt.Errorf("want string, got %v", raw)
+		}
+		return engine.NewString(s), nil
+	case engine.KindBool:
+		b, ok := raw.(bool)
+		if !ok {
+			return engine.Null, fmt.Errorf("want boolean, got %v", raw)
+		}
+		return engine.NewBool(b), nil
+	case engine.KindDate:
+		s, ok := raw.(string)
+		if !ok {
+			return engine.Null, fmt.Errorf("want %q date string, got %v", "yyyy-mm-dd", raw)
+		}
+		return engine.ParseDate(s)
+	default:
+		return engine.Null, fmt.Errorf("unsupported column kind %v", col.Kind)
+	}
+}

@@ -1,0 +1,506 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	congress "github.com/approxdb/congress"
+	"github.com/approxdb/congress/internal/tpcd"
+	"github.com/approxdb/congress/internal/workload"
+	"github.com/approxdb/congress/pkg/client"
+)
+
+// testWarehouse builds a small lineitem warehouse with a congressional
+// synopsis.
+func testWarehouse(t testing.TB, rows, groups int) *congress.Warehouse {
+	t.Helper()
+	rel, err := tpcd.Generate(tpcd.Params{TableSize: rows, NumGroups: groups, GroupSkew: 0.86, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := congress.Open()
+	w.AttachRelation(rel)
+	if err := w.BuildSynopsis(congress.SynopsisSpec{
+		Table:   "lineitem",
+		GroupBy: tpcd.GroupingAttrs,
+		Space:   rows / 10,
+		Seed:    1,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func quietLogger() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, nil))
+}
+
+// testServer wires a Server onto an httptest listener and returns a
+// client for it.
+func testServer(t testing.TB, opts Options) (*Server, *client.Client) {
+	t.Helper()
+	if opts.Logger == nil {
+		opts.Logger = quietLogger()
+	}
+	srv := New(opts)
+	hs := httptest.NewServer(srv.Handler())
+	t.Cleanup(hs.Close)
+	return srv, client.New(hs.URL)
+}
+
+func TestEndToEndConcurrent(t *testing.T) {
+	w := testWarehouse(t, 5000, 50)
+	_, c := testServer(t, Options{Warehouse: w})
+	ctx := context.Background()
+
+	const workers = 8
+	const iters = 25
+	var wg sync.WaitGroup
+	errs := make(chan error, workers*iters)
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for i := 0; i < iters; i++ {
+				var err error
+				switch rng.Intn(5) {
+				case 0: // approximate SQL
+					_, err = c.Query(ctx, client.QueryRequest{SQL: workload.Qg2})
+				case 1: // direct estimate with bounds
+					var res *client.QueryResponse
+					res, err = c.Query(ctx, client.QueryRequest{Estimate: &client.EstimateRequest{
+						Table: "lineitem", GroupBy: []string{"l_returnflag"},
+						Agg: "sum", Column: "l_quantity", Confidence: 0.95,
+					}})
+					if err == nil && len(res.Groups) == 0 {
+						err = errors.New("estimate returned no groups")
+					}
+				case 2: // exact
+					_, err = c.Exact(ctx, client.ExactRequest{SQL: workload.Qg2})
+				case 3: // insert feeding the maintainer, sometimes refreshing
+					_, err = c.Insert(ctx, client.InsertRequest{
+						Table: "lineitem",
+						Rows: [][]any{{
+							int64(1_000_000 + g*iters + i), rng.Intn(3), rng.Intn(2),
+							"1994-06-15", 7.0, 1200.0,
+						}},
+						Refresh: i%10 == 0,
+					})
+				case 4: // listings and probes
+					_, err = c.Synopses(ctx, i%2 == 0)
+					if err == nil {
+						err = c.Health(ctx)
+					}
+				}
+				if err != nil {
+					errs <- fmt.Errorf("worker %d iter %d: %w", g, i, err)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	// The mixed run must be visible in the telemetry.
+	m, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"congress_answer_total", "server_requests_total", "server_request_seconds_all_count"} {
+		if !strings.Contains(m, want) {
+			t.Errorf("metrics output missing %q", want)
+		}
+	}
+}
+
+func TestGracefulShutdownDrains(t *testing.T) {
+	w := testWarehouse(t, 2000, 20)
+	srv := New(Options{Warehouse: w, Logger: quietLogger()})
+
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	srv.onExecute = func() {
+		once.Do(func() { close(entered) })
+		<-release
+	}
+
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := client.New("http://" + addr)
+
+	// Put one request in flight and hold it there.
+	reqDone := make(chan error, 1)
+	go func() {
+		_, err := c.Query(context.Background(), client.QueryRequest{SQL: workload.Qg2})
+		reqDone <- err
+	}()
+	<-entered
+
+	// Shutdown must block on the in-flight request, not drop it.
+	shutDone := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		shutDone <- srv.Shutdown(ctx)
+	}()
+	select {
+	case err := <-shutDone:
+		t.Fatalf("Shutdown returned (%v) while a request was still in flight", err)
+	case <-time.After(100 * time.Millisecond):
+	}
+
+	// New connections are refused while draining.
+	if err := c.Health(context.Background()); err == nil {
+		t.Error("health check succeeded during shutdown; listener should be closed")
+	}
+
+	close(release)
+	if err := <-reqDone; err != nil {
+		t.Errorf("in-flight request was dropped during graceful shutdown: %v", err)
+	}
+	if err := <-shutDone; err != nil {
+		t.Errorf("Shutdown: %v", err)
+	}
+}
+
+func TestAdmissionControlSheds(t *testing.T) {
+	w := testWarehouse(t, 2000, 20)
+	srv, c := testServer(t, Options{Warehouse: w, MaxConcurrent: 1, QueueDepth: 1, RetryAfter: 3 * time.Second})
+
+	release := make(chan struct{})
+	released := false
+	defer func() {
+		if !released {
+			close(release)
+		}
+	}()
+	entered := make(chan struct{}, 16)
+	srv.onExecute = func() {
+		entered <- struct{}{}
+		<-release // reads on a closed channel pass straight through
+	}
+
+	ctx := context.Background()
+	done := make(chan error, 2)
+	// Request 1 occupies the only worker slot.
+	go func() {
+		_, err := c.Query(ctx, client.QueryRequest{SQL: workload.Qg2})
+		done <- err
+	}()
+	<-entered
+	// Request 2 occupies the only queue slot.
+	go func() {
+		_, err := c.Query(ctx, client.QueryRequest{SQL: workload.Qg2})
+		done <- err
+	}()
+	waitFor(t, func() bool { return srv.adm.depth() == 1 })
+
+	// Request 3 must be shed immediately with 429 + Retry-After.
+	_, err := c.Query(ctx, client.QueryRequest{SQL: workload.Qg2})
+	if !client.IsOverloaded(err) {
+		t.Fatalf("want 429 overloaded, got %v", err)
+	}
+	var ae *client.APIError
+	if errors.As(err, &ae) {
+		if ae.Code != "overloaded" {
+			t.Errorf("want code overloaded, got %q", ae.Code)
+		}
+		if ae.RetryAfter != 3*time.Second {
+			t.Errorf("want Retry-After 3s, got %v", ae.RetryAfter)
+		}
+	}
+
+	// Releasing the gate lets the held requests finish normally.
+	close(release)
+	released = true
+	for i := 0; i < 2; i++ {
+		if err := <-done; err != nil {
+			t.Errorf("held request %d failed: %v", i, err)
+		}
+	}
+
+	m, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(m, "server_requests_shed_total 1") {
+		t.Errorf("metrics should report 1 shed request:\n%s", grepLines(m, "shed"))
+	}
+}
+
+func TestQueuedRequestHonorsDeadline(t *testing.T) {
+	w := testWarehouse(t, 2000, 20)
+	srv, c := testServer(t, Options{Warehouse: w, MaxConcurrent: 1, QueueDepth: 4})
+
+	release := make(chan struct{})
+	entered := make(chan struct{}, 1)
+	srv.onExecute = func() {
+		select {
+		case entered <- struct{}{}:
+		default:
+		}
+		<-release
+	}
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Query(context.Background(), client.QueryRequest{SQL: workload.Qg2})
+		done <- err
+	}()
+	<-entered
+
+	// A queued request whose deadline fires must come back 504, promptly.
+	start := time.Now()
+	_, err := c.Query(context.Background(), client.QueryRequest{SQL: workload.Qg2, TimeoutMS: 50})
+	var ae *client.APIError
+	if !errors.As(err, &ae) || ae.Status != http.StatusGatewayTimeout || ae.Code != "deadline_exceeded" {
+		t.Fatalf("want 504 deadline_exceeded, got %v", err)
+	}
+	if el := time.Since(start); el > 2*time.Second {
+		t.Errorf("queued request took %v to time out; want prompt", el)
+	}
+	close(release)
+	<-done
+}
+
+func TestDeadlineCancelsScan(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a 150k-row table")
+	}
+	w := testWarehouse(t, 150_000, 500)
+	_, c := testServer(t, Options{Warehouse: w})
+
+	// An exact aggregation over 150k rows with a 1ms budget must fail
+	// with deadline_exceeded, and must do so promptly — the scan loops
+	// poll ctx, so the request cannot run to completion first.
+	start := time.Now()
+	_, err := c.Exact(context.Background(), client.ExactRequest{SQL: workload.Qg3, TimeoutMS: 1})
+	elapsed := time.Since(start)
+	var ae *client.APIError
+	if !errors.As(err, &ae) || ae.Status != http.StatusGatewayTimeout || ae.Code != "deadline_exceeded" {
+		t.Fatalf("want 504 deadline_exceeded, got %v", err)
+	}
+	if elapsed > 2*time.Second {
+		t.Errorf("1ms-deadline request took %v; cancellation is not reaching the scan loops", elapsed)
+	}
+}
+
+// TestMalformedSQLNever500s feeds token soup and malformed bodies
+// through the real HTTP stack: every response must be a clean 4xx —
+// never a 5xx, never a dropped connection.
+func TestMalformedSQLNever500s(t *testing.T) {
+	w := testWarehouse(t, 2000, 20)
+	srv := New(Options{Warehouse: w, Logger: quietLogger()})
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+
+	vocab := []string{
+		"select", "from", "where", "group", "by", "order", "having", "sum", "count",
+		"avg", "(", ")", ",", "*", "lineitem", "l_quantity", "nosuchtable", "nosuchcol",
+		"'str", "''", "1e999", "0x", ";", "--", "/*", "<>", "<=", "and", "or", "not",
+		"join", "on", "limit", "offset", "null", ".", "..",
+	}
+	rng := rand.New(rand.NewSource(7))
+	post := func(path, body string) int {
+		resp, err := http.Post(hs.URL+path, "application/json", bytes.NewReader([]byte(body)))
+		if err != nil {
+			t.Fatalf("POST %s: transport error: %v", path, err)
+		}
+		defer resp.Body.Close()
+		io.Copy(io.Discard, resp.Body)
+		return resp.StatusCode
+	}
+
+	for i := 0; i < 300; i++ {
+		n := 1 + rng.Intn(12)
+		var sb strings.Builder
+		for j := 0; j < n; j++ {
+			sb.WriteString(vocab[rng.Intn(len(vocab))])
+			sb.WriteByte(' ')
+		}
+		sql, _ := json.Marshal(sb.String())
+		for _, path := range []string{"/v1/query", "/v1/exact"} {
+			if code := post(path, fmt.Sprintf(`{"sql": %s}`, sql)); code >= 500 {
+				t.Fatalf("%s returned %d for sql %s", path, code, sql)
+			}
+		}
+	}
+
+	// Malformed bodies (not even JSON) and wrong shapes.
+	for _, body := range []string{"", "{", `"just a string"`, `{"sql": 42}`, `{"estimate": []}`, strings.Repeat("[", 1000)} {
+		for _, path := range []string{"/v1/query", "/v1/exact", "/v1/insert"} {
+			if code := post(path, body); code >= 500 || code < 400 {
+				t.Errorf("%s with body %.20q: got %d, want 4xx", path, body, code)
+			}
+		}
+	}
+
+	// And the server is still healthy afterwards.
+	if err := client.New(hs.URL).Health(context.Background()); err != nil {
+		t.Fatalf("server unhealthy after fuzzing: %v", err)
+	}
+}
+
+func TestErrorMapping(t *testing.T) {
+	w := testWarehouse(t, 2000, 20)
+	// A second table with no synopsis, to hit the no_synopsis path.
+	if _, err := w.CreateTable("plain", congress.Col("x", congress.Int)); err != nil {
+		t.Fatal(err)
+	}
+	_, c := testServer(t, Options{Warehouse: w})
+	ctx := context.Background()
+
+	cases := []struct {
+		name   string
+		do     func() error
+		status int
+		code   string
+	}{
+		{"approx on synopsis-less table", func() error {
+			_, err := c.Query(ctx, client.QueryRequest{SQL: "select sum(x) from plain"})
+			return err
+		}, http.StatusNotFound, "no_synopsis"},
+		{"exact on unknown table", func() error {
+			_, err := c.Exact(ctx, client.ExactRequest{SQL: "select sum(x) from nosuch"})
+			return err
+		}, http.StatusNotFound, "unknown_table"},
+		{"insert into unknown table", func() error {
+			_, err := c.Insert(ctx, client.InsertRequest{Table: "nosuch", Rows: [][]any{{1}}})
+			return err
+		}, http.StatusNotFound, "unknown_table"},
+		{"estimate on unknown table", func() error {
+			_, err := c.Query(ctx, client.QueryRequest{Estimate: &client.EstimateRequest{
+				Table: "nosuch", Agg: "sum", Column: "x"}})
+			return err
+		}, http.StatusNotFound, "no_synopsis"},
+		{"bad rewrite name", func() error {
+			_, err := c.Query(ctx, client.QueryRequest{SQL: workload.Qg2, Rewrite: "bogus"})
+			return err
+		}, http.StatusBadRequest, "bad_query"},
+		{"bad aggregate name", func() error {
+			_, err := c.Query(ctx, client.QueryRequest{Estimate: &client.EstimateRequest{
+				Table: "lineitem", Agg: "median", Column: "l_quantity"}})
+			return err
+		}, http.StatusBadRequest, "bad_query"},
+		{"sql and estimate together", func() error {
+			_, err := c.Query(ctx, client.QueryRequest{SQL: workload.Qg2,
+				Estimate: &client.EstimateRequest{Table: "lineitem", Agg: "sum", Column: "l_quantity"}})
+			return err
+		}, http.StatusBadRequest, "bad_query"},
+		{"arity mismatch insert", func() error {
+			_, err := c.Insert(ctx, client.InsertRequest{Table: "lineitem", Rows: [][]any{{1, 2}}})
+			return err
+		}, http.StatusBadRequest, "bad_request"},
+		{"type mismatch insert", func() error {
+			_, err := c.Insert(ctx, client.InsertRequest{Table: "plain", Rows: [][]any{{"notanint"}}})
+			return err
+		}, http.StatusBadRequest, "bad_request"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.do()
+			var ae *client.APIError
+			if !errors.As(err, &ae) {
+				t.Fatalf("want *client.APIError, got %v", err)
+			}
+			if ae.Status != tc.status || ae.Code != tc.code {
+				t.Errorf("got %d/%s, want %d/%s (%s)", ae.Status, ae.Code, tc.status, tc.code, ae.Message)
+			}
+		})
+	}
+}
+
+func TestSynopsesDeterministic(t *testing.T) {
+	w := testWarehouse(t, 2000, 20)
+	srv, _ := testServer(t, Options{Warehouse: w})
+	get := func() string {
+		rec := httptest.NewRecorder()
+		srv.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/v1/synopses?allocation=1", nil))
+		if rec.Code != http.StatusOK {
+			t.Fatalf("GET /v1/synopses: %d", rec.Code)
+		}
+		return rec.Body.String()
+	}
+	first := get()
+	for i := 0; i < 5; i++ {
+		if got := get(); got != first {
+			t.Fatalf("synopsis listing not deterministic:\n%s\nvs\n%s", first, got)
+		}
+	}
+	var resp client.SynopsesResponse
+	if err := json.Unmarshal([]byte(first), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Synopses) != 1 || resp.Synopses[0].Table != "lineitem" {
+		t.Fatalf("unexpected listing: %+v", resp.Synopses)
+	}
+	if len(resp.Synopses[0].Allocation) == 0 {
+		t.Error("allocation=1 should include the allocation table")
+	}
+}
+
+func TestInsertThenRefreshVisible(t *testing.T) {
+	w := testWarehouse(t, 2000, 20)
+	_, c := testServer(t, Options{Warehouse: w})
+	ctx := context.Background()
+
+	rows := make([][]any, 50)
+	for i := range rows {
+		rows[i] = []any{int64(9_000_000 + i), 0, 0, "1995-01-01", 3.0, 42.0}
+	}
+	res, err := c.Insert(ctx, client.InsertRequest{Table: "lineitem", Rows: rows, Refresh: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Inserted != 50 || !res.Refreshed {
+		t.Fatalf("unexpected insert response: %+v", res)
+	}
+	after, err := c.Synopses(ctx, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after[0].PendingInserts != 0 {
+		t.Errorf("refresh should drain pending inserts, got %d", after[0].PendingInserts)
+	}
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatal("condition not reached within 5s")
+}
+
+func grepLines(s, substr string) string {
+	var out []string
+	for _, l := range strings.Split(s, "\n") {
+		if strings.Contains(l, substr) {
+			out = append(out, l)
+		}
+	}
+	return strings.Join(out, "\n")
+}

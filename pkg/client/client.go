@@ -1,0 +1,202 @@
+// Package client is the Go client for the congressd HTTP/JSON query
+// service. It speaks the /v1 API: approximate queries with per-request
+// rewrite-strategy and confidence options, exact queries, inserts,
+// synopsis listings, and health/metrics probes.
+//
+//	c := client.New("http://localhost:8642")
+//	res, err := c.Query(ctx, client.QueryRequest{
+//		SQL: "select region, sum(amount) from sales group by region",
+//	})
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// Client talks to one congressd server. It is safe for concurrent use.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// Option customizes a Client.
+type Option func(*Client)
+
+// WithHTTPClient substitutes the underlying *http.Client (custom
+// transport, TLS, global timeout).
+func WithHTTPClient(hc *http.Client) Option {
+	return func(c *Client) { c.hc = hc }
+}
+
+// New returns a client for the server at baseURL (e.g.
+// "http://localhost:8642"; a trailing slash is tolerated).
+func New(baseURL string, opts ...Option) *Client {
+	for len(baseURL) > 0 && baseURL[len(baseURL)-1] == '/' {
+		baseURL = baseURL[:len(baseURL)-1]
+	}
+	c := &Client{base: baseURL, hc: &http.Client{}}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// APIError is a non-2xx response decoded from the server's error
+// envelope.
+type APIError struct {
+	// Status is the HTTP status code.
+	Status int
+	// Code is the stable machine-readable cause (see ErrorBody.Code).
+	Code string
+	// Message is the human-readable error text.
+	Message string
+	// RetryAfter is the server's backoff hint on 429 responses, 0
+	// otherwise.
+	RetryAfter time.Duration
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("congressd: %s (http %d, code %s)", e.Message, e.Status, e.Code)
+}
+
+// IsOverloaded reports whether err is a 429 shed by admission control;
+// the caller should back off for RetryAfter and retry.
+func IsOverloaded(err error) bool {
+	var ae *APIError
+	return errors.As(err, &ae) && ae.Status == http.StatusTooManyRequests
+}
+
+// Query answers an approximate query (SQL or direct-estimate form).
+func (c *Client) Query(ctx context.Context, req QueryRequest) (*QueryResponse, error) {
+	var out QueryResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/query", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Exact answers a query exactly against the base tables.
+func (c *Client) Exact(ctx context.Context, req ExactRequest) (*QueryResponse, error) {
+	var out QueryResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/exact", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Insert appends rows to a table (feeding any synopsis maintainer) and
+// optionally refreshes the synopsis.
+func (c *Client) Insert(ctx context.Context, req InsertRequest) (*InsertResponse, error) {
+	var out InsertResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/insert", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Synopses lists the registered synopses; withAllocation includes each
+// synopsis's full allocation table.
+func (c *Client) Synopses(ctx context.Context, withAllocation bool) ([]SynopsisInfo, error) {
+	path := "/v1/synopses"
+	if withAllocation {
+		path += "?allocation=1"
+	}
+	var out SynopsesResponse
+	if err := c.do(ctx, http.MethodGet, path, nil, &out); err != nil {
+		return nil, err
+	}
+	return out.Synopses, nil
+}
+
+// Metrics fetches the Prometheus-style text exposition.
+func (c *Client) Metrics(ctx context.Context) (string, error) {
+	resp, err := c.raw(ctx, http.MethodGet, "/metrics", nil)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", decodeError(resp)
+	}
+	b, err := io.ReadAll(resp.Body)
+	return string(b), err
+}
+
+// Health probes /healthz; nil means the server is accepting requests.
+func (c *Client) Health(ctx context.Context) error {
+	resp, err := c.raw(ctx, http.MethodGet, "/healthz", nil)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return &APIError{Status: resp.StatusCode, Code: "unhealthy", Message: "health check failed"}
+	}
+	return nil
+}
+
+// do issues one JSON request/response round trip.
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	resp, err := c.raw(ctx, method, path, in)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		return decodeError(resp)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+func (c *Client) raw(ctx context.Context, method, path string, in any) (*http.Response, error) {
+	var body io.Reader
+	if in != nil {
+		b, err := json.Marshal(in)
+		if err != nil {
+			return nil, err
+		}
+		body = bytes.NewReader(b)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	if err != nil {
+		return nil, err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	return c.hc.Do(req)
+}
+
+// decodeError turns a non-2xx response into an *APIError, tolerating
+// non-JSON bodies from intermediaries.
+func decodeError(resp *http.Response) error {
+	ae := &APIError{Status: resp.StatusCode, Code: "internal"}
+	b, _ := io.ReadAll(io.LimitReader(resp.Body, 64<<10))
+	var eb ErrorBody
+	if err := json.Unmarshal(b, &eb); err == nil && eb.Error != "" {
+		ae.Message = eb.Error
+		if eb.Code != "" {
+			ae.Code = eb.Code
+		}
+	} else {
+		ae.Message = string(bytes.TrimSpace(b))
+		if ae.Message == "" {
+			ae.Message = http.StatusText(resp.StatusCode)
+		}
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		if secs, err := strconv.Atoi(ra); err == nil {
+			ae.RetryAfter = time.Duration(secs) * time.Second
+		}
+	}
+	return ae
+}

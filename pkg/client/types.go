@@ -1,0 +1,119 @@
+package client
+
+// Wire types for the congressd HTTP/JSON API. The server
+// (internal/server) imports this package so the two sides cannot drift.
+
+// QueryRequest is the body of POST /v1/query. Exactly one of SQL or
+// Estimate must be set: SQL answers via synopsis rewriting, Estimate via
+// the direct stratified estimator with confidence bounds.
+type QueryRequest struct {
+	// SQL is an aggregate query over a table with a synopsis.
+	SQL string `json:"sql,omitempty"`
+	// Rewrite optionally overrides the synopsis's default rewriting
+	// strategy for this request
+	// (integrated|nested|normalized|keynormalized).
+	Rewrite string `json:"rewrite,omitempty"`
+	// Estimate selects the direct estimation path instead of SQL.
+	Estimate *EstimateRequest `json:"estimate,omitempty"`
+	// TimeoutMS caps this request's execution time; 0 uses the server's
+	// default deadline. The server clamps it to its configured maximum.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// EstimateRequest describes one direct-estimation query.
+type EstimateRequest struct {
+	// Table is the base table (must have a synopsis).
+	Table string `json:"table"`
+	// GroupBy is the output grouping (a subset of the synopsis's
+	// grouping columns); empty means no group-by.
+	GroupBy []string `json:"group_by,omitempty"`
+	// Agg is the aggregate: sum|count|avg.
+	Agg string `json:"agg"`
+	// Column is the aggregated column.
+	Column string `json:"column"`
+	// Confidence is the two-sided confidence level for the reported
+	// bounds; 0 means the Aqua default of 0.90.
+	Confidence float64 `json:"confidence,omitempty"`
+}
+
+// ExactRequest is the body of POST /v1/exact.
+type ExactRequest struct {
+	SQL       string `json:"sql"`
+	TimeoutMS int64  `json:"timeout_ms,omitempty"`
+}
+
+// QueryResponse is the body returned by /v1/query and /v1/exact. SQL
+// answers fill Columns/Rows; estimate answers fill Groups.
+type QueryResponse struct {
+	Columns []string `json:"columns,omitempty"`
+	// Rows hold JSON-native values: numbers, strings, booleans, null;
+	// dates render as "yyyy-mm-dd" strings.
+	Rows      [][]any         `json:"rows,omitempty"`
+	Groups    []GroupEstimate `json:"groups,omitempty"`
+	ElapsedMS float64         `json:"elapsed_ms"`
+}
+
+// GroupEstimate is one output group of a direct estimate.
+type GroupEstimate struct {
+	// Group holds the rendered grouping-column values.
+	Group []string `json:"group"`
+	// Value is the estimate.
+	Value float64 `json:"value"`
+	// Bound is the half-width of the confidence interval.
+	Bound float64 `json:"bound"`
+	// SampleN is the number of sampled tuples that contributed.
+	SampleN int `json:"sample_n"`
+}
+
+// InsertRequest is the body of POST /v1/insert. Rows hold JSON-native
+// values converted by the server against the table schema (dates as
+// "yyyy-mm-dd" strings).
+type InsertRequest struct {
+	Table string  `json:"table"`
+	Rows  [][]any `json:"rows"`
+	// Refresh re-materializes the table's synopsis after the inserts so
+	// they become visible to queries immediately.
+	Refresh bool `json:"refresh,omitempty"`
+}
+
+// InsertResponse reports how many rows were inserted.
+type InsertResponse struct {
+	Inserted  int  `json:"inserted"`
+	Refreshed bool `json:"refreshed,omitempty"`
+}
+
+// SynopsisInfo is one entry of GET /v1/synopses.
+type SynopsisInfo struct {
+	Table          string          `json:"table"`
+	GroupBy        []string        `json:"group_by"`
+	Strategy       string          `json:"strategy"`
+	Space          int             `json:"space"`
+	SampleSize     int             `json:"sample_size"`
+	Strata         int             `json:"strata"`
+	PendingInserts int64           `json:"pending_inserts"`
+	Allocation     []AllocationRow `json:"allocation,omitempty"`
+}
+
+// AllocationRow is one line of a synopsis's Figure 5-style allocation
+// table (returned when /v1/synopses is called with ?allocation=1).
+type AllocationRow struct {
+	Group      []string `json:"group"`
+	Population int64    `json:"population"`
+	PreScale   float64  `json:"pre_scale"`
+	Target     float64  `json:"target"`
+	Actual     int      `json:"actual"`
+}
+
+// SynopsesResponse is the body of GET /v1/synopses.
+type SynopsesResponse struct {
+	Synopses []SynopsisInfo `json:"synopses"`
+}
+
+// ErrorBody is the JSON error envelope every non-2xx response carries.
+type ErrorBody struct {
+	// Error is the human-readable message.
+	Error string `json:"error"`
+	// Code is a stable machine-readable cause: bad_query, no_synopsis,
+	// unknown_table, deadline_exceeded, canceled, overloaded, internal.
+	Code string `json:"code"`
+}

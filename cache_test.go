@@ -1,0 +1,453 @@
+package congress
+
+import (
+	"context"
+	"strconv"
+	"sync"
+	"testing"
+)
+
+// buildCachedWarehouse is buildSalesWarehouse plus a synopsis, the shape
+// most cache tests need.
+func buildCachedWarehouse(t testing.TB) (*Warehouse, *Table) {
+	t.Helper()
+	w, tbl := buildSalesWarehouse(t)
+	if err := w.BuildSynopsis(SynopsisSpec{
+		Table: "sales", GroupBy: []string{"region", "product"}, Space: 1000, Seed: 3,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return w, tbl
+}
+
+const cacheQuery = `select region, sum(amount) from sales group by region order by region`
+
+func TestApproxQueryHitMissStatuses(t *testing.T) {
+	w, _ := buildCachedWarehouse(t)
+	ctx := context.Background()
+
+	res1, st, err := w.ApproxQuery(ctx, cacheQuery, ApproxOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st != CacheMiss {
+		t.Fatalf("first call status = %v, want miss", st)
+	}
+	res2, st, err := w.ApproxQuery(ctx, cacheQuery, ApproxOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st != CacheHit {
+		t.Fatalf("second call status = %v, want hit", st)
+	}
+	if res1 != res2 {
+		t.Fatal("a cache hit must return the identical shared result")
+	}
+
+	// Normalized whitespace/case variants share the same fingerprint.
+	_, st, err = w.ApproxQuery(ctx, "SELECT region,   SUM(amount)\nFROM sales GROUP BY region ORDER BY region", ApproxOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st != CacheHit {
+		t.Fatalf("normalized variant status = %v, want hit", st)
+	}
+
+	// NoCache bypasses without disturbing the cached entry.
+	_, st, err = w.ApproxQuery(ctx, cacheQuery, ApproxOptions{NoCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st != CacheBypass {
+		t.Fatalf("NoCache status = %v, want bypass", st)
+	}
+
+	m := w.Metrics()
+	if m.CacheHits < 2 || m.CacheMisses < 1 {
+		t.Fatalf("metrics hits=%d misses=%d, want >=2/>=1", m.CacheHits, m.CacheMisses)
+	}
+}
+
+func TestCacheHitDeterminism(t *testing.T) {
+	w, _ := buildCachedWarehouse(t)
+	ctx := context.Background()
+
+	cold, st, err := w.ApproxQuery(ctx, cacheQuery, ApproxOptions{NoCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st != CacheBypass {
+		t.Fatalf("cold status = %v", st)
+	}
+	if _, _, err := w.ApproxQuery(ctx, cacheQuery, ApproxOptions{}); err != nil {
+		t.Fatal(err) // populate
+	}
+	hit, st, err := w.ApproxQuery(ctx, cacheQuery, ApproxOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st != CacheHit {
+		t.Fatalf("status = %v, want hit", st)
+	}
+	if cold.String() != hit.String() {
+		t.Fatalf("cache hit differs from cold run:\ncold:\n%s\nhit:\n%s", cold, hit)
+	}
+}
+
+func TestCacheInvalidationOnInsertAndRefresh(t *testing.T) {
+	w, tbl := buildCachedWarehouse(t)
+	ctx := context.Background()
+	countQ := `select count(*) from sales`
+
+	before, st, err := w.ApproxQuery(ctx, countQ, ApproxOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st != CacheMiss {
+		t.Fatalf("status = %v, want miss", st)
+	}
+
+	// Insert alone must invalidate: the next call may not be a hit on
+	// the old entry even though the sample is unchanged until refresh.
+	if err := tbl.Insert(Str("north"), Str("pen"), F(1)); err != nil {
+		t.Fatal(err)
+	}
+	_, st, err = w.ApproxQuery(ctx, countQ, ApproxOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st == CacheHit {
+		t.Fatal("Insert must invalidate cached answers")
+	}
+
+	// A burst of inserts plus a refresh must surface in the next answer:
+	// comparing against an uncached run proves no stale entry is served.
+	for i := 0; i < 500; i++ {
+		if err := tbl.Insert(Str("north"), Str("pen"), F(float64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.RefreshSynopsis("sales"); err != nil {
+		t.Fatal(err)
+	}
+	after, st, err := w.ApproxQuery(ctx, countQ, ApproxOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st == CacheHit {
+		t.Fatal("RefreshSynopsis must invalidate cached answers")
+	}
+	uncached, _, err := w.ApproxQuery(ctx, countQ, ApproxOptions{NoCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.String() != uncached.String() {
+		t.Fatalf("cached answer is stale after refresh:\ncached:\n%s\nuncached:\n%s", after, uncached)
+	}
+	if before.String() == after.String() {
+		t.Fatal("answer did not change after 501 inserts + refresh; invalidation test is vacuous")
+	}
+	if w.Metrics().CacheInvalidations == 0 {
+		t.Fatal("invalidation counter never advanced")
+	}
+}
+
+// TestCacheInvalidationRace interleaves Insert+RefreshSynopsis with
+// cached readers under -race. The table is small enough that the
+// synopsis space covers every row (sf = 1, the sample is exhaustive), so
+// an approximate count equals the exact row count as of the last
+// refresh. Row counts only grow, so each reader must observe a
+// non-decreasing sequence of counts — a cached answer from an older
+// epoch served after a newer one would break monotonicity.
+func TestCacheInvalidationRace(t *testing.T) {
+	w := Open()
+	tbl, err := w.CreateTable("ev",
+		Col("g", String),
+		Col("v", Float),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const seedRows = 64
+	for i := 0; i < seedRows; i++ {
+		if err := tbl.Insert(Str("g"+strconv.Itoa(i%4)), F(float64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Space far exceeds any row count this test reaches: every stratum
+	// stays fully enumerated.
+	if err := w.BuildSynopsis(SynopsisSpec{Table: "ev", GroupBy: []string{"g"}, Space: 100000}); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx := context.Background()
+	const (
+		writers    = 2
+		readers    = 4
+		writesEach = 60
+	)
+	var wg sync.WaitGroup
+	for wi := 0; wi < writers; wi++ {
+		wg.Add(1)
+		go func(wi int) {
+			defer wg.Done()
+			for i := 0; i < writesEach; i++ {
+				if err := tbl.Insert(Str("g"+strconv.Itoa(i%4)), F(1)); err != nil {
+					t.Error(err)
+					return
+				}
+				if i%8 == 0 {
+					if err := w.RefreshSynopsis("ev"); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+			if err := w.RefreshSynopsis("ev"); err != nil {
+				t.Error(err)
+			}
+		}(wi)
+	}
+	for ri := 0; ri < readers; ri++ {
+		wg.Add(1)
+		go func(ri int) {
+			defer wg.Done()
+			last := int64(0)
+			for i := 0; i < 200; i++ {
+				res, _, err := w.ApproxQuery(ctx, `select count(*) from ev`, ApproxOptions{})
+				if err != nil {
+					t.Errorf("reader %d: %v", ri, err)
+					return
+				}
+				if len(res.Rows) != 1 || len(res.Rows[0]) != 1 {
+					t.Errorf("reader %d: unexpected shape %v", ri, res.Rows)
+					return
+				}
+				n, ok := res.Rows[0][0].AsFloat()
+				if !ok {
+					t.Errorf("reader %d: non-numeric count %v", ri, res.Rows[0][0])
+					return
+				}
+				got := int64(n + 0.5)
+				if got < last {
+					t.Errorf("reader %d: stale answer: count went %d -> %d", ri, last, got)
+					return
+				}
+				last = got
+			}
+		}(ri)
+	}
+	wg.Wait()
+
+	// After the dust settles, the cached answer must equal ground truth.
+	if err := w.RefreshSynopsis("ev"); err != nil {
+		t.Fatal(err)
+	}
+	res, _, err := w.ApproxQuery(ctx, `select count(*) from ev`, ApproxOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := seedRows + writers*writesEach
+	if n, _ := res.Rows[0][0].AsFloat(); int(n+0.5) != want {
+		t.Fatalf("final count = %v, want %d", n, want)
+	}
+}
+
+func TestEstimateQueryCaching(t *testing.T) {
+	w, tbl := buildCachedWarehouse(t)
+	ctx := context.Background()
+
+	e1, st, err := w.EstimateQuery(ctx, "sales", []string{"region"}, Sum, "amount", 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st != CacheMiss {
+		t.Fatalf("first estimate status = %v, want miss", st)
+	}
+	_, st, err = w.EstimateQuery(ctx, "sales", []string{"region"}, Sum, "amount", 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st != CacheHit {
+		t.Fatalf("second estimate status = %v, want hit", st)
+	}
+	// A different grouping/aggregate is a different key.
+	_, st, err = w.EstimateQuery(ctx, "sales", []string{"region"}, Count, "amount", 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st != CacheMiss {
+		t.Fatalf("different aggregate status = %v, want miss", st)
+	}
+	// Insert invalidates estimates too.
+	if err := tbl.Insert(Str("east"), Str("pen"), F(3)); err != nil {
+		t.Fatal(err)
+	}
+	_, st, err = w.EstimateQuery(ctx, "sales", []string{"region"}, Sum, "amount", 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st == CacheHit {
+		t.Fatal("Insert must invalidate cached estimates")
+	}
+	if len(e1) == 0 {
+		t.Fatal("estimates empty")
+	}
+}
+
+func TestConfigureCacheDisable(t *testing.T) {
+	w, _ := buildCachedWarehouse(t)
+	w.ConfigureCache(-1, 0)
+	ctx := context.Background()
+	for i := 0; i < 2; i++ {
+		_, st, err := w.ApproxQuery(ctx, cacheQuery, ApproxOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st != CacheBypass {
+			t.Fatalf("call %d with caching disabled: status = %v, want bypass", i, st)
+		}
+	}
+}
+
+func TestSplitEstimateKeyRoundTrip(t *testing.T) {
+	cases := [][]string{
+		{},
+		{"east"},
+		{"east", "pen"},
+		{"a/b", "c"},
+		{"", "x"},
+		{"", ""},
+	}
+	for _, parts := range cases {
+		key := joinParts(parts)
+		got := SplitEstimateKey(key)
+		if len(got) != len(parts) {
+			t.Errorf("round-trip %q: got %d parts %q, want %d", key, len(got), got, len(parts))
+			continue
+		}
+		for i := range parts {
+			if got[i] != parts[i] {
+				t.Errorf("round-trip %v: part %d = %q, want %q", parts, i, got[i], parts[i])
+			}
+		}
+	}
+	if got := SplitEstimateKey(""); len(got) != 0 {
+		t.Errorf(`SplitEstimateKey("") = %q, want empty`, got)
+	}
+}
+
+func TestInsertRejectsKeySeparatorInGroupValues(t *testing.T) {
+	w, tbl := buildCachedWarehouse(t)
+
+	bad := "ea" + EstimateKeySep + "st"
+	err := tbl.Insert(Str(bad), Str("pen"), F(1))
+	if err == nil {
+		t.Fatal("insert with U+001F in a grouping value must fail")
+	}
+	n := tbl.NumRows()
+	// The reserved byte is fine in non-grouping columns... but "amount"
+	// is a float here; verify a clean row still inserts and the failed
+	// row did not reach the base relation.
+	if err := tbl.Insert(Str("east"), Str("pen"), F(1)); err != nil {
+		t.Fatal(err)
+	}
+	if tbl.NumRows() != n+1 {
+		t.Fatalf("row count %d, want %d (rejected row must not be inserted)", tbl.NumRows(), n+1)
+	}
+	_ = w
+}
+
+func TestCacheStatusStrings(t *testing.T) {
+	for status, want := range map[CacheStatus]string{
+		CacheBypass: "bypass",
+		CacheMiss:   "miss",
+		CacheHit:    "hit",
+	} {
+		if got := status.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(status), got, want)
+		}
+	}
+}
+
+func TestConcurrentIdenticalQueriesShareExecution(t *testing.T) {
+	w, _ := buildCachedWarehouse(t)
+	ctx := context.Background()
+	const callers = 16
+	var wg sync.WaitGroup
+	results := make([]string, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, _, err := w.ApproxQuery(ctx, cacheQuery, ApproxOptions{})
+			if err != nil {
+				t.Errorf("caller %d: %v", i, err)
+				return
+			}
+			results[i] = res.String()
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < callers; i++ {
+		if results[i] != results[0] {
+			t.Fatalf("caller %d got a different answer", i)
+		}
+	}
+	m := w.Metrics()
+	if m.CacheMisses > 2 {
+		t.Errorf("%d misses for %d identical concurrent queries; singleflight not sharing", m.CacheMisses, callers)
+	}
+}
+
+// BenchmarkCachedQuery compares a cache hit against the uncached answer
+// path for the same query. The acceptance bar for the cache is a >=5x
+// speedup on hits.
+func BenchmarkCachedQuery(b *testing.B) {
+	w, _ := buildCachedWarehouse(b)
+	ctx := context.Background()
+	if _, _, err := w.ApproxQuery(ctx, cacheQuery, ApproxOptions{}); err != nil {
+		b.Fatal(err)
+	}
+	b.Run("hit", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_, st, err := w.ApproxQuery(ctx, cacheQuery, ApproxOptions{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if st != CacheHit {
+				b.Fatalf("status = %v, want hit", st)
+			}
+		}
+	})
+	b.Run("uncached", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := w.ApproxQuery(ctx, cacheQuery, ApproxOptions{NoCache: true}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkCacheContention drives the cached path from all procs at
+// once: every goroutine issues the same query, so throughput is bounded
+// by the cache's read-side locking rather than query execution.
+func BenchmarkCacheContention(b *testing.B) {
+	w, _ := buildCachedWarehouse(b)
+	ctx := context.Background()
+	if _, _, err := w.ApproxQuery(ctx, cacheQuery, ApproxOptions{}); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, _, err := w.ApproxQuery(ctx, cacheQuery, ApproxOptions{}); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+}

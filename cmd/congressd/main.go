@@ -70,9 +70,11 @@ type warehouseFlags struct {
 	rewrite   *string
 	seed      *int64
 	workers   *int
-	loadCSV   *string
-	table     *string
-	groupCols *string
+	loadCSV      *string
+	table        *string
+	groupCols    *string
+	cacheEntries *int
+	cacheBytes   *int64
 }
 
 func addWarehouseFlags(fs *flag.FlagSet) *warehouseFlags {
@@ -85,9 +87,11 @@ func addWarehouseFlags(fs *flag.FlagSet) *warehouseFlags {
 		rewrite:   fs.String("rewrite", "integrated", "integrated|nested|normalized|keynormalized"),
 		seed:      fs.Int64("seed", 1, "RNG seed"),
 		workers:   fs.Int("workers", congress.DefaultBuildWorkers(), "synopsis build workers"),
-		loadCSV:   fs.String("load", "", "load the base table from a typed CSV instead of generating"),
-		table:     fs.String("table", "lineitem", "base table name when loading from CSV"),
-		groupCols: fs.String("group-cols", "", "comma-separated grouping columns (default: TPC-D grouping attributes)"),
+		loadCSV:      fs.String("load", "", "load the base table from a typed CSV instead of generating"),
+		table:        fs.String("table", "lineitem", "base table name when loading from CSV"),
+		groupCols:    fs.String("group-cols", "", "comma-separated grouping columns (default: TPC-D grouping attributes)"),
+		cacheEntries: fs.Int("cache-entries", 0, "result-cache entry bound (0 = default 4096, negative disables caching)"),
+		cacheBytes:   fs.Int64("cache-bytes", 0, "result-cache byte bound (0 = default 64 MiB, negative = unbounded)"),
 	}
 }
 
@@ -130,6 +134,7 @@ func buildWarehouse(wf *warehouseFlags, log *slog.Logger) (*congress.Warehouse, 
 	}
 
 	w := congress.Open()
+	w.ConfigureCache(*wf.cacheEntries, *wf.cacheBytes)
 	w.AttachRelation(rel)
 	space := int(float64(rel.NumRows()) * *wf.spacePct / 100)
 	start = time.Now()
@@ -232,6 +237,9 @@ type benchReport struct {
 	LatencyMS     latencySummary   `json:"latency_ms"`
 	ByKind        map[string]int64 `json:"requests_by_kind"`
 	ByCode        map[string]int64 `json:"errors_by_code,omitempty"`
+	CacheHits     int64            `json:"cache_hits"`
+	CacheMisses   int64            `json:"cache_misses"`
+	CacheHitRate  float64          `json:"cache_hit_rate"`
 	Warehouse     map[string]any   `json:"warehouse,omitempty"`
 }
 
@@ -251,6 +259,7 @@ func runLoadgen(args []string, out io.Writer) error {
 	duration := fs.Duration("duration", 10*time.Second, "load duration")
 	insertPct := fs.Int("insert-pct", 10, "percent of requests that are inserts")
 	estimatePct := fs.Int("estimate-pct", 20, "percent of requests that are direct estimates")
+	noCache := fs.Bool("no-cache", false, "send no_cache on every query (measure the uncached path)")
 	timeoutMS := fs.Int64("timeout-ms", 0, "per-request timeout_ms to send (0 = server default)")
 	outPath := fs.String("out", "BENCH_server.json", "summary JSON path (empty to skip)")
 	seed := fs.Int64("loadgen-seed", 42, "workload RNG seed")
@@ -293,9 +302,10 @@ func runLoadgen(args []string, out io.Writer) error {
 	}
 
 	type sample struct {
-		d    time.Duration
-		kind string
-		err  error
+		d     time.Duration
+		kind  string
+		cache string
+		err   error
 	}
 	var (
 		mu      sync.Mutex
@@ -313,12 +323,12 @@ func runLoadgen(args []string, out io.Writer) error {
 			timed := make([]sample, 0, 1024)
 			for ctx.Err() == nil {
 				t0 := time.Now()
-				kind, err := oneRequest(ctx, c, rng, *insertPct, *estimatePct, *timeoutMS)
+				kind, cache, err := oneRequest(ctx, c, rng, *insertPct, *estimatePct, *noCache, *timeoutMS)
 				d := time.Since(t0)
 				if ctx.Err() != nil && err != nil {
 					break // don't count a request cut off by the run deadline
 				}
-				timed = append(timed, sample{d: d, kind: kind, err: err})
+				timed = append(timed, sample{d: d, kind: kind, cache: cache, err: err})
 			}
 			mu.Lock()
 			samples = append(samples, timed...)
@@ -346,6 +356,12 @@ func runLoadgen(args []string, out io.Writer) error {
 	for _, s := range samples {
 		rep.Requests++
 		rep.ByKind[s.kind]++
+		switch s.cache {
+		case "hit":
+			rep.CacheHits++
+		case "miss":
+			rep.CacheMisses++
+		}
 		ms := float64(s.d) / float64(time.Millisecond)
 		if s.err != nil {
 			rep.Errors++
@@ -379,12 +395,17 @@ func runLoadgen(args []string, out io.Writer) error {
 	if rep.Requests > 0 {
 		rep.ErrorRate = float64(rep.Errors) / float64(rep.Requests)
 	}
+	if looked := rep.CacheHits + rep.CacheMisses; looked > 0 {
+		rep.CacheHitRate = float64(rep.CacheHits) / float64(looked)
+	}
 	rep.ThroughputRPS = float64(rep.Requests) / elapsed.Seconds()
 
 	fmt.Fprintf(out, "loadgen: %d clients, %.1fs: %d requests (%.0f req/s), %d errors (%.2f%%), %d shed\n",
 		rep.Clients, rep.DurationSec, rep.Requests, rep.ThroughputRPS, rep.Errors, 100*rep.ErrorRate, rep.Shed)
 	fmt.Fprintf(out, "latency ms: p50=%.2f p95=%.2f p99=%.2f mean=%.2f max=%.2f\n",
 		rep.LatencyMS.P50, rep.LatencyMS.P95, rep.LatencyMS.P99, rep.LatencyMS.Mean, rep.LatencyMS.Max)
+	fmt.Fprintf(out, "cache: %d hits, %d misses (%.1f%% hit rate)\n",
+		rep.CacheHits, rep.CacheMisses, 100*rep.CacheHitRate)
 	if *outPath != "" {
 		b, err := json.MarshalIndent(rep, "", "  ")
 		if err != nil {
@@ -399,8 +420,9 @@ func runLoadgen(args []string, out io.Writer) error {
 }
 
 // oneRequest issues a single randomized request from the workload mix
-// and reports its kind.
-func oneRequest(ctx context.Context, c *client.Client, rng *rand.Rand, insertPct, estimatePct int, timeoutMS int64) (string, error) {
+// and reports its kind plus the server's cache disposition (empty for
+// inserts and failures).
+func oneRequest(ctx context.Context, c *client.Client, rng *rand.Rand, insertPct, estimatePct int, noCache bool, timeoutMS int64) (kind, cache string, err error) {
 	roll := rng.Intn(100)
 	switch {
 	case roll < insertPct:
@@ -410,21 +432,28 @@ func oneRequest(ctx context.Context, c *client.Client, rng *rand.Rand, insertPct
 			float64(1 + rng.Intn(50)), 100 * float64(1+rng.Intn(500)),
 		}
 		_, err := c.Insert(ctx, client.InsertRequest{Table: "lineitem", Rows: [][]any{row}})
-		return "insert", err
+		return "insert", "", err
 	case roll < insertPct+estimatePct:
-		_, err := c.Query(ctx, client.QueryRequest{
+		resp, err := c.Query(ctx, client.QueryRequest{
 			Estimate: &client.EstimateRequest{
 				Table:   "lineitem",
 				GroupBy: []string{"l_returnflag", "l_linestatus"},
 				Agg:     "sum",
 				Column:  "l_quantity",
 			},
+			NoCache:   noCache,
 			TimeoutMS: timeoutMS,
 		})
-		return "estimate", err
+		if err != nil {
+			return "estimate", "", err
+		}
+		return "estimate", resp.Cache, nil
 	default:
-		_, err := c.Query(ctx, client.QueryRequest{SQL: workload.Qg2, TimeoutMS: timeoutMS})
-		return "approx", err
+		resp, err := c.Query(ctx, client.QueryRequest{SQL: workload.Qg2, NoCache: noCache, TimeoutMS: timeoutMS})
+		if err != nil {
+			return "approx", "", err
+		}
+		return "approx", resp.Cache, nil
 	}
 }
 

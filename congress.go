@@ -126,10 +126,70 @@ type Warehouse struct {
 	aq  *aqua.Aqua
 }
 
-// Open creates an empty warehouse.
+// Open creates an empty warehouse with result caching enabled at the
+// default sizing (DefaultCacheEntries entries, DefaultCacheBytes bytes);
+// tune or disable it with ConfigureCache.
 func Open() *Warehouse {
 	cat := engine.NewCatalog()
-	return &Warehouse{cat: cat, aq: aqua.New(cat)}
+	w := &Warehouse{cat: cat, aq: aqua.New(cat)}
+	w.ConfigureCache(0, 0)
+	return w
+}
+
+// Default result-cache sizing used by Open.
+const (
+	// DefaultCacheEntries is the default result-cache entry bound.
+	DefaultCacheEntries = 4096
+	// DefaultCacheBytes is the default result-cache byte bound (64 MiB).
+	DefaultCacheBytes int64 = 64 << 20
+)
+
+// ConfigureCache re-sizes the warehouse's result cache. maxEntries: 0
+// keeps the default bound, < 0 disables result caching entirely.
+// maxBytes: 0 keeps the default bound, < 0 removes the byte bound.
+// Reconfiguring replaces the cache, so previously cached answers are
+// dropped. The parse and plan caches are unaffected — they hold pure
+// derivations of the query text and never need invalidation.
+func (w *Warehouse) ConfigureCache(maxEntries int, maxBytes int64) {
+	entries := maxEntries
+	switch {
+	case entries == 0:
+		entries = DefaultCacheEntries
+	case entries < 0:
+		entries = 0 // disables: aqua treats a non-positive bound as off
+	}
+	bytes := maxBytes
+	switch {
+	case bytes == 0:
+		bytes = DefaultCacheBytes
+	case bytes < 0:
+		bytes = 0 // unlimited
+	}
+	w.aq.EnableResultCache(entries, bytes)
+}
+
+// CacheStatus reports how an answer was produced: from the result cache
+// (CacheHit), by executing and storing (CacheMiss), or with the cache
+// off or skipped (CacheBypass). Its String form ("hit", "miss",
+// "bypass") is the X-Congress-Cache header value congressd emits.
+type CacheStatus = aqua.CacheStatus
+
+// Cache statuses.
+const (
+	CacheBypass = aqua.CacheBypass
+	CacheMiss   = aqua.CacheMiss
+	CacheHit    = aqua.CacheHit
+)
+
+// ApproxOptions tunes one ApproxQuery call.
+type ApproxOptions struct {
+	// Rewrite overrides the synopsis's default rewriting strategy when
+	// UseRewrite is set.
+	Rewrite    RewriteStrategy
+	UseRewrite bool
+	// NoCache answers from the sample directly, skipping the result
+	// cache for this call (the answer is not stored either).
+	NoCache bool
 }
 
 // Table is a handle to a base relation.
@@ -170,13 +230,29 @@ func (w *Warehouse) Table(name string) (*Table, error) {
 // Insert appends one row. If the table has a synopsis, the row also
 // flows to its incremental maintainer so the sample stays fresh without
 // re-reading the table (call RefreshSynopsis to make maintained state
-// visible to queries).
+// visible to queries), and the synopsis's data epoch advances so cached
+// answers are invalidated.
+//
+// Grouping-column values must not contain the EstimateKeySep unit
+// separator (U+001F): composite group keys are joined with it, so a
+// value containing it would silently merge or split groups. Such rows
+// are rejected before touching the base relation.
 func (t *Table) Insert(vals ...Value) error {
 	row := Row(vals)
+	syn, hasSyn := t.w.aq.Synopsis(t.rel.Name)
+	if hasSyn {
+		for _, ci := range syn.Grouping().Columns() {
+			if ci < len(row) && row[ci].K == engine.KindString &&
+				strings.Contains(row[ci].S, EstimateKeySep) {
+				return fmt.Errorf("%w: grouping value %q contains the reserved key separator U+001F",
+					ErrBadQuery, row[ci].S)
+			}
+		}
+	}
 	if err := t.rel.Insert(row); err != nil {
 		return err
 	}
-	if syn, ok := t.w.aq.Synopsis(t.rel.Name); ok {
+	if hasSyn {
 		syn.Insert(row)
 	}
 	return nil
@@ -340,6 +416,20 @@ func (w *Warehouse) ApproxCtx(ctx context.Context, sql string) (*Result, error) 
 	return w.aq.AnswerCtx(ctx, sql)
 }
 
+// ApproxQuery is the full cached read path: the query is parsed and
+// rewritten through the plan cache and answered through the result cache
+// (unless disabled or opts.NoCache), reporting whether the answer was a
+// cache hit. Concurrent identical misses share one execution. The
+// returned Result may be shared with other callers and must be treated
+// as read-only.
+func (w *Warehouse) ApproxQuery(ctx context.Context, sql string, opts ApproxOptions) (*Result, CacheStatus, error) {
+	return w.aq.AnswerQuery(ctx, sql, aqua.QueryOptions{
+		Strategy:    opts.Rewrite,
+		UseStrategy: opts.UseRewrite,
+		NoCache:     opts.NoCache,
+	})
+}
+
 // ApproxWith answers approximately using an explicit rewrite strategy.
 func (w *Warehouse) ApproxWith(sql string, strat RewriteStrategy) (*Result, error) {
 	return w.aq.AnswerWith(sql, strat)
@@ -372,6 +462,53 @@ func (w *Warehouse) Estimate(table string, grouping []string, agg estimate.Aggre
 // ErrBadQuery and a missing synopsis wraps ErrNoSynopsis, for errors.Is
 // classification by callers such as the HTTP server.
 func (w *Warehouse) EstimateCtx(ctx context.Context, table string, grouping []string, agg estimate.Aggregate, aggCol string, confidence float64) ([]estimate.GroupEstimate, error) {
+	ests, _, err := w.EstimateQuery(ctx, table, grouping, agg, aggCol, confidence, false)
+	return ests, err
+}
+
+// EstimateQuery is EstimateCtx through the result cache: estimate sets
+// are memoized under the synopsis's data epoch exactly like SQL answers,
+// so repeated dashboards hitting the same (table, grouping, aggregate)
+// tuple skip the sample scan until the data changes. noCache skips the
+// cache for this call. The returned slice may be shared with concurrent
+// callers and must be treated as read-only.
+func (w *Warehouse) EstimateQuery(ctx context.Context, table string, grouping []string, agg estimate.Aggregate, aggCol string, confidence float64, noCache bool) ([]estimate.GroupEstimate, CacheStatus, error) {
+	rc := w.aq.ResultCache()
+	if rc == nil || noCache {
+		ests, err := w.estimateUncached(ctx, table, grouping, agg, aggCol, confidence)
+		return ests, CacheBypass, err
+	}
+	syn, ok := w.aq.Synopsis(table)
+	if !ok {
+		return nil, CacheBypass, fmt.Errorf("%w %q", ErrNoSynopsis, table)
+	}
+	// Load the epoch before the sample scan (same ordering contract as
+	// the SQL result cache: fresher data under an old key is harmless,
+	// stale data under a new key is impossible).
+	key := fmt.Sprintf("e\x00%d\x00%d\x00%s\x00%d\x00%s\x00%g",
+		syn.ID(), syn.Epoch(), joinParts(grouping), int(agg), strings.ToLower(aggCol), confidence)
+	v, hit, err := rc.Do(ctx, key, func() (any, int64, error) {
+		ests, err := w.estimateUncached(ctx, table, grouping, agg, aggCol, confidence)
+		if err != nil {
+			return nil, 0, err
+		}
+		cost := int64(64)
+		for _, e := range ests {
+			cost += int64(64 + len(e.Key))
+		}
+		return ests, cost, nil
+	})
+	if err != nil {
+		return nil, CacheMiss, err
+	}
+	status := CacheMiss
+	if hit {
+		status = CacheHit
+	}
+	return v.([]estimate.GroupEstimate), status, nil
+}
+
+func (w *Warehouse) estimateUncached(ctx context.Context, table string, grouping []string, agg estimate.Aggregate, aggCol string, confidence float64) ([]estimate.GroupEstimate, error) {
 	start := time.Now()
 	syn, ok := w.aq.Synopsis(table)
 	if !ok {
@@ -417,6 +554,13 @@ func (w *Warehouse) EstimateCtx(ctx context.Context, table string, grouping []st
 // engine's composite group keys use (datacube.KeySep), which cannot
 // occur in rendered values' natural text the way "/" can — so keys like
 // ("a/b","c") and ("a","b/c") stay distinct.
+//
+// The separator is a reserved byte: grouping-column values containing
+// U+001F are rejected by Table.Insert, because a key built from such a
+// value would be indistinguishable from a key over different values.
+// joinParts and SplitEstimateKey round-trip under that contract,
+// including the empty grouping (T = ∅, the House stratum), whose key is
+// the empty string and splits back to zero values.
 const EstimateKeySep = datacube.KeySep
 
 // joinParts joins display values into an Estimate group key.
@@ -425,8 +569,13 @@ func joinParts(parts []string) string {
 }
 
 // SplitEstimateKey splits a multi-column Estimate group key back into
-// the rendered per-column values.
+// the rendered per-column values. The empty key — produced by the empty
+// grouping — splits to an empty, non-nil slice, so len(SplitEstimateKey(
+// joinParts(parts))) == len(parts) holds for every valid parts.
 func SplitEstimateKey(key string) []string {
+	if key == "" {
+		return []string{}
+	}
 	return strings.Split(key, EstimateKeySep)
 }
 

@@ -13,11 +13,13 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/approxdb/congress/internal/core"
 	"github.com/approxdb/congress/internal/engine"
 	"github.com/approxdb/congress/internal/metrics"
+	"github.com/approxdb/congress/internal/qcache"
 	"github.com/approxdb/congress/internal/rewrite"
 	"github.com/approxdb/congress/internal/sample"
 	"github.com/approxdb/congress/internal/sqlparse"
@@ -81,13 +83,29 @@ type Aqua struct {
 	cat *engine.Catalog
 	tel *metrics.Telemetry
 
+	// parse and plans memoize query parsing and per-strategy rewriting;
+	// both are pure functions of the query text (plus the synopsis
+	// relation names), so they need no invalidation. results is the
+	// epoch-invalidated answer cache — nil (off) unless a warehouse
+	// front-end opts in via EnableResultCache, so experiment harnesses
+	// measuring scan cost through Answer are never silently cached.
+	parse   *sqlparse.ParseCache
+	plans   *rewrite.PlanCache
+	results atomic.Pointer[qcache.Cache]
+
 	mu       sync.RWMutex
 	synopses map[string]*Synopsis // by lower-cased base table name
 }
 
 // New creates an Aqua instance over the catalog (the "warehouse DBMS").
 func New(cat *engine.Catalog) *Aqua {
-	return &Aqua{cat: cat, tel: metrics.NewTelemetry(), synopses: make(map[string]*Synopsis)}
+	return &Aqua{
+		cat:      cat,
+		tel:      metrics.NewTelemetry(),
+		parse:    sqlparse.NewParseCache(defaultPlanEntries),
+		plans:    rewrite.NewPlanCache(defaultPlanEntries),
+		synopses: make(map[string]*Synopsis),
+	}
 }
 
 // Catalog returns the backing engine catalog.
@@ -110,6 +128,15 @@ type Synopsis struct {
 	grouping *core.Grouping
 	alloc    *core.Allocation
 	tel      *metrics.Telemetry
+
+	// id is unique across every synopsis ever created in the process and
+	// epoch counts data-changing events (maintainer feeds, refreshes,
+	// scale-factor updates). Together they version cached answers: a
+	// result cached under (id, epoch) becomes unreachable the moment the
+	// epoch advances, and ids prevent a re-created synopsis for the same
+	// table from colliding with entries of its predecessor.
+	id    uint64
+	epoch atomic.Uint64
 
 	mu       sync.RWMutex
 	sample   *sample.Stratified[engine.Row]
@@ -203,7 +230,7 @@ func (a *Aqua) CreateSynopsis(cfg Config) (*Synopsis, error) {
 		return nil, err
 	}
 
-	s := &Synopsis{cfg: cfg, grouping: g, sample: st, alloc: alloc, tel: a.tel}
+	s := &Synopsis{cfg: cfg, grouping: g, sample: st, alloc: alloc, tel: a.tel, id: synopsisSeq.Add(1)}
 	s.nameTables()
 	if err := s.materialize(a.cat, rel.Schema); err != nil {
 		return nil, err
@@ -490,7 +517,32 @@ func (s *Synopsis) Insert(row engine.Row) {
 	s.pending++
 	s.mu.Unlock()
 	s.tel.MaintainerInsert()
+	s.bumpEpoch()
 }
+
+// Epoch returns the synopsis's current data version. Every maintainer
+// feed, refresh, and scale-factor update advances it; cached answers are
+// keyed by epoch so an advance invalidates them all at once.
+func (s *Synopsis) Epoch() uint64 { return s.epoch.Load() }
+
+// ID returns the process-unique synopsis id (part of cache keys).
+func (s *Synopsis) ID() uint64 { return s.id }
+
+// bumpEpoch advances the data version. It must run only after the data
+// change is visible (e.g. after Refresh has registered the new sample
+// relations): a reader that observes the new epoch is then guaranteed to
+// also observe the new data, so a cached entry keyed by epoch E can
+// never hold data older than version E. The converse race — a reader
+// that loaded epoch E just before the bump caches version E+1 data under
+// key E — only ever stores *fresher* data than the key implies, which is
+// harmless.
+func (s *Synopsis) bumpEpoch() {
+	s.epoch.Add(1)
+	s.tel.CacheInvalidation()
+}
+
+// synopsisSeq hands out process-unique synopsis ids.
+var synopsisSeq atomic.Uint64
 
 // Refresh re-materializes the sample relations from the maintainer's
 // current snapshot, making maintained state visible to queries. Safe for
@@ -519,6 +571,9 @@ func (a *Aqua) Refresh(table string) error {
 	}
 	drained := s.pending
 	s.pending = 0
+	// Bump strictly after materialize has registered the new sample
+	// relations (see bumpEpoch's ordering contract).
+	s.bumpEpoch()
 	a.tel.MaintainerDrained(drained)
 	a.tel.AddStrataTouched(int64(st.NumStrata()))
 	a.tel.ObserveRefresh(time.Since(start))
@@ -535,15 +590,7 @@ func (a *Aqua) Answer(query string) (*engine.Result, error) {
 // observed inside the rewritten query's row-scan loops, so an abandoned
 // request stops scanning promptly.
 func (a *Aqua) AnswerCtx(ctx context.Context, query string) (*engine.Result, error) {
-	start := time.Now()
-	s, stmt, err := a.route(query)
-	if err != nil {
-		return nil, err
-	}
-	res, err := a.answer(ctx, s, stmt, s.cfg.Rewrite)
-	if err == nil {
-		a.tel.ObserveAnswer(time.Since(start))
-	}
+	res, _, err := a.AnswerQuery(ctx, query, QueryOptions{})
 	return res, err
 }
 
@@ -555,26 +602,18 @@ func (a *Aqua) AnswerWith(query string, strat rewrite.Strategy) (*engine.Result,
 
 // AnswerWithCtx is AnswerWith under a context (see AnswerCtx).
 func (a *Aqua) AnswerWithCtx(ctx context.Context, query string, strat rewrite.Strategy) (*engine.Result, error) {
-	start := time.Now()
-	s, stmt, err := a.route(query)
-	if err != nil {
-		return nil, err
-	}
-	res, err := a.answer(ctx, s, stmt, strat)
-	if err == nil {
-		a.tel.ObserveAnswer(time.Since(start))
-	}
+	res, _, err := a.AnswerQuery(ctx, query, QueryOptions{Strategy: strat, UseStrategy: true})
 	return res, err
 }
 
 // RewriteOnly returns the rewritten SQL without executing it (for
 // inspection and the CLI's EXPLAIN-style mode).
 func (a *Aqua) RewriteOnly(query string, strat rewrite.Strategy) (string, error) {
-	s, stmt, err := a.route(query)
+	s, stmt, fp, err := a.route(query)
 	if err != nil {
 		return "", err
 	}
-	out, err := rewrite.Rewrite(stmt, strat, s.Tables(strat))
+	out, err := a.plans.Rewrite(stmt, fp, strat, s.Tables(strat))
 	if err != nil {
 		return "", err
 	}
@@ -598,23 +637,27 @@ func (a *Aqua) ExactCtx(ctx context.Context, query string) (*engine.Result, erro
 	return engine.ExecuteCtx(ctx, a.cat, stmt)
 }
 
-func (a *Aqua) route(query string) (*Synopsis, *sqlparse.SelectStmt, error) {
-	stmt, err := sqlparse.Parse(query)
+// route parses (through the parse cache) and resolves the target
+// synopsis. The returned statement is shared with other callers of the
+// same query text and must not be modified; the fingerprint is the
+// normalized cache key for the plan and result caches.
+func (a *Aqua) route(query string) (*Synopsis, *sqlparse.SelectStmt, string, error) {
+	stmt, fp, err := a.parse.Parse(query)
 	if err != nil {
-		return nil, nil, fmt.Errorf("%w: %v", ErrBadQuery, err)
+		return nil, nil, "", fmt.Errorf("%w: %v", ErrBadQuery, err)
 	}
 	if len(stmt.From) != 1 || stmt.From[0].Subquery != nil {
-		return nil, nil, fmt.Errorf("%w: approximate answering supports single-table queries", ErrBadQuery)
+		return nil, nil, "", fmt.Errorf("%w: approximate answering supports single-table queries", ErrBadQuery)
 	}
 	s, ok := a.Synopsis(stmt.From[0].Name)
 	if !ok {
-		return nil, nil, fmt.Errorf("%w %q", ErrNoSynopsis, stmt.From[0].Name)
+		return nil, nil, "", fmt.Errorf("%w %q", ErrNoSynopsis, stmt.From[0].Name)
 	}
-	return s, stmt, nil
+	return s, stmt, fp, nil
 }
 
-func (a *Aqua) answer(ctx context.Context, s *Synopsis, stmt *sqlparse.SelectStmt, strat rewrite.Strategy) (*engine.Result, error) {
-	rewritten, err := rewrite.Rewrite(stmt, strat, s.Tables(strat))
+func (a *Aqua) answer(ctx context.Context, s *Synopsis, stmt *sqlparse.SelectStmt, fp string, strat rewrite.Strategy) (*engine.Result, error) {
+	rewritten, err := a.plans.Rewrite(stmt, fp, strat, s.Tables(strat))
 	if err != nil {
 		return nil, err
 	}

@@ -41,7 +41,7 @@ func (a *Aqua) UpdateScaleFactor(table string, strat rewrite.Strategy, groupKey 
 			return 0, fmt.Errorf("aqua: sample relation %q missing", s.integratedName)
 		}
 		sfIdx := rel.Schema.Index("sf")
-		return rel.Update(
+		n, err := rel.Update(
 			func(row engine.Row) bool {
 				// The integrated row is the base row plus sf; the
 				// grouping extractor works on the prefix.
@@ -53,6 +53,10 @@ func (a *Aqua) UpdateScaleFactor(table string, strat rewrite.Strategy, groupKey 
 				return next
 			},
 		)
+		if err == nil {
+			s.bumpEpoch()
+		}
+		return n, err
 	case rewrite.Normalized:
 		rel, ok := a.cat.Lookup(s.normAuxName)
 		if !ok {
@@ -64,7 +68,7 @@ func (a *Aqua) UpdateScaleFactor(table string, strat rewrite.Strategy, groupKey 
 		for _, ci := range s.grouping.Columns() {
 			want = append(want, stratum.Items[0][ci])
 		}
-		return rel.Update(
+		n, err := rel.Update(
 			func(row engine.Row) bool {
 				for i, v := range want {
 					if !row[i].Equal(v) {
@@ -79,6 +83,10 @@ func (a *Aqua) UpdateScaleFactor(table string, strat rewrite.Strategy, groupKey 
 				return next
 			},
 		)
+		if err == nil {
+			s.bumpEpoch()
+		}
+		return n, err
 	case rewrite.KeyNormalized:
 		auxRel, ok := a.cat.Lookup(s.keyAuxName)
 		if !ok {
@@ -90,7 +98,7 @@ func (a *Aqua) UpdateScaleFactor(table string, strat rewrite.Strategy, groupKey 
 		}
 		gid := engine.NewInt(id)
 		sfIdx := auxRel.Schema.Index("sf")
-		return auxRel.Update(
+		n, err := auxRel.Update(
 			func(row engine.Row) bool { return row[0].Equal(gid) },
 			func(row engine.Row) engine.Row {
 				next := row.Clone()
@@ -98,6 +106,10 @@ func (a *Aqua) UpdateScaleFactor(table string, strat rewrite.Strategy, groupKey 
 				return next
 			},
 		)
+		if err == nil {
+			s.bumpEpoch()
+		}
+		return n, err
 	default:
 		return 0, fmt.Errorf("aqua: unknown rewrite strategy %v", strat)
 	}

@@ -102,6 +102,8 @@ func RunCtx(ctx context.Context, st *sample.Stratified[engine.Row], q Query) ([]
 		variance    float64 // accumulated Var contributions
 		countVar    float64 // HT variance for COUNT
 		n           int
+		lo, hi      float64 // observed value range, for the sparse fallback
+		sparse      bool    // some stratum had < 2 rows at sf > 1
 	}
 	cells := make(map[string]*cell)
 	var order []string
@@ -127,6 +129,7 @@ func RunCtx(ctx context.Context, st *sample.Stratified[engine.Row], q Query) ([]
 			passedCnt  float64
 			countVarTr float64
 		)
+		sLo, sHi := math.Inf(1), math.Inf(-1)
 		for _, row := range s.Items {
 			if scanned&(pollEvery-1) == 0 {
 				if err := ctx.Err(); err != nil {
@@ -151,13 +154,19 @@ func RunCtx(ctx context.Context, st *sample.Stratified[engine.Row], q Query) ([]
 			passedSum += v * sf
 			passedCnt += sf
 			countVarTr += sf * (sf - 1)
+			if v < sLo {
+				sLo = v
+			}
+			if v > sHi {
+				sHi = v
+			}
 		}
 		if n == 0 {
 			continue
 		}
 		c := cells[key]
 		if c == nil {
-			c = &cell{}
+			c = &cell{lo: math.Inf(1), hi: math.Inf(-1)}
 			cells[key] = c
 			order = append(order, key)
 		}
@@ -165,9 +174,24 @@ func RunCtx(ctx context.Context, st *sample.Stratified[engine.Row], q Query) ([]
 		c.scaledCount += passedCnt
 		c.n += int(n)
 		c.countVar += countVarTr
+		if sLo < c.lo {
+			c.lo = sLo
+		}
+		if sHi > c.hi {
+			c.hi = sHi
+		}
 		if n >= 2 {
 			s2 := m2 / float64(n-1)
 			c.variance += sf * sf * float64(n) * (1 - 1/sf) * s2
+		} else if sf > 1 {
+			// A single sampled row at sf > 1 has no defined sample
+			// variance — the s2 term above would divide by n-1 = 0. The
+			// old behavior contributed 0, i.e. reported false certainty
+			// for the least-certain strata. Mark the group so the output
+			// pass substitutes a distribution-free Hoeffding half-width
+			// (§4 error guarantees). sf == 1 with one row really is the
+			// whole stratum, so a zero contribution is correct there.
+			c.sparse = true
 		}
 	}
 
@@ -179,7 +203,12 @@ func RunCtx(ctx context.Context, st *sample.Stratified[engine.Row], q Query) ([]
 		case Sum:
 			ge.Value = c.scaledSum
 			ge.Bound = z * math.Sqrt(c.variance)
+			if c.sparse {
+				ge.Bound += fallbackHalfWidth(c.n, c.lo, c.hi, conf) * c.scaledCount
+			}
 		case Count:
+			// The Horvitz-Thompson count variance sf·(sf−1) per row is
+			// defined even for single-row strata; no fallback needed.
 			ge.Value = c.scaledCount
 			ge.Bound = z * math.Sqrt(c.countVar)
 		case Avg:
@@ -188,12 +217,43 @@ func RunCtx(ctx context.Context, st *sample.Stratified[engine.Row], q Query) ([]
 			}
 			ge.Value = c.scaledSum / c.scaledCount
 			ge.Bound = z * math.Sqrt(c.variance) / c.scaledCount
+			if c.sparse {
+				ge.Bound += fallbackHalfWidth(c.n, c.lo, c.hi, conf)
+			}
 		default:
 			return nil, fmt.Errorf("estimate: unknown aggregate %v", q.Agg)
+		}
+		// Bounds must serialize as valid JSON through /v1/query; clamp
+		// any residual non-finite half-width to "no information".
+		if math.IsNaN(ge.Bound) || math.IsInf(ge.Bound, 0) {
+			ge.Bound = math.MaxFloat64
 		}
 		out = append(out, ge)
 	}
 	return out, nil
+}
+
+// fallbackHalfWidth is the defined half-width substituted for groups
+// whose CLT variance term is unavailable: a Hoeffding bound for the mean
+// over the observed value range. A group fed by a single row has a
+// degenerate (zero-width) range, so the range is floored at
+// max(|hi|, 1) — "the value could plausibly be off by its own
+// magnitude" — which keeps the bound positive and finite instead of the
+// 0 (false certainty) or +Inf (HoeffdingAvg's degenerate answer) the
+// raw formulas produce.
+func fallbackHalfWidth(n int, lo, hi, conf float64) float64 {
+	if n <= 0 {
+		n = 1
+	}
+	width := hi - lo
+	if !(width > 0) || math.IsInf(width, 0) {
+		width = math.Abs(hi)
+		if !(width >= 1) || math.IsInf(width, 0) {
+			width = 1
+		}
+	}
+	delta := 1 - conf
+	return width * math.Sqrt(math.Log(2/delta)/(2*float64(n)))
 }
 
 // HoeffdingAvg returns the Hoeffding half-width for an estimated mean of

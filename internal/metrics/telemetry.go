@@ -27,11 +27,21 @@ import (
 //	congress_estimate_seconds_total    cumulative estimate wall time
 //	congress_maintainer_inserts_total  tuples fed to incremental maintainers
 //	congress_maintainer_queue_depth    maintained tuples not yet visible to queries
+//	congress_cache_hits_total          query answers served from the result cache
+//	congress_cache_misses_total        query answers that had to execute
+//	congress_cache_evictions_total     result-cache entries dropped by capacity bounds
+//	congress_cache_invalidations_total synopsis epoch bumps (insert/refresh/update)
+//	congress_cache_hit_rate            hits / (hits + misses), point-in-time
 type Telemetry struct {
 	rowsScanned       atomic.Int64
 	strataTouched     atomic.Int64
 	maintainerInserts atomic.Int64
 	maintainerQueue   atomic.Int64
+
+	cacheHits          atomic.Int64
+	cacheMisses        atomic.Int64
+	cacheEvictions     atomic.Int64
+	cacheInvalidations atomic.Int64
 
 	build    opStats
 	refresh  opStats
@@ -116,6 +126,36 @@ func (t *Telemetry) ObserveEstimate(d time.Duration) {
 	}
 }
 
+// CacheHit records one answer served from the result cache.
+func (t *Telemetry) CacheHit() {
+	if t != nil {
+		t.cacheHits.Add(1)
+	}
+}
+
+// CacheMiss records one answer that had to execute against the sample.
+func (t *Telemetry) CacheMiss() {
+	if t != nil {
+		t.cacheMisses.Add(1)
+	}
+}
+
+// CacheEviction records one result-cache entry dropped to stay within
+// the configured entry or byte bound.
+func (t *Telemetry) CacheEviction() {
+	if t != nil {
+		t.cacheEvictions.Add(1)
+	}
+}
+
+// CacheInvalidation records one synopsis epoch bump — every cached entry
+// for that synopsis becomes unreachable.
+func (t *Telemetry) CacheInvalidation() {
+	if t != nil {
+		t.cacheInvalidations.Add(1)
+	}
+}
+
 // OpSnapshot is the point-in-time reading of one operation kind.
 type OpSnapshot struct {
 	Count int64
@@ -136,10 +176,23 @@ type TelemetrySnapshot struct {
 	StrataTouched        int64
 	MaintainerInserts    int64
 	MaintainerQueueDepth int64
+	CacheHits            int64
+	CacheMisses          int64
+	CacheEvictions       int64
+	CacheInvalidations   int64
 	Build                OpSnapshot
 	Refresh              OpSnapshot
 	Answer               OpSnapshot
 	Estimate             OpSnapshot
+}
+
+// CacheHitRate returns hits/(hits+misses), or 0 with no cache lookups.
+func (s TelemetrySnapshot) CacheHitRate() float64 {
+	total := s.CacheHits + s.CacheMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.CacheHits) / float64(total)
 }
 
 // Snapshot reads the current counter values. A nil telemetry reads as
@@ -153,6 +206,10 @@ func (t *Telemetry) Snapshot() TelemetrySnapshot {
 		StrataTouched:        t.strataTouched.Load(),
 		MaintainerInserts:    t.maintainerInserts.Load(),
 		MaintainerQueueDepth: t.maintainerQueue.Load(),
+		CacheHits:            t.cacheHits.Load(),
+		CacheMisses:          t.cacheMisses.Load(),
+		CacheEvictions:       t.cacheEvictions.Load(),
+		CacheInvalidations:   t.cacheInvalidations.Load(),
 		Build:                t.build.snapshot(),
 		Refresh:              t.refresh.snapshot(),
 		Answer:               t.answer.snapshot(),
@@ -177,5 +234,10 @@ func (s TelemetrySnapshot) String() string {
 	}
 	out += fmt.Sprintf("congress_maintainer_inserts_total %d\n", s.MaintainerInserts)
 	out += fmt.Sprintf("congress_maintainer_queue_depth %d\n", s.MaintainerQueueDepth)
+	out += fmt.Sprintf("congress_cache_hits_total %d\n", s.CacheHits)
+	out += fmt.Sprintf("congress_cache_misses_total %d\n", s.CacheMisses)
+	out += fmt.Sprintf("congress_cache_evictions_total %d\n", s.CacheEvictions)
+	out += fmt.Sprintf("congress_cache_invalidations_total %d\n", s.CacheInvalidations)
+	out += fmt.Sprintf("congress_cache_hit_rate %.4f\n", s.CacheHitRate())
 	return out
 }

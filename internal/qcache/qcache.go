@@ -1,0 +1,236 @@
+// Package qcache is the bounded result cache backing the warehouse's
+// hot query path: a mutex-guarded LRU with entry- and byte-capacity
+// limits, plus a singleflight layer so concurrent identical misses
+// execute the underlying scan once and share its result.
+//
+// The cache itself is oblivious to invalidation: callers embed a
+// version (the synopsis epoch) in the key, so entries for superseded
+// versions become unreachable the instant the epoch advances and age
+// out of the LRU naturally. That makes serving a stale entry
+// structurally impossible rather than a matter of eviction timing.
+package qcache
+
+import (
+	"container/list"
+	"context"
+)
+import "sync"
+
+// Events carries optional counters notified on cache lifecycle points.
+// Any nil field is skipped. Callbacks must be safe for concurrent use
+// and fast (they run on the query path, some under the cache lock).
+type Events struct {
+	// Hit fires when Do returns a cached (or singleflight-shared) value.
+	Hit func()
+	// Miss fires when Do has to execute the loader.
+	Miss func()
+	// Evict fires once per entry removed to enforce a capacity bound.
+	Evict func()
+}
+
+// entry is one cached value with its accounted cost in bytes.
+type entry struct {
+	key  string
+	val  any
+	cost int64
+}
+
+// flight is one in-progress load shared by concurrent identical misses.
+type flight struct {
+	done chan struct{}
+	val  any
+	err  error
+}
+
+// Cache is a bounded LRU with singleflight loading. A nil *Cache is a
+// valid no-op cache: Do executes the loader directly and never stores.
+type Cache struct {
+	maxEntries int
+	maxBytes   int64
+	ev         Events
+
+	mu      sync.Mutex
+	bytes   int64
+	ll      *list.List // front = most recently used
+	items   map[string]*list.Element
+	flights map[string]*flight
+}
+
+// New creates a cache holding at most maxEntries entries and maxBytes
+// accounted bytes. maxEntries <= 0 returns nil (caching disabled);
+// maxBytes <= 0 means no byte bound.
+func New(maxEntries int, maxBytes int64, ev Events) *Cache {
+	if maxEntries <= 0 {
+		return nil
+	}
+	return &Cache{
+		maxEntries: maxEntries,
+		maxBytes:   maxBytes,
+		ev:         ev,
+		ll:         list.New(),
+		items:      make(map[string]*list.Element),
+		flights:    make(map[string]*flight),
+	}
+}
+
+// Get returns the cached value for key, marking it most recently used.
+func (c *Cache) Get(key string) (any, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*entry).val, true
+}
+
+// Put stores val under key with the given byte cost, evicting from the
+// LRU tail as needed to respect both capacity bounds.
+func (c *Cache) Put(key string, val any, cost int64) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.putLocked(key, val, cost)
+	c.mu.Unlock()
+}
+
+func (c *Cache) putLocked(key string, val any, cost int64) {
+	if cost < 0 {
+		cost = 0
+	}
+	if el, ok := c.items[key]; ok {
+		e := el.Value.(*entry)
+		c.bytes += cost - e.cost
+		e.val, e.cost = val, cost
+		c.ll.MoveToFront(el)
+	} else {
+		c.items[key] = c.ll.PushFront(&entry{key: key, val: val, cost: cost})
+		c.bytes += cost
+	}
+	for c.ll.Len() > c.maxEntries || (c.maxBytes > 0 && c.bytes > c.maxBytes && c.ll.Len() > 1) {
+		c.evictOldestLocked()
+	}
+}
+
+func (c *Cache) evictOldestLocked() {
+	el := c.ll.Back()
+	if el == nil {
+		return
+	}
+	e := el.Value.(*entry)
+	c.ll.Remove(el)
+	delete(c.items, e.key)
+	c.bytes -= e.cost
+	if c.ev.Evict != nil {
+		c.ev.Evict()
+	}
+}
+
+// Do returns the value for key, loading it with fn on a miss. Concurrent
+// calls for the same missing key share one fn execution (a singleflight):
+// the first caller runs fn, the rest block until it finishes and share
+// the result. hit reports whether the value came from the cache or a
+// shared flight rather than this caller's own fn execution.
+//
+// fn's error is returned to the leader and every waiter, and nothing is
+// cached. A waiter whose flight leader failed retries fn itself rather
+// than re-queueing, so one failing caller cannot poison followers whose
+// own execution would have succeeded (e.g. a leader whose deadline was
+// shorter). A waiter whose own ctx expires stops waiting and returns
+// ctx's error.
+func (c *Cache) Do(ctx context.Context, key string, fn func() (val any, cost int64, err error)) (val any, hit bool, err error) {
+	if c == nil {
+		v, _, err := fn()
+		return v, false, err
+	}
+	c.mu.Lock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		v := el.Value.(*entry).val
+		c.mu.Unlock()
+		if c.ev.Hit != nil {
+			c.ev.Hit()
+		}
+		return v, true, nil
+	}
+	if f, ok := c.flights[key]; ok {
+		c.mu.Unlock()
+		select {
+		case <-f.done:
+		case <-ctx.Done():
+			return nil, false, ctx.Err()
+		}
+		if f.err == nil {
+			if c.ev.Hit != nil {
+				c.ev.Hit()
+			}
+			return f.val, true, nil
+		}
+		// The leader failed; run our own load instead of inheriting an
+		// error that may be specific to the leader (its deadline, say).
+		if c.ev.Miss != nil {
+			c.ev.Miss()
+		}
+		v, cost, err := fn()
+		if err == nil {
+			c.Put(key, v, cost)
+		}
+		return v, false, err
+	}
+	f := &flight{done: make(chan struct{})}
+	c.flights[key] = f
+	c.mu.Unlock()
+	if c.ev.Miss != nil {
+		c.ev.Miss()
+	}
+	f.val, _, f.err = func() (any, int64, error) {
+		v, cost, err := fn()
+		c.mu.Lock()
+		delete(c.flights, key)
+		if err == nil {
+			c.putLocked(key, v, cost)
+		}
+		c.mu.Unlock()
+		return v, cost, err
+	}()
+	close(f.done)
+	return f.val, false, f.err
+}
+
+// Len returns the number of cached entries.
+func (c *Cache) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Bytes returns the accounted byte total of cached entries.
+func (c *Cache) Bytes() int64 {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytes
+}
+
+// Purge drops every cached entry (in-progress flights are unaffected;
+// they will repopulate on completion).
+func (c *Cache) Purge() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.ll.Init()
+	c.items = make(map[string]*list.Element)
+	c.bytes = 0
+	c.mu.Unlock()
+}

@@ -1,0 +1,94 @@
+package rewrite
+
+import (
+	"strconv"
+	"strings"
+	"sync"
+
+	"github.com/approxdb/congress/internal/sqlparse"
+)
+
+// PlanCache memoizes Rewrite outputs keyed by (query fingerprint,
+// strategy, target tables). Rewriting is pure — it never mutates its
+// input and its output depends only on the statement and Tables — so a
+// cached plan is valid until the synopsis is re-registered with
+// different relation names, at which point the Tables signature in the
+// key changes and old plans become unreachable.
+//
+// Cached plans are shared between callers and must be treated as
+// read-only; the engine executes statements without modifying them.
+// A nil *PlanCache falls back to calling Rewrite directly.
+type PlanCache struct {
+	max int
+
+	mu    sync.Mutex
+	items map[string]planEntry
+}
+
+type planEntry struct {
+	stmt *sqlparse.SelectStmt
+	err  error
+}
+
+// NewPlanCache returns a plan cache bounded to max entries (<= 0
+// disables caching and returns nil).
+func NewPlanCache(max int) *PlanCache {
+	if max <= 0 {
+		return nil
+	}
+	return &PlanCache{max: max, items: make(map[string]planEntry, 64)}
+}
+
+// tablesSig folds every field of Tables that affects the rewrite output
+// into the cache key.
+func tablesSig(t Tables) string {
+	var b strings.Builder
+	b.WriteString(t.Base)
+	b.WriteByte('|')
+	b.WriteString(t.Sample)
+	b.WriteByte('|')
+	b.WriteString(t.Aux)
+	b.WriteByte('|')
+	b.WriteString(strings.Join(t.GroupCols, ","))
+	b.WriteByte('|')
+	b.WriteString(t.sfCol())
+	b.WriteByte('|')
+	b.WriteString(t.gidCol())
+	b.WriteByte('|')
+	b.WriteString(strconv.FormatBool(t.WithErrorColumns))
+	return b.String()
+}
+
+// Rewrite returns the memoized plan for (fingerprint, strat, t),
+// computing and storing it on a miss. Rewrite errors are cached too, so
+// a repeatedly submitted unrewritable query fails fast.
+func (pc *PlanCache) Rewrite(stmt *sqlparse.SelectStmt, fingerprint string, strat Strategy, t Tables) (*sqlparse.SelectStmt, error) {
+	if pc == nil || fingerprint == "" {
+		return Rewrite(stmt, strat, t)
+	}
+	key := fingerprint + "\x00" + strconv.Itoa(int(strat)) + "\x00" + tablesSig(t)
+	pc.mu.Lock()
+	e, ok := pc.items[key]
+	pc.mu.Unlock()
+	if ok {
+		return e.stmt, e.err
+	}
+	out, err := Rewrite(stmt, strat, t)
+	pc.mu.Lock()
+	if len(pc.items) >= pc.max {
+		pc.items = make(map[string]planEntry, 64)
+	}
+	pc.items[key] = planEntry{stmt: out, err: err}
+	pc.mu.Unlock()
+	return out, err
+}
+
+// Len reports the number of memoized plans.
+func (pc *PlanCache) Len() int {
+	if pc == nil {
+		return 0
+	}
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	return len(pc.items)
+}

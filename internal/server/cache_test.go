@@ -1,0 +1,148 @@
+package server
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/approxdb/congress/internal/workload"
+	"github.com/approxdb/congress/pkg/client"
+)
+
+// TestQueueWaitNotChargedToDeadline saturates the single worker slot so
+// a second request queues for most of its timeout window, then does work
+// whose duration fits the full window but not the remainder. The request
+// must succeed: the engine deadline starts when the worker slot is
+// acquired, not when the request arrives. Before the admission fix one
+// window covered both wait and work (queueWait + workDelay > timeout
+// here), so this request 504'd spuriously. The timeout still bounds the
+// wait itself — that behavior is pinned by TestQueuedRequestHonorsDeadline.
+func TestQueueWaitNotChargedToDeadline(t *testing.T) {
+	const (
+		timeout   = 600 * time.Millisecond // queued request's budget
+		queueWait = 400 * time.Millisecond // < timeout: the wait survives
+		workDelay = 250 * time.Millisecond // wait+work > timeout: old code 504s
+	)
+	w := testWarehouse(t, 2000, 20)
+	srv, c := testServer(t, Options{Warehouse: w, MaxConcurrent: 1, QueueDepth: 4})
+
+	release := make(chan struct{})
+	entered := make(chan struct{}, 1)
+	var calls atomic.Int32
+	srv.onExecute = func() {
+		if calls.Add(1) == 1 { // the slot holder
+			entered <- struct{}{}
+			<-release
+			return
+		}
+		// The queued request: burn engine-deadline time after admission.
+		time.Sleep(workDelay)
+	}
+
+	holdDone := make(chan error, 1)
+	go func() {
+		_, err := c.Query(context.Background(), client.QueryRequest{SQL: workload.Qg2})
+		holdDone <- err
+	}()
+	<-entered
+
+	queuedDone := make(chan error, 1)
+	go func() {
+		_, err := c.Query(context.Background(), client.QueryRequest{
+			SQL: workload.Qg2, TimeoutMS: timeout.Milliseconds(),
+		})
+		queuedDone <- err
+	}()
+	waitFor(t, func() bool { return srv.adm.depth() == 1 })
+
+	time.Sleep(queueWait)
+	close(release)
+
+	if err := <-queuedDone; err != nil {
+		t.Errorf("queued request failed; queue wait is being charged to the engine deadline: %v", err)
+	}
+	if err := <-holdDone; err != nil {
+		t.Errorf("slot-holding request failed: %v", err)
+	}
+}
+
+// TestCacheHeaderAndNoCache exercises the /v1/query cache surface: the
+// X-Congress-Cache header (mirrored in the body's cache field) must read
+// miss, then hit, and a no_cache request must bypass without disturbing
+// the stored entry.
+func TestCacheHeaderAndNoCache(t *testing.T) {
+	w := testWarehouse(t, 2000, 20)
+	_, c := testServer(t, Options{Warehouse: w})
+	ctx := context.Background()
+
+	query := func(noCache bool) string {
+		t.Helper()
+		res, err := c.Query(ctx, client.QueryRequest{SQL: workload.Qg2, NoCache: noCache})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Cache
+	}
+	if got := query(false); got != "miss" {
+		t.Errorf("first query cache = %q, want miss", got)
+	}
+	if got := query(false); got != "hit" {
+		t.Errorf("second query cache = %q, want hit", got)
+	}
+	if got := query(true); got != "bypass" {
+		t.Errorf("no_cache query cache = %q, want bypass", got)
+	}
+	if got := query(false); got != "hit" {
+		t.Errorf("query after bypass cache = %q, want hit (bypass must not evict)", got)
+	}
+
+	// The estimate path is cached under its own keys.
+	est := func() string {
+		t.Helper()
+		res, err := c.Query(ctx, client.QueryRequest{Estimate: &client.EstimateRequest{
+			Table: "lineitem", GroupBy: []string{"l_returnflag"},
+			Agg: "sum", Column: "l_quantity", Confidence: 0.95,
+		}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Cache
+	}
+	if got := est(); got != "miss" {
+		t.Errorf("first estimate cache = %q, want miss", got)
+	}
+	if got := est(); got != "hit" {
+		t.Errorf("second estimate cache = %q, want hit", got)
+	}
+
+	// An insert invalidates; the next query is answered fresh.
+	if _, err := c.Insert(ctx, client.InsertRequest{
+		Table: "lineitem",
+		Rows:  [][]any{{int64(8_000_000), 0, 0, "1995-01-01", 3.0, 42.0}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got := query(false); got == "hit" {
+		t.Error("query after insert still hit; stale answer served")
+	}
+}
+
+// TestCacheDisabledServerBypasses covers a warehouse whose cache was
+// disabled: every answer must report bypass.
+func TestCacheDisabledServerBypasses(t *testing.T) {
+	w := testWarehouse(t, 2000, 20)
+	w.ConfigureCache(-1, 0)
+	_, c := testServer(t, Options{Warehouse: w})
+	ctx := context.Background()
+
+	for i := 0; i < 2; i++ {
+		res, err := c.Query(ctx, client.QueryRequest{SQL: workload.Qg2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Cache != "bypass" {
+			t.Errorf("call %d with cache disabled: cache = %q, want bypass", i, res.Cache)
+		}
+	}
+}

@@ -269,6 +269,27 @@ func (s *Server) admit(ctx context.Context, w http.ResponseWriter) (release func
 	return nil, false
 }
 
+// admitWithDeadline runs the admission gate under its own wait window
+// and only then starts the engine deadline, so time spent queued behind
+// busy workers is not double-counted against the request's timeout — a
+// queued request with a generous timeout used to 504 spuriously under
+// burst because one window covered both the wait and the work. The
+// returned context carries a fresh full deadline; its cancel also
+// releases the worker slot. ok=false means the response was written.
+func (s *Server) admitWithDeadline(w http.ResponseWriter, r *http.Request, timeoutMS int64) (context.Context, context.CancelFunc, bool) {
+	waitCtx, waitCancel := s.requestCtx(r, timeoutMS)
+	release, ok := s.admit(waitCtx, w)
+	waitCancel()
+	if !ok {
+		return nil, nil, false
+	}
+	ctx, cancel := s.requestCtx(r, timeoutMS)
+	return ctx, func() {
+		cancel()
+		release()
+	}, true
+}
+
 // ----- handlers -----
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
@@ -280,19 +301,18 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad_query", "exactly one of sql or estimate must be set")
 		return
 	}
-	ctx, cancel := s.requestCtx(r, req.TimeoutMS)
-	defer cancel()
-	release, ok := s.admit(ctx, w)
+	ctx, cancel, ok := s.admitWithDeadline(w, r, req.TimeoutMS)
 	if !ok {
 		return
 	}
-	defer release()
+	defer cancel()
 	if s.onExecute != nil {
 		s.onExecute()
 	}
 
 	start := time.Now()
 	resp := client.QueryResponse{}
+	status := congress.CacheBypass
 	if req.Estimate != nil {
 		e := req.Estimate
 		agg, err := parseAggregate(e.Agg)
@@ -300,7 +320,8 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusBadRequest, "bad_query", err.Error())
 			return
 		}
-		ests, err := s.w.EstimateCtx(ctx, e.Table, e.GroupBy, agg, e.Column, e.Confidence)
+		var ests []estimate.GroupEstimate
+		ests, status, err = s.w.EstimateQuery(ctx, e.Table, e.GroupBy, agg, e.Column, e.Confidence, req.NoCache)
 		if err != nil {
 			s.writeMappedError(w, err, http.StatusBadRequest, "bad_query")
 			return
@@ -315,16 +336,17 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 	} else {
-		var res *congress.Result
+		opts := congress.ApproxOptions{NoCache: req.NoCache}
 		var err error
 		if req.Rewrite != "" {
-			var strat congress.RewriteStrategy
-			if strat, err = congress.ParseRewriteStrategy(req.Rewrite); err == nil {
-				res, err = s.w.ApproxWithCtx(ctx, req.SQL, strat)
+			if opts.Rewrite, err = congress.ParseRewriteStrategy(req.Rewrite); err != nil {
+				s.writeMappedError(w, err, http.StatusBadRequest, "bad_query")
+				return
 			}
-		} else {
-			res, err = s.w.ApproxCtx(ctx, req.SQL)
+			opts.UseRewrite = true
 		}
+		var res *congress.Result
+		res, status, err = s.w.ApproxQuery(ctx, req.SQL, opts)
 		if err != nil {
 			s.writeMappedError(w, err, http.StatusBadRequest, "bad_query")
 			return
@@ -332,6 +354,8 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		resp.Columns, resp.Rows = resultToWire(res)
 	}
 	resp.ElapsedMS = float64(time.Since(start)) / float64(time.Millisecond)
+	resp.Cache = status.String()
+	w.Header().Set(client.CacheHeader, status.String())
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -344,13 +368,11 @@ func (s *Server) handleExact(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad_query", "sql is required")
 		return
 	}
-	ctx, cancel := s.requestCtx(r, req.TimeoutMS)
-	defer cancel()
-	release, ok := s.admit(ctx, w)
+	ctx, cancel, ok := s.admitWithDeadline(w, r, req.TimeoutMS)
 	if !ok {
 		return
 	}
-	defer release()
+	defer cancel()
 	if s.onExecute != nil {
 		s.onExecute()
 	}
@@ -376,13 +398,11 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad_request", "table and rows are required")
 		return
 	}
-	ctx, cancel := s.requestCtx(r, 0)
-	defer cancel()
-	release, ok := s.admit(ctx, w)
+	_, cancel, ok := s.admitWithDeadline(w, r, 0)
 	if !ok {
 		return
 	}
-	defer release()
+	defer cancel()
 
 	tbl, err := s.w.Table(req.Table)
 	if err != nil {

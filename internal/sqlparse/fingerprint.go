@@ -1,0 +1,118 @@
+package sqlparse
+
+import (
+	"strings"
+	"sync"
+)
+
+// Fingerprint renders a parsed statement into a stable, normalized form
+// suitable as a cache key: semantically identical queries that differ
+// only in keyword/identifier case or whitespace produce the same
+// fingerprint. String literals keep their case — 'US' and 'us' are
+// different values.
+func Fingerprint(stmt *SelectStmt) string {
+	// stmt.String() is already canonical for spacing, keyword case and
+	// literal rendering; re-lex it to also normalize identifier case.
+	canon := stmt.String()
+	toks, err := Lex(canon)
+	if err != nil {
+		// String() output should always lex; fall back to the canonical
+		// rendering so the fingerprint is still deterministic.
+		return canon
+	}
+	var b strings.Builder
+	b.Grow(len(canon))
+	for i, tok := range toks {
+		if tok.Kind == TokEOF {
+			break
+		}
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		switch tok.Kind {
+		case TokIdent:
+			b.WriteString(strings.ToLower(tok.Text))
+		case TokString:
+			b.WriteByte('\'')
+			b.WriteString(strings.ReplaceAll(tok.Text, "'", "''"))
+			b.WriteByte('\'')
+		default:
+			b.WriteString(tok.Text)
+		}
+	}
+	return b.String()
+}
+
+// parsed is a memoized Parse result: the statement, its fingerprint, and
+// the parse error if any (errors are cached too — re-parsing a bad query
+// on every request would make malformed traffic the expensive case).
+type parsed struct {
+	stmt *SelectStmt
+	fp   string
+	err  error
+}
+
+// ParseCache memoizes Parse results keyed by the whitespace-collapsed
+// query text. Cached statements are shared between callers and must be
+// treated as immutable; every consumer in this repo already copies
+// before rewriting. The zero value is unusable; use NewParseCache.
+// A nil *ParseCache falls back to plain Parse.
+type ParseCache struct {
+	max int
+
+	mu    sync.Mutex
+	items map[string]parsed
+}
+
+// NewParseCache returns a parse cache bounded to max entries (<= 0
+// disables caching and returns nil).
+func NewParseCache(max int) *ParseCache {
+	if max <= 0 {
+		return nil
+	}
+	return &ParseCache{max: max, items: make(map[string]parsed, 64)}
+}
+
+// Parse parses input, memoizing both the statement and its fingerprint.
+// The returned statement is shared: callers must not modify it.
+func (pc *ParseCache) Parse(input string) (*SelectStmt, string, error) {
+	if pc == nil {
+		stmt, err := Parse(input)
+		if err != nil {
+			return nil, "", err
+		}
+		return stmt, Fingerprint(stmt), nil
+	}
+	key := strings.Join(strings.Fields(input), " ")
+	pc.mu.Lock()
+	p, ok := pc.items[key]
+	pc.mu.Unlock()
+	if ok {
+		return p.stmt, p.fp, p.err
+	}
+	stmt, err := Parse(input)
+	p = parsed{stmt: stmt, err: err}
+	if err == nil {
+		p.fp = Fingerprint(stmt)
+	}
+	pc.mu.Lock()
+	if len(pc.items) >= pc.max {
+		// Cheap bound: reset rather than track recency. The working set
+		// of distinct query texts is tiny compared to the bound, so a
+		// full reset is rare and refills in a handful of parses.
+		pc.items = make(map[string]parsed, 64)
+	}
+	pc.items[key] = p
+	pc.mu.Unlock()
+	return p.stmt, p.fp, p.err
+}
+
+// Len reports the number of memoized parse results.
+func (pc *ParseCache) Len() int {
+	if pc == nil {
+		return 0
+	}
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	return len(pc.items)
+}

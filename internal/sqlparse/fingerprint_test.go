@@ -1,0 +1,114 @@
+package sqlparse
+
+import "testing"
+
+func TestFingerprintNormalizesCaseAndWhitespace(t *testing.T) {
+	variants := []string{
+		"SELECT l_returnflag, SUM(l_quantity) FROM lineitem GROUP BY l_returnflag",
+		"select L_RETURNFLAG,   sum(L_QUANTITY)\n\tfrom LINEITEM group by L_RETURNFLAG",
+		"Select l_ReturnFlag , Sum( l_Quantity ) From LineItem Group By l_ReturnFlag ;",
+	}
+	var want string
+	for i, sql := range variants {
+		stmt, err := Parse(sql)
+		if err != nil {
+			t.Fatalf("variant %d: %v", i, err)
+		}
+		fp := Fingerprint(stmt)
+		if i == 0 {
+			want = fp
+			continue
+		}
+		if fp != want {
+			t.Errorf("variant %d fingerprint %q != %q", i, fp, want)
+		}
+	}
+}
+
+func TestFingerprintDistinguishesStringLiteralCase(t *testing.T) {
+	a := MustParse("SELECT count(*) FROM t WHERE region = 'US' GROUP BY state")
+	b := MustParse("SELECT count(*) FROM t WHERE region = 'us' GROUP BY state")
+	if Fingerprint(a) == Fingerprint(b) {
+		t.Fatal("string literal case must be significant")
+	}
+}
+
+func TestFingerprintDistinguishesLiterals(t *testing.T) {
+	a := MustParse("SELECT sum(x) FROM t WHERE y > 1 GROUP BY z")
+	b := MustParse("SELECT sum(x) FROM t WHERE y > 2 GROUP BY z")
+	if Fingerprint(a) == Fingerprint(b) {
+		t.Fatal("numeric literals must be significant")
+	}
+}
+
+func TestFingerprintQuoteEscaping(t *testing.T) {
+	stmt := MustParse("SELECT count(*) FROM t WHERE name = 'O''Brien' GROUP BY city")
+	fp := Fingerprint(stmt)
+	// The fingerprint must itself be stable when derived again.
+	if fp2 := Fingerprint(stmt); fp2 != fp {
+		t.Fatalf("fingerprint not stable: %q vs %q", fp, fp2)
+	}
+}
+
+func TestParseCacheSharesStatement(t *testing.T) {
+	pc := NewParseCache(16)
+	s1, fp1, err := pc.Parse("SELECT sum(x) FROM t GROUP BY z")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, fp2, err := pc.Parse("SELECT sum(x)  FROM t\nGROUP BY z")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1 != s2 {
+		t.Error("whitespace variants should share one parsed statement")
+	}
+	if fp1 != fp2 || fp1 == "" {
+		t.Errorf("fingerprints differ: %q vs %q", fp1, fp2)
+	}
+	if pc.Len() != 1 {
+		t.Errorf("Len = %d, want 1", pc.Len())
+	}
+}
+
+func TestParseCacheCachesErrors(t *testing.T) {
+	pc := NewParseCache(16)
+	_, _, err1 := pc.Parse("SELECT FROM WHERE")
+	_, _, err2 := pc.Parse("SELECT FROM WHERE")
+	if err1 == nil || err2 == nil {
+		t.Fatal("expected parse errors")
+	}
+	if err1.Error() != err2.Error() {
+		t.Errorf("cached error mismatch: %v vs %v", err1, err2)
+	}
+}
+
+func TestParseCacheNil(t *testing.T) {
+	var pc *ParseCache
+	stmt, fp, err := pc.Parse("SELECT sum(x) FROM t GROUP BY z")
+	if err != nil || stmt == nil || fp == "" {
+		t.Fatalf("nil ParseCache.Parse = %v, %q, %v", stmt, fp, err)
+	}
+	if pc.Len() != 0 {
+		t.Error("nil cache must report empty")
+	}
+}
+
+func TestParseCacheBound(t *testing.T) {
+	pc := NewParseCache(4)
+	queries := []string{
+		"SELECT sum(a) FROM t GROUP BY a",
+		"SELECT sum(b) FROM t GROUP BY b",
+		"SELECT sum(c) FROM t GROUP BY c",
+		"SELECT sum(d) FROM t GROUP BY d",
+		"SELECT sum(e) FROM t GROUP BY e",
+	}
+	for _, q := range queries {
+		if _, _, err := pc.Parse(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if pc.Len() > 4 {
+		t.Errorf("Len = %d exceeds bound 4", pc.Len())
+	}
+}

@@ -74,11 +74,25 @@ func IsOverloaded(err error) bool {
 	return errors.As(err, &ae) && ae.Status == http.StatusTooManyRequests
 }
 
-// Query answers an approximate query (SQL or direct-estimate form).
+// Query answers an approximate query (SQL or direct-estimate form). The
+// response's Cache field reports whether the server answered from its
+// result cache (preferring the X-Congress-Cache header, falling back to
+// the body field for older servers).
 func (c *Client) Query(ctx context.Context, req QueryRequest) (*QueryResponse, error) {
-	var out QueryResponse
-	if err := c.do(ctx, http.MethodPost, "/v1/query", req, &out); err != nil {
+	resp, err := c.raw(ctx, http.MethodPost, "/v1/query", req)
+	if err != nil {
 		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		return nil, decodeError(resp)
+	}
+	var out QueryResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, err
+	}
+	if h := resp.Header.Get(CacheHeader); h != "" {
+		out.Cache = h
 	}
 	return &out, nil
 }

@@ -18,7 +18,14 @@ type QueryRequest struct {
 	// TimeoutMS caps this request's execution time; 0 uses the server's
 	// default deadline. The server clamps it to its configured maximum.
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// NoCache answers from the synopsis directly, skipping the server's
+	// result cache for this request (the answer is not stored either).
+	NoCache bool `json:"no_cache,omitempty"`
 }
+
+// CacheHeader is the response header /v1/query uses to report how the
+// answer was produced: "hit", "miss", or "bypass".
+const CacheHeader = "X-Congress-Cache"
 
 // EstimateRequest describes one direct-estimation query.
 type EstimateRequest struct {
@@ -51,6 +58,9 @@ type QueryResponse struct {
 	Rows      [][]any         `json:"rows,omitempty"`
 	Groups    []GroupEstimate `json:"groups,omitempty"`
 	ElapsedMS float64         `json:"elapsed_ms"`
+	// Cache reports how /v1/query produced the answer: "hit", "miss", or
+	// "bypass" (cache disabled or no_cache set). Mirrors CacheHeader.
+	Cache string `json:"cache,omitempty"`
 }
 
 // GroupEstimate is one output group of a direct estimate.

@@ -2,6 +2,7 @@ package congress
 
 import (
 	"context"
+	"errors"
 	"strconv"
 	"sync"
 	"testing"
@@ -356,6 +357,33 @@ func TestInsertRejectsKeySeparatorInGroupValues(t *testing.T) {
 		t.Fatalf("row count %d, want %d (rejected row must not be inserted)", tbl.NumRows(), n+1)
 	}
 	_ = w
+}
+
+func TestBuildSynopsisRejectsKeySeparatorInExistingRows(t *testing.T) {
+	// Rows that arrive before a synopsis exists bypass Table.Insert's
+	// separator guard (as do CSV and generator loads); BuildSynopsis must
+	// catch them instead of building a sample whose composite group keys
+	// silently merge or split.
+	w, tbl := buildSalesWarehouse(t)
+	bad := "ea" + EstimateKeySep + "st"
+	if err := tbl.Insert(Str(bad), Str("pen"), F(1)); err != nil {
+		t.Fatalf("insert before synopsis exists should not be guarded: %v", err)
+	}
+	err := w.BuildSynopsis(SynopsisSpec{
+		Table: "sales", GroupBy: []string{"region", "product"}, Space: 1000, Seed: 3,
+	})
+	if err == nil {
+		t.Fatal("BuildSynopsis over a grouping value containing U+001F must fail")
+	}
+	if !errors.Is(err, ErrBadQuery) {
+		t.Errorf("err = %v, want ErrBadQuery", err)
+	}
+	// Values with the separator in non-grouping columns are fine.
+	if err := w.BuildSynopsis(SynopsisSpec{
+		Table: "sales", GroupBy: []string{"product"}, Space: 1000, Seed: 3,
+	}); err != nil {
+		t.Fatalf("separator outside the grouping columns must not block the build: %v", err)
+	}
 }
 
 func TestCacheStatusStrings(t *testing.T) {

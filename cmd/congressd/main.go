@@ -182,6 +182,7 @@ func runServe(args []string, out io.Writer) error {
 	queueDepth := fs.Int("queue-depth", 0, "admission queue depth before shedding with 429 (0 = 4×max-concurrent)")
 	timeout := fs.Duration("timeout", 10*time.Second, "default per-request deadline")
 	maxTimeout := fs.Duration("max-timeout", 60*time.Second, "upper clamp on client-requested timeout_ms")
+	maxQueueWait := fs.Duration("max-queue-wait", 0, "cap on admission-queue wait before 504; execution deadline starts after the wait (0 = max-timeout)")
 	retryAfter := fs.Duration("retry-after", time.Second, "Retry-After hint on 429 responses")
 	shutdownGrace := fs.Duration("shutdown-grace", 10*time.Second, "drain window for in-flight requests on SIGINT/SIGTERM")
 	logLevel := fs.String("log-level", "info", "debug|info|warn|error")
@@ -204,6 +205,7 @@ func runServe(args []string, out io.Writer) error {
 		QueueDepth:     *queueDepth,
 		DefaultTimeout: *timeout,
 		MaxTimeout:     *maxTimeout,
+		MaxQueueWait:   *maxQueueWait,
 		RetryAfter:     *retryAfter,
 	})
 	bound, err := srv.Start(*addr)

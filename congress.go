@@ -314,6 +314,12 @@ func DefaultBuildWorkers() int { return core.DefaultWorkers() }
 // the sample relations used to answer queries approximately. Existing
 // Table handles start feeding the new synopsis's maintainer on their
 // next Insert.
+//
+// Grouping-column values already in the table are validated against the
+// EstimateKeySep contract: a value containing U+001F (possible if it was
+// inserted before the synopsis existed, or arrived through CSV or
+// generator loading) fails the build with ErrBadQuery rather than
+// silently corrupting composite group keys.
 func (w *Warehouse) BuildSynopsis(spec SynopsisSpec) error {
 	_, err := w.aq.CreateSynopsis(aqua.Config{
 		Table:            spec.Table,
@@ -556,8 +562,11 @@ func (w *Warehouse) estimateUncached(ctx context.Context, table string, grouping
 // ("a/b","c") and ("a","b/c") stay distinct.
 //
 // The separator is a reserved byte: grouping-column values containing
-// U+001F are rejected by Table.Insert, because a key built from such a
-// value would be indistinguishable from a key over different values.
+// U+001F are rejected by Table.Insert once a synopsis exists, and
+// BuildSynopsis re-validates every existing row (covering rows inserted
+// before the synopsis, and CSV or generator loads that bypass Insert),
+// because a key built from such a value would be indistinguishable from
+// a key over different values.
 // joinParts and SplitEstimateKey round-trip under that contract,
 // including the empty grouping (T = ∅, the House stratum), whose key is
 // the empty string and splits back to zero values.

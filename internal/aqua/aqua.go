@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"github.com/approxdb/congress/internal/core"
+	"github.com/approxdb/congress/internal/datacube"
 	"github.com/approxdb/congress/internal/engine"
 	"github.com/approxdb/congress/internal/metrics"
 	"github.com/approxdb/congress/internal/qcache"
@@ -172,6 +173,15 @@ func (a *Aqua) CreateSynopsis(cfg Config) (*Synopsis, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Estimate group keys join rendered grouping values with
+	// datacube.KeySep (U+001F), so a value containing the separator would
+	// silently merge or split groups. Table.Insert rejects such rows once
+	// a synopsis exists; rows that arrived earlier — or through CSV and
+	// generator paths that bypass Insert — are caught here, before any
+	// sample is built over them.
+	if err := rejectReservedSeparator(rel, g, cfg.Table); err != nil {
+		return nil, err
+	}
 	seed := cfg.Seed
 	if seed == 0 {
 		seed = 1
@@ -271,6 +281,24 @@ func (a *Aqua) CreateSynopsis(cfg Config) (*Synopsis, error) {
 	a.synopses[strings.ToLower(cfg.Table)] = s
 	a.mu.Unlock()
 	return s, nil
+}
+
+// rejectReservedSeparator fails synopsis creation when any grouping
+// value already in rel contains datacube.KeySep, the byte composite
+// group keys are joined with. The error wraps ErrBadQuery for errors.Is
+// classification: the data violates the public key-separator contract.
+func rejectReservedSeparator(rel *engine.Relation, g *core.Grouping, table string) error {
+	cols := g.Columns()
+	for _, row := range rel.Rows() {
+		for _, ci := range cols {
+			if ci < len(row) && row[ci].K == engine.KindString &&
+				strings.Contains(row[ci].S, datacube.KeySep) {
+				return fmt.Errorf("%w: grouping value %q in table %q contains the reserved key separator U+001F",
+					ErrBadQuery, row[ci].S, table)
+			}
+		}
+	}
+	return nil
 }
 
 // Synopsis returns the synopsis for a base table, if any.

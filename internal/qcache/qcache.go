@@ -138,68 +138,65 @@ func (c *Cache) evictOldestLocked() {
 // shared flight rather than this caller's own fn execution.
 //
 // fn's error is returned to the leader and every waiter, and nothing is
-// cached. A waiter whose flight leader failed retries fn itself rather
-// than re-queueing, so one failing caller cannot poison followers whose
-// own execution would have succeeded (e.g. a leader whose deadline was
-// shorter). A waiter whose own ctx expires stops waiting and returns
-// ctx's error.
+// cached. Waiters whose flight leader failed do not inherit its error
+// (it may be specific to the leader — its deadline, say): they loop back
+// to the miss path, where the first one to re-acquire the lock registers
+// a fresh flight and the rest wait on it — so even a burst behind a
+// failing leader retries one fn at a time instead of stampeding. A
+// waiter whose own ctx expires stops waiting and returns ctx's error.
 func (c *Cache) Do(ctx context.Context, key string, fn func() (val any, cost int64, err error)) (val any, hit bool, err error) {
 	if c == nil {
 		v, _, err := fn()
 		return v, false, err
 	}
-	c.mu.Lock()
-	if el, ok := c.items[key]; ok {
-		c.ll.MoveToFront(el)
-		v := el.Value.(*entry).val
-		c.mu.Unlock()
-		if c.ev.Hit != nil {
-			c.ev.Hit()
-		}
-		return v, true, nil
-	}
-	if f, ok := c.flights[key]; ok {
-		c.mu.Unlock()
-		select {
-		case <-f.done:
-		case <-ctx.Done():
-			return nil, false, ctx.Err()
-		}
-		if f.err == nil {
+	for {
+		c.mu.Lock()
+		if el, ok := c.items[key]; ok {
+			c.ll.MoveToFront(el)
+			v := el.Value.(*entry).val
+			c.mu.Unlock()
 			if c.ev.Hit != nil {
 				c.ev.Hit()
 			}
-			return f.val, true, nil
+			return v, true, nil
 		}
-		// The leader failed; run our own load instead of inheriting an
-		// error that may be specific to the leader (its deadline, say).
+		if f, ok := c.flights[key]; ok {
+			c.mu.Unlock()
+			select {
+			case <-f.done:
+			case <-ctx.Done():
+				return nil, false, ctx.Err()
+			}
+			if f.err == nil {
+				if c.ev.Hit != nil {
+					c.ev.Hit()
+				}
+				return f.val, true, nil
+			}
+			// The leader failed; retry from the top so the retry is
+			// itself single-flighted (one of the waiters becomes the new
+			// leader, the rest share its flight).
+			continue
+		}
+		f := &flight{done: make(chan struct{})}
+		c.flights[key] = f
+		c.mu.Unlock()
 		if c.ev.Miss != nil {
 			c.ev.Miss()
 		}
-		v, cost, err := fn()
-		if err == nil {
-			c.Put(key, v, cost)
-		}
-		return v, false, err
+		f.val, _, f.err = func() (any, int64, error) {
+			v, cost, err := fn()
+			c.mu.Lock()
+			delete(c.flights, key)
+			if err == nil {
+				c.putLocked(key, v, cost)
+			}
+			c.mu.Unlock()
+			return v, cost, err
+		}()
+		close(f.done)
+		return f.val, false, f.err
 	}
-	f := &flight{done: make(chan struct{})}
-	c.flights[key] = f
-	c.mu.Unlock()
-	if c.ev.Miss != nil {
-		c.ev.Miss()
-	}
-	f.val, _, f.err = func() (any, int64, error) {
-		v, cost, err := fn()
-		c.mu.Lock()
-		delete(c.flights, key)
-		if err == nil {
-			c.putLocked(key, v, cost)
-		}
-		c.mu.Unlock()
-		return v, cost, err
-	}()
-	close(f.done)
-	return f.val, false, f.err
 }
 
 // Len returns the number of cached entries.

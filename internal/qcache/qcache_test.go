@@ -155,6 +155,68 @@ func TestSingleflightSharesOneLoad(t *testing.T) {
 	}
 }
 
+func TestFailedLeaderRetriesAreSingleflighted(t *testing.T) {
+	// Regression: when a flight leader failed, every waiter used to re-run
+	// fn concurrently with no new flight registered, so a burst of
+	// identical queries behind one failed leader stampeded the loader.
+	// Now the first waiter to loop back becomes the new leader and the
+	// rest share its flight, so fn runs exactly twice: the failing leader
+	// and one successful retry.
+	c := New(8, 0, Events{})
+	ctx := context.Background()
+
+	var calls atomic.Int64
+	fail := make(chan struct{})
+	started := make(chan struct{})
+	var once sync.Once
+	boom := errors.New("boom")
+	load := func() (any, int64, error) {
+		if calls.Add(1) == 1 {
+			once.Do(func() { close(started) })
+			<-fail
+			return nil, 0, boom
+		}
+		return "ok", 1, nil
+	}
+
+	leaderDone := make(chan error, 1)
+	go func() {
+		_, _, err := c.Do(ctx, "k", load)
+		leaderDone <- err
+	}()
+	<-started
+
+	const workers = 16
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	results := make([]any, workers)
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], _, errs[i] = c.Do(ctx, "k", load)
+		}(i)
+	}
+	time.Sleep(20 * time.Millisecond) // let waiters queue on the leader's flight
+	close(fail)
+	wg.Wait()
+
+	if err := <-leaderDone; !errors.Is(err, boom) {
+		t.Fatalf("leader err = %v, want boom", err)
+	}
+	for i := range errs {
+		if errs[i] != nil {
+			t.Errorf("waiter %d: %v", i, errs[i])
+		}
+		if results[i] != "ok" {
+			t.Errorf("waiter %d got %v, want ok", i, results[i])
+		}
+	}
+	if n := calls.Load(); n != 2 {
+		t.Fatalf("loader ran %d times, want 2 (failed leader + one single-flighted retry)", n)
+	}
+}
+
 func TestFollowerCtxCancel(t *testing.T) {
 	c := New(8, 0, Events{})
 	release := make(chan struct{})

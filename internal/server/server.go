@@ -54,6 +54,15 @@ type Options struct {
 	DefaultTimeout time.Duration
 	// MaxTimeout clamps client-requested timeouts. Default 60s.
 	MaxTimeout time.Duration
+	// MaxQueueWait caps how long a request may wait in the admission
+	// queue for a worker slot; the wait window is the smaller of the
+	// request's timeout and this cap. The execution deadline (timeout_ms)
+	// starts only once the slot is acquired, so a request's end-to-end
+	// time can reach min(timeout, MaxQueueWait) + timeout. Tighten this
+	// to bound total latency for clients that treat timeout_ms as an
+	// end-to-end budget. Default MaxTimeout (the wait window is then just
+	// the request timeout).
+	MaxQueueWait time.Duration
 	// RetryAfter is the backoff hint attached to 429 responses. Default 1s.
 	RetryAfter time.Duration
 }
@@ -76,6 +85,9 @@ func (o *Options) withDefaults() {
 	}
 	if o.MaxTimeout <= 0 {
 		o.MaxTimeout = 60 * time.Second
+	}
+	if o.MaxQueueWait <= 0 {
+		o.MaxQueueWait = o.MaxTimeout
 	}
 	if o.RetryAfter <= 0 {
 		o.RetryAfter = time.Second
@@ -169,10 +181,9 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	return err
 }
 
-// requestCtx derives the execution context for one request: the client
-// disconnect is inherited from r, and the effective deadline is the
-// request's timeout_ms (clamped to MaxTimeout) or DefaultTimeout.
-func (s *Server) requestCtx(r *http.Request, timeoutMS int64) (context.Context, context.CancelFunc) {
+// effectiveTimeout resolves a request's deadline: its timeout_ms
+// (clamped to MaxTimeout) or DefaultTimeout.
+func (s *Server) effectiveTimeout(timeoutMS int64) time.Duration {
 	d := s.opts.DefaultTimeout
 	if timeoutMS > 0 {
 		d = time.Duration(timeoutMS) * time.Millisecond
@@ -180,7 +191,13 @@ func (s *Server) requestCtx(r *http.Request, timeoutMS int64) (context.Context, 
 			d = s.opts.MaxTimeout
 		}
 	}
-	return context.WithTimeout(r.Context(), d)
+	return d
+}
+
+// requestCtx derives the execution context for one request: the client
+// disconnect is inherited from r, and the deadline is effectiveTimeout.
+func (s *Server) requestCtx(r *http.Request, timeoutMS int64) (context.Context, context.CancelFunc) {
+	return context.WithTimeout(r.Context(), s.effectiveTimeout(timeoutMS))
 }
 
 // statusWriter captures the status code and byte count for logging and
@@ -269,15 +286,23 @@ func (s *Server) admit(ctx context.Context, w http.ResponseWriter) (release func
 	return nil, false
 }
 
-// admitWithDeadline runs the admission gate under its own wait window
-// and only then starts the engine deadline, so time spent queued behind
-// busy workers is not double-counted against the request's timeout — a
-// queued request with a generous timeout used to 504 spuriously under
-// burst because one window covered both the wait and the work. The
-// returned context carries a fresh full deadline; its cancel also
-// releases the worker slot. ok=false means the response was written.
+// admitWithDeadline runs the admission gate under its own wait window —
+// min(the request's timeout, MaxQueueWait) — and only then starts the
+// engine deadline, so time spent queued behind busy workers is not
+// double-counted against the request's timeout: a queued request with a
+// generous timeout used to 504 spuriously under burst because one window
+// covered both the wait and the work. The flip side is that end-to-end
+// time can exceed the client's timeout_ms by the queue wait; clients
+// needing a hard wall-clock bound should set a transport timeout, and
+// operators can tighten MaxQueueWait (see Options). The returned context
+// carries a fresh full deadline; its cancel also releases the worker
+// slot. ok=false means the response was written.
 func (s *Server) admitWithDeadline(w http.ResponseWriter, r *http.Request, timeoutMS int64) (context.Context, context.CancelFunc, bool) {
-	waitCtx, waitCancel := s.requestCtx(r, timeoutMS)
+	wait := s.effectiveTimeout(timeoutMS)
+	if wait > s.opts.MaxQueueWait {
+		wait = s.opts.MaxQueueWait
+	}
+	waitCtx, waitCancel := context.WithTimeout(r.Context(), wait)
 	release, ok := s.admit(waitCtx, w)
 	waitCancel()
 	if !ok {

@@ -282,6 +282,45 @@ func TestQueuedRequestHonorsDeadline(t *testing.T) {
 	<-done
 }
 
+func TestMaxQueueWaitBoundsQueueTime(t *testing.T) {
+	// The execution deadline starts when the worker slot is acquired, so
+	// timeout_ms alone no longer bounds queue time; MaxQueueWait must.
+	// A queued request with a generous timeout behind a stuck worker has
+	// to 504 after the queue-wait cap, not after its full timeout.
+	w := testWarehouse(t, 2000, 20)
+	srv, c := testServer(t, Options{Warehouse: w, MaxConcurrent: 1, QueueDepth: 4,
+		MaxQueueWait: 50 * time.Millisecond})
+
+	release := make(chan struct{})
+	entered := make(chan struct{}, 1)
+	srv.onExecute = func() {
+		select {
+		case entered <- struct{}{}:
+		default:
+		}
+		<-release
+	}
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Query(context.Background(), client.QueryRequest{SQL: workload.Qg2})
+		done <- err
+	}()
+	<-entered
+
+	start := time.Now()
+	_, err := c.Query(context.Background(), client.QueryRequest{SQL: workload.Qg2, TimeoutMS: 30_000})
+	var ae *client.APIError
+	if !errors.As(err, &ae) || ae.Status != http.StatusGatewayTimeout || ae.Code != "deadline_exceeded" {
+		t.Fatalf("want 504 deadline_exceeded, got %v", err)
+	}
+	if el := time.Since(start); el > 2*time.Second {
+		t.Errorf("queued request took %v to time out; want ~MaxQueueWait", el)
+	}
+	close(release)
+	<-done
+}
+
 func TestDeadlineCancelsScan(t *testing.T) {
 	if testing.Short() {
 		t.Skip("builds a 150k-row table")

@@ -52,11 +52,17 @@ type parsed struct {
 	err  error
 }
 
-// ParseCache memoizes Parse results keyed by the whitespace-collapsed
-// query text. Cached statements are shared between callers and must be
-// treated as immutable; every consumer in this repo already copies
-// before rewriting. The zero value is unusable; use NewParseCache.
-// A nil *ParseCache falls back to plain Parse.
+// ParseCache memoizes Parse results keyed by the raw query text.
+// Normalizing the key before parsing is unsound — collapsing whitespace,
+// say, would also rewrite the inside of string literals, so queries
+// differing only within a literal would collide on one entry and the
+// second would silently get the first's statement. Whitespace variants
+// therefore cost one parse each; the post-parse Fingerprint still maps
+// them to the same plan- and result-cache entries. Cached statements are
+// shared between callers and must be treated as immutable; every
+// consumer in this repo already copies before rewriting. The zero value
+// is unusable; use NewParseCache. A nil *ParseCache falls back to plain
+// Parse.
 type ParseCache struct {
 	max int
 
@@ -83,7 +89,7 @@ func (pc *ParseCache) Parse(input string) (*SelectStmt, string, error) {
 		}
 		return stmt, Fingerprint(stmt), nil
 	}
-	key := strings.Join(strings.Fields(input), " ")
+	key := input
 	pc.mu.Lock()
 	p, ok := pc.items[key]
 	pc.mu.Unlock()

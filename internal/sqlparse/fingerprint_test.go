@@ -1,6 +1,9 @@
 package sqlparse
 
-import "testing"
+import (
+	"strings"
+	"testing"
+)
 
 func TestFingerprintNormalizesCaseAndWhitespace(t *testing.T) {
 	variants := []string{
@@ -56,18 +59,59 @@ func TestParseCacheSharesStatement(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s2, fp2, err := pc.Parse("SELECT sum(x)  FROM t\nGROUP BY z")
+	s2, fp2, err := pc.Parse("SELECT sum(x) FROM t GROUP BY z")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if s1 != s2 {
-		t.Error("whitespace variants should share one parsed statement")
+		t.Error("identical text should share one parsed statement")
 	}
 	if fp1 != fp2 || fp1 == "" {
 		t.Errorf("fingerprints differ: %q vs %q", fp1, fp2)
 	}
 	if pc.Len() != 1 {
 		t.Errorf("Len = %d, want 1", pc.Len())
+	}
+	// A whitespace variant is a separate cache entry (the key is the raw
+	// text) but must still fingerprint identically, so the plan and
+	// result caches converge on one entry.
+	_, fp3, err := pc.Parse("SELECT sum(x)  FROM t\nGROUP BY z")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp3 != fp1 {
+		t.Errorf("whitespace variant fingerprint %q != %q", fp3, fp1)
+	}
+	if pc.Len() != 2 {
+		t.Errorf("Len = %d, want 2", pc.Len())
+	}
+}
+
+func TestParseCacheDistinguishesLiteralWhitespace(t *testing.T) {
+	// Regression: keying the cache by whitespace-collapsed text made
+	// queries differing only in whitespace INSIDE a string literal
+	// collide, so the second silently got the first's statement — and,
+	// through the plan and result caches, the wrong answer.
+	pc := NewParseCache(16)
+	a, fpa, err := pc.Parse("SELECT count(*) FROM t WHERE c = 'a  b' GROUP BY z")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, fpb, err := pc.Parse("SELECT count(*) FROM t WHERE c = 'a b' GROUP BY z")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == b {
+		t.Error("literal-whitespace variants must not share one parsed statement")
+	}
+	if fpa == fpb {
+		t.Errorf("literal-whitespace variants must fingerprint differently, both %q", fpa)
+	}
+	if got := a.String(); !strings.Contains(got, "'a  b'") {
+		t.Errorf("first statement lost its literal: %s", got)
+	}
+	if got := b.String(); !strings.Contains(got, "'a b'") {
+		t.Errorf("second statement lost its literal: %s", got)
 	}
 }
 

@@ -15,8 +15,14 @@ type QueryRequest struct {
 	Rewrite string `json:"rewrite,omitempty"`
 	// Estimate selects the direct estimation path instead of SQL.
 	Estimate *EstimateRequest `json:"estimate,omitempty"`
-	// TimeoutMS caps this request's execution time; 0 uses the server's
-	// default deadline. The server clamps it to its configured maximum.
+	// TimeoutMS caps this request's execution time, measured from when
+	// the server grants it a worker slot; 0 uses the server's default
+	// deadline, and the server clamps it to its configured maximum. Time
+	// spent waiting in the server's admission queue is bounded separately
+	// (by the smaller of this timeout and the server's queue-wait cap),
+	// so under load the end-to-end latency can exceed TimeoutMS by the
+	// queue wait — clients needing a hard wall-clock bound should also
+	// set a transport timeout.
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
 	// NoCache answers from the synopsis directly, skipping the server's
 	// result cache for this request (the answer is not stored either).

@@ -1,0 +1,288 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"github.com/approxdb/congress/pkg/client"
+)
+
+// buildCongressd compiles the real binary once per test run.
+func buildCongressd(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "congressd")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building congressd: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// startCongressd launches a durable server and returns the process and
+// its bound address (parsed from the "listening on" line).
+func startCongressd(t *testing.T, bin, dataDir string) (*exec.Cmd, string, *bytes.Buffer) {
+	t.Helper()
+	cmd := exec.Command(bin, "serve",
+		"-addr", "127.0.0.1:0",
+		"-data-dir", dataDir,
+		"-rows", "3000", "-groups", "30",
+		"-fsync", "none",
+		"-log-level", "warn",
+	)
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(stdout)
+	addrCh := make(chan string, 1)
+	go func() {
+		for sc.Scan() {
+			line := sc.Text()
+			if rest, ok := strings.CutPrefix(line, "congressd listening on "); ok {
+				addrCh <- rest
+				return
+			}
+		}
+		close(addrCh)
+	}()
+	select {
+	case addr, ok := <-addrCh:
+		if !ok {
+			cmd.Process.Kill()
+			cmd.Wait()
+			t.Fatalf("congressd exited before listening:\n%s", stderr.String())
+		}
+		return cmd, addr, &stderr
+	case <-time.After(60 * time.Second):
+		cmd.Process.Kill()
+		cmd.Wait()
+		t.Fatalf("congressd did not start listening:\n%s", stderr.String())
+	}
+	panic("unreachable")
+}
+
+func exactCount(t *testing.T, c *client.Client) int64 {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	resp, err := c.Exact(ctx, client.ExactRequest{SQL: `select count(*) from lineitem`})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, ok := resp.Rows[0][0].(float64)
+	if !ok {
+		// count renders as a JSON number; int64 when decoded into any
+		// would still arrive as float64, but guard other shapes.
+		t.Fatalf("count came back as %T: %v", resp.Rows[0][0], resp.Rows[0][0])
+	}
+	return int64(n)
+}
+
+func allocation(t *testing.T, c *client.Client) []client.AllocationRow {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	infos, err := c.Synopses(ctx, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 1 {
+		t.Fatalf("%d synopses, want 1", len(infos))
+	}
+	return infos[0].Allocation
+}
+
+// TestCrashRecoveryEndToEnd is the full durability drill: boot a real
+// congressd with a data directory, ingest over HTTP, SIGKILL it
+// mid-ingest, corrupt the WAL tail for good measure, restart on the
+// same directory, and verify the recovered server answers with the
+// pre-crash synopsis state plus every acknowledged insert.
+func TestCrashRecoveryEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles and kills a real congressd; skipped in -short")
+	}
+	bin := buildCongressd(t)
+	dataDir := filepath.Join(t.TempDir(), "data")
+
+	cmd, addr, stderr := startCongressd(t, bin, dataDir)
+	c := client.New("http://" + addr)
+	ctx := context.Background()
+	if err := c.Health(ctx); err != nil {
+		t.Fatalf("first boot unhealthy: %v\n%s", err, stderr.String())
+	}
+	baseCount := exactCount(t, c)
+	if baseCount == 0 {
+		t.Fatal("first boot has no data")
+	}
+	allocBefore := allocation(t, c)
+
+	// Ingest sequentially until the kill lands: every acknowledged
+	// insert reached the WAL (one write per record even at -fsync=none),
+	// so all of them must survive the SIGKILL.
+	rng := rand.New(rand.NewSource(99))
+	acked := make(chan int, 1)
+	go func() {
+		n := 0
+		for {
+			row := []any{
+				rng.Int63n(1 << 40), rng.Intn(3), rng.Intn(2),
+				fmt.Sprintf("1994-%02d-%02d", 1+rng.Intn(12), 1+rng.Intn(28)),
+				float64(1 + rng.Intn(50)), 100 * float64(1+rng.Intn(500)),
+			}
+			if _, err := c.Insert(ctx, client.InsertRequest{Table: "lineitem", Rows: [][]any{row}}); err != nil {
+				acked <- n
+				return
+			}
+			n++
+		}
+	}()
+	time.Sleep(400 * time.Millisecond)
+	if err := cmd.Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatal(err)
+	}
+	cmd.Wait()
+	ackedN := <-acked
+	if ackedN == 0 {
+		t.Fatalf("no insert was acknowledged before the kill\n%s", stderr.String())
+	}
+
+	// Make the tail torn on top of the crash: append a partial frame to
+	// the newest WAL segment, as an append cut off mid-write would leave.
+	entries, err := os.ReadDir(dataDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var newestWAL string
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), "wal-") && e.Name() > newestWAL {
+			newestWAL = e.Name()
+		}
+	}
+	if newestWAL == "" {
+		t.Fatalf("no WAL segment in %s after kill", dataDir)
+	}
+	f, err := os.OpenFile(filepath.Join(dataDir, newestWAL), os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0xde, 0xad, 0xbe, 0xef, 0x01}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	// Restart on the same directory: recovery must truncate the torn
+	// tail, replay the log, and serve.
+	cmd2, addr2, stderr2 := startCongressd(t, bin, dataDir)
+	defer func() {
+		cmd2.Process.Signal(syscall.SIGKILL)
+		cmd2.Wait()
+	}()
+	c2 := client.New("http://" + addr2)
+	if err := c2.Health(ctx); err != nil {
+		t.Fatalf("recovered boot unhealthy: %v\n%s", err, stderr2.String())
+	}
+
+	// Every acknowledged insert survived; at most the single in-flight
+	// request at kill time may additionally have landed.
+	got := exactCount(t, c2)
+	lo, hi := baseCount+int64(ackedN), baseCount+int64(ackedN)+1
+	if got < lo || got > hi {
+		t.Fatalf("recovered %d rows, want between %d and %d (base %d + %d acked)",
+			got, lo, hi, baseCount, ackedN)
+	}
+
+	// The synopsis came back with its pre-crash materialized state: the
+	// ingested rows are pending maintainer feed on both sides, so the
+	// allocation tables match exactly.
+	allocAfter := allocation(t, c2)
+	if !reflect.DeepEqual(allocBefore, allocAfter) {
+		t.Fatalf("allocation table changed across crash recovery:\nbefore %+v\nafter  %+v",
+			allocBefore, allocAfter)
+	}
+
+	// Approximate answering still works on the recovered synopsis.
+	qctx, cancel := context.WithTimeout(ctx, 30*time.Second)
+	defer cancel()
+	resp, err := c2.Query(qctx, client.QueryRequest{
+		Estimate: &client.EstimateRequest{
+			Table:   "lineitem",
+			GroupBy: []string{"l_returnflag", "l_linestatus"},
+			Agg:     "sum",
+			Column:  "l_quantity",
+		},
+	})
+	if err != nil {
+		t.Fatalf("estimate on recovered server: %v", err)
+	}
+	if len(resp.Groups) == 0 {
+		t.Fatal("estimate on recovered server returned no groups")
+	}
+
+	// A manual snapshot compacts, and a graceful shutdown closes clean.
+	if _, err := c2.Snapshot(qctx); err != nil {
+		t.Fatalf("snapshot on recovered server: %v", err)
+	}
+	if err := cmd2.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd2.Wait(); err != nil {
+		t.Fatalf("graceful shutdown after recovery: %v\n%s", err, stderr2.String())
+	}
+}
+
+// TestSnapshotEndpointWithoutDataDir covers the 409 contract.
+func TestSnapshotEndpointWithoutDataDir(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles a real congressd; skipped in -short")
+	}
+	bin := buildCongressd(t)
+	cmd := exec.Command(bin, "serve", "-addr", "127.0.0.1:0",
+		"-rows", "2000", "-groups", "20", "-log-level", "warn")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		cmd.Process.Signal(syscall.SIGKILL)
+		cmd.Wait()
+	}()
+	sc := bufio.NewScanner(stdout)
+	var addr string
+	for sc.Scan() {
+		if rest, ok := strings.CutPrefix(sc.Text(), "congressd listening on "); ok {
+			addr = rest
+			break
+		}
+	}
+	if addr == "" {
+		t.Fatal("congressd never listened")
+	}
+	c := client.New("http://" + addr)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	_, err = c.Snapshot(ctx)
+	var ae *client.APIError
+	if !errors.As(err, &ae) || ae.Code != "not_persistent" {
+		t.Fatalf("snapshot without -data-dir: err=%v, want code not_persistent", err)
+	}
+}

@@ -7,6 +7,13 @@
 //
 //	congressd serve -addr :8642 -rows 200000 -groups 1000 -strategy congress
 //
+// With -data-dir the warehouse is durable: state is recovered from the
+// newest snapshot plus WAL replay on startup, every insert and DDL is
+// write-ahead logged (fsync policy via -fsync), and a background
+// snapshotter compacts the log:
+//
+//	congressd serve -addr :8642 -data-dir /var/lib/congressd -fsync interval
+//
 // Loadgen mode drives a server with concurrent clients for a fixed
 // duration and reports p50/p95/p99 latency and error rates, writing a
 // machine-readable summary to BENCH_server.json:
@@ -97,16 +104,27 @@ func addWarehouseFlags(fs *flag.FlagSet) *warehouseFlags {
 
 // buildWarehouse materializes the demo warehouse described by the flags.
 func buildWarehouse(wf *warehouseFlags, log *slog.Logger) (*congress.Warehouse, error) {
+	w := congress.Open()
+	w.ConfigureCache(*wf.cacheEntries, *wf.cacheBytes)
+	if err := populateWarehouse(w, wf, log); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+// populateWarehouse loads or generates the base table and builds its
+// synopsis inside an already-open warehouse (fresh or durable).
+func populateWarehouse(w *congress.Warehouse, wf *warehouseFlags, log *slog.Logger) error {
 	var rel *engine.Relation
 	start := time.Now()
 	if *wf.loadCSV != "" {
 		f, err := os.Open(*wf.loadCSV)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		defer f.Close()
 		if rel, err = engine.ReadCSV(*wf.table, f); err != nil {
-			return nil, err
+			return err
 		}
 	} else {
 		var err error
@@ -114,7 +132,7 @@ func buildWarehouse(wf *warehouseFlags, log *slog.Logger) (*congress.Warehouse, 
 			TableSize: *wf.rows, NumGroups: *wf.groups, GroupSkew: *wf.skew, Seed: *wf.seed,
 		})
 		if err != nil {
-			return nil, err
+			return err
 		}
 	}
 	log.Info("table ready", slog.String("table", rel.Name),
@@ -122,19 +140,17 @@ func buildWarehouse(wf *warehouseFlags, log *slog.Logger) (*congress.Warehouse, 
 
 	strategy, err := congress.ParseStrategy(*wf.strategy)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	rw, err := congress.ParseRewriteStrategy(*wf.rewrite)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	grouping := tpcd.GroupingAttrs
 	if *wf.groupCols != "" {
 		grouping = splitCSV(*wf.groupCols)
 	}
 
-	w := congress.Open()
-	w.ConfigureCache(*wf.cacheEntries, *wf.cacheBytes)
 	w.AttachRelation(rel)
 	space := int(float64(rel.NumRows()) * *wf.spacePct / 100)
 	start = time.Now()
@@ -147,11 +163,11 @@ func buildWarehouse(wf *warehouseFlags, log *slog.Logger) (*congress.Warehouse, 
 		BuildWorkers: *wf.workers,
 		Seed:         *wf.seed,
 	}); err != nil {
-		return nil, err
+		return err
 	}
 	log.Info("synopsis ready", slog.String("strategy", strategy.String()),
 		slog.Int("space", space), slog.Duration("took", time.Since(start)))
-	return w, nil
+	return nil
 }
 
 func splitCSV(s string) []string {
@@ -186,6 +202,11 @@ func runServe(args []string, out io.Writer) error {
 	retryAfter := fs.Duration("retry-after", time.Second, "Retry-After hint on 429 responses")
 	shutdownGrace := fs.Duration("shutdown-grace", 10*time.Second, "drain window for in-flight requests on SIGINT/SIGTERM")
 	logLevel := fs.String("log-level", "info", "debug|info|warn|error")
+	dataDir := fs.String("data-dir", "", "durable data directory: snapshot + WAL crash recovery (empty = in-memory only)")
+	fsyncFlag := fs.String("fsync", "always", "WAL durability under -data-dir: always|interval|none")
+	fsyncInterval := fs.Duration("fsync-interval", 50*time.Millisecond, "fsync period under -fsync=interval")
+	snapInterval := fs.Duration("snapshot-interval", 5*time.Minute, "background snapshot period (negative disables the timer)")
+	snapInserts := fs.Int64("snapshot-inserts", 100_000, "background snapshot after this many inserts (negative disables)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -194,9 +215,47 @@ func runServe(args []string, out io.Writer) error {
 		return err
 	}
 
-	w, err := buildWarehouse(wf, log)
-	if err != nil {
-		return err
+	var w *congress.Warehouse
+	if *dataDir != "" {
+		mode, err := congress.ParseFsyncMode(*fsyncFlag)
+		if err != nil {
+			return err
+		}
+		var rs congress.RecoveryStats
+		w, rs, err = congress.OpenDir(*dataDir, congress.PersistOptions{
+			Fsync:            mode,
+			FsyncInterval:    *fsyncInterval,
+			SnapshotInterval: *snapInterval,
+			SnapshotEvery:    *snapInserts,
+		})
+		if err != nil {
+			return err
+		}
+		log.Info("data directory recovered",
+			slog.String("dir", *dataDir),
+			slog.Bool("snapshot_loaded", rs.SnapshotLoaded),
+			slog.Int("skipped_snapshots", rs.SkippedSnapshots),
+			slog.Int("replayed_records", rs.ReplayedRecords),
+			slog.Int64("truncated_bytes", rs.TruncatedBytes),
+			slog.Duration("took", rs.Elapsed))
+		w.ConfigureCache(*wf.cacheEntries, *wf.cacheBytes)
+		if len(w.Synopses()) == 0 {
+			if err := populateWarehouse(w, wf, log); err != nil {
+				return err
+			}
+			// The attached base table is only durable once snapshotted;
+			// force one now so a crash cannot strand the logged
+			// build-synopsis record without its table.
+			if err := w.TriggerSnapshot(); err != nil {
+				return err
+			}
+		} else {
+			log.Info("serving recovered warehouse", slog.Int("synopses", len(w.Synopses())))
+		}
+	} else {
+		if w, err = buildWarehouse(wf, log); err != nil {
+			return err
+		}
 	}
 	srv := server.New(server.Options{
 		Warehouse:      w,
@@ -221,7 +280,16 @@ func runServe(args []string, out io.Writer) error {
 
 	drainCtx, cancel := context.WithTimeout(context.Background(), *shutdownGrace)
 	defer cancel()
-	return srv.Shutdown(drainCtx)
+	err = srv.Shutdown(drainCtx)
+	// After the drain no more mutations arrive: flush the final snapshot
+	// and close the WAL so the next start replays nothing.
+	if cerr := w.Close(); cerr != nil {
+		log.Error("closing warehouse", slog.String("err", cerr.Error()))
+		if err == nil {
+			err = cerr
+		}
+	}
+	return err
 }
 
 // ----- loadgen mode -----

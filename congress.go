@@ -36,6 +36,7 @@ import (
 	"fmt"
 	"math/rand"
 	"strings"
+	"sync"
 	"time"
 
 	"github.com/approxdb/congress/internal/aqua"
@@ -44,6 +45,7 @@ import (
 	"github.com/approxdb/congress/internal/engine"
 	"github.com/approxdb/congress/internal/estimate"
 	"github.com/approxdb/congress/internal/metrics"
+	"github.com/approxdb/congress/internal/persist"
 	"github.com/approxdb/congress/internal/rewrite"
 )
 
@@ -120,10 +122,18 @@ func Col(name string, kind Kind) engine.Column {
 }
 
 // Warehouse is an in-memory warehouse with approximate query answering:
-// an engine catalog fronted by the Aqua middleware.
+// an engine catalog fronted by the Aqua middleware. OpenDir (or
+// EnablePersistence) makes it durable: mutations are write-ahead
+// logged and snapshotted to a data directory.
 type Warehouse struct {
 	cat *engine.Catalog
 	aq  *aqua.Aqua
+
+	// pmu guards the durability wiring: the base-table registry the
+	// snapshot exporter walks and the persistence manager handle.
+	pmu        sync.Mutex
+	baseTables map[string]bool // lower-cased names of base relations
+	mgr        *persist.Manager
 }
 
 // Open creates an empty warehouse with result caching enabled at the
@@ -131,7 +141,7 @@ type Warehouse struct {
 // tune or disable it with ConfigureCache.
 func Open() *Warehouse {
 	cat := engine.NewCatalog()
-	w := &Warehouse{cat: cat, aq: aqua.New(cat)}
+	w := &Warehouse{cat: cat, aq: aqua.New(cat), baseTables: make(map[string]bool)}
 	w.ConfigureCache(0, 0)
 	return w
 }
@@ -198,22 +208,40 @@ type Table struct {
 	rel *engine.Relation
 }
 
-// CreateTable registers a new empty table.
+// CreateTable registers a new empty table. On a persistent warehouse
+// the DDL is write-ahead logged.
 func (w *Warehouse) CreateTable(name string, cols ...engine.Column) (*Table, error) {
-	schema, err := engine.NewSchema(cols...)
-	if err != nil {
-		return nil, err
-	}
-	rel := engine.NewRelation(name, schema)
-	w.cat.Register(rel)
-	return &Table{w: w, rel: rel}, nil
+	var tbl *Table
+	err := w.logged(&persist.Record{
+		Kind:  persist.RecCreateTable,
+		Table: name,
+		Cols:  append([]engine.Column(nil), cols...),
+	}, func() error {
+		schema, err := engine.NewSchema(cols...)
+		if err != nil {
+			return err
+		}
+		rel := engine.NewRelation(name, schema)
+		w.cat.Register(rel)
+		w.noteBaseTable(name)
+		tbl = &Table{w: w, rel: rel}
+		return nil
+	})
+	return tbl, err
 }
 
 // AttachRelation registers an existing engine relation (one produced by
 // the tpcd generator or engine.ReadCSV) as a warehouse table, avoiding a
-// row-by-row copy through CreateTable/Insert.
+// row-by-row copy through CreateTable/Insert. Bulk attachment is not
+// write-ahead logged; on a persistent warehouse a background snapshot
+// is requested instead, and the attachment is durable once that (or
+// TriggerSnapshot, or a clean Close) completes.
 func (w *Warehouse) AttachRelation(rel *engine.Relation) *Table {
 	w.cat.Register(rel)
+	w.noteBaseTable(rel.Name)
+	if mgr := w.manager(); mgr != nil {
+		mgr.RequestSnapshot()
+	}
 	return &Table{w: w, rel: rel}
 }
 
@@ -239,6 +267,18 @@ func (w *Warehouse) Table(name string) (*Table, error) {
 // are rejected before touching the base relation.
 func (t *Table) Insert(vals ...Value) error {
 	row := Row(vals)
+	return t.w.logged(&persist.Record{
+		Kind:  persist.RecInsert,
+		Table: t.rel.Name,
+		Row:   row,
+	}, func() error {
+		return t.insertRow(row)
+	})
+}
+
+// insertRow is the unlogged insert path: validation, the base relation
+// append, and the maintainer feed. WAL replay calls it directly.
+func (t *Table) insertRow(row Row) error {
 	syn, hasSyn := t.w.aq.Synopsis(t.rel.Name)
 	if hasSyn {
 		for _, ci := range syn.Grouping().Columns() {
@@ -321,7 +361,7 @@ func DefaultBuildWorkers() int { return core.DefaultWorkers() }
 // generator loading) fails the build with ErrBadQuery rather than
 // silently corrupting composite group keys.
 func (w *Warehouse) BuildSynopsis(spec SynopsisSpec) error {
-	_, err := w.aq.CreateSynopsis(aqua.Config{
+	cfg := aqua.Config{
 		Table:            spec.Table,
 		GroupCols:        spec.GroupBy,
 		Strategy:         spec.Strategy,
@@ -333,8 +373,15 @@ func (w *Warehouse) BuildSynopsis(spec SynopsisSpec) error {
 		Recency:          spec.Recency,
 		BuildWorkers:     spec.BuildWorkers,
 		Seed:             spec.Seed,
+	}
+	return w.logged(&persist.Record{
+		Kind:     persist.RecBuildSynopsis,
+		Table:    spec.Table,
+		Synopsis: &cfg,
+	}, func() error {
+		_, err := w.aq.CreateSynopsis(cfg)
+		return err
 	})
-	return err
 }
 
 // Recency configures the ageing bias of SynopsisSpec.
@@ -359,6 +406,10 @@ type JoinSpec struct {
 // cardinality — the join-synopsis observation of the paper's Section 2)
 // and builds a synopsis over it. spec.Table is ignored; the synopsis
 // covers join.Name, and GroupBy columns may come from any joined table.
+// Join synopses are not replayed from the WAL (the joined relation is
+// materialized data, not a logged mutation); on a persistent warehouse
+// the joined relation is registered as base data and a snapshot is
+// forced so both it and its synopsis are durable immediately.
 func (w *Warehouse) BuildJoinSynopsis(join JoinSpec, spec SynopsisSpec) error {
 	_, err := w.aq.CreateJoinSynopsis(aqua.JoinSpec{
 		Name: join.Name,
@@ -376,13 +427,25 @@ func (w *Warehouse) BuildJoinSynopsis(join JoinSpec, spec SynopsisSpec) error {
 		BuildWorkers:     spec.BuildWorkers,
 		Seed:             spec.Seed,
 	})
-	return err
+	if err != nil {
+		return err
+	}
+	w.noteBaseTable(join.Name)
+	if mgr := w.manager(); mgr != nil {
+		return mgr.Snapshot()
+	}
+	return nil
 }
 
 // RefreshSynopsis re-materializes a table's sample relations from its
 // incremental maintainer.
 func (w *Warehouse) RefreshSynopsis(table string) error {
-	return w.aq.Refresh(table)
+	return w.logged(&persist.Record{
+		Kind:  persist.RecRefreshSynopsis,
+		Table: table,
+	}, func() error {
+		return w.aq.Refresh(table)
+	})
 }
 
 // AllocationRow is one line of the Figure 5-style allocation table a

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"math/rand"
 
 	"github.com/approxdb/congress/internal/engine"
@@ -62,7 +63,14 @@ func (m *HouseMaintainer) Snapshot() (*sample.Stratified[engine.Row], error) {
 		st.Put(&sample.Stratum[engine.Row]{Key: key, Population: pop})
 	}
 	for _, row := range m.res.Items() {
-		s, _ := st.Get(m.g.Key(row))
+		key := m.g.Key(row)
+		s, ok := st.Get(key)
+		if !ok {
+			// Every sampled row's group must have a population entry; a
+			// miss means the maintainer state is internally inconsistent
+			// (e.g. a restore fed rows the population map never saw).
+			return nil, fmt.Errorf("core: house maintainer holds a sampled row for group %q with no population entry", key)
+		}
 		s.Items = append(s.Items, row)
 	}
 	if err := st.Validate(); err != nil {
@@ -128,7 +136,7 @@ func (m *SenateMaintainer) Insert(row engine.Row) {
 	// The shared target may have shrunk since this reservoir last saw a
 	// tuple; trim it opportunistically.
 	if t := m.target(); res.Len() > t {
-		res.Shrink(t, m.rng)
+		mustShrink(res, t, m.rng)
 	}
 }
 
@@ -136,8 +144,18 @@ func (m *SenateMaintainer) shrinkAll() {
 	t := m.target()
 	for _, res := range m.groups {
 		if res.Len() > t || res.Cap() > t {
-			res.Shrink(t, m.rng)
+			mustShrink(res, t, m.rng)
 		}
+	}
+}
+
+// mustShrink applies a reservoir shrink whose target the caller has
+// already floored at 1 (SenateMaintainer.target documents that floor: a
+// group never drops below one slot even when m > X). A capacity
+// underflow here is therefore a maintainer bug, not a data condition.
+func mustShrink(res *sample.Reservoir[engine.Row], t int, rng *rand.Rand) {
+	if _, err := res.Shrink(t, rng); err != nil {
+		panic(fmt.Sprintf("core: senate shrink to floored target %d: %v", t, err))
 	}
 }
 

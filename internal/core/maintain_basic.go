@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"math/rand"
 
 	"github.com/approxdb/congress/internal/engine"
@@ -158,11 +159,18 @@ func (m *BasicCongressMaintainer) Snapshot() (*sample.Stratified[engine.Row], er
 		st.Put(&sample.Stratum[engine.Row]{Key: key, Population: pop})
 	}
 	for _, row := range m.res.Items() {
-		s, _ := st.Get(m.g.Key(row))
+		key := m.g.Key(row)
+		s, ok := st.Get(key)
+		if !ok {
+			return nil, fmt.Errorf("core: basic congress maintainer holds a reservoir row for group %q with no population entry", key)
+		}
 		s.Items = append(s.Items, row)
 	}
 	for key, d := range m.delta {
-		s, _ := st.Get(key)
+		s, ok := st.Get(key)
+		if !ok {
+			return nil, fmt.Errorf("core: basic congress maintainer holds a delta sample for group %q with no population entry", key)
+		}
 		s.Items = append(s.Items, d...)
 	}
 	if err := st.Validate(); err != nil {

@@ -1,0 +1,82 @@
+package datacube
+
+import (
+	"fmt"
+	"sort"
+)
+
+// GroupCount pairs a finest GroupID with its tuple count.
+type GroupCount struct {
+	ID    GroupID
+	Count int64
+}
+
+// CubeState is the serializable state of a Cube. Only the finest-grouping
+// counts are stored: every coarser grouping's count is the exact sum of
+// the finest counts it covers, so Restore rebuilds the full cube from the
+// finest groups alone via AddN. This keeps snapshots O(groups) instead of
+// O(2^|G| · groups).
+type CubeState struct {
+	Attrs  []string
+	Groups []GroupCount
+}
+
+// AddN records n tuples belonging to the given finest group at once,
+// updating every grouping's counter. It is Add generalized to a batch;
+// Restore uses it to rebuild coarser masks from finest-group counts.
+func (c *Cube) AddN(id GroupID, n int64) error {
+	if len(id) != len(c.attrs) {
+		return fmt.Errorf("datacube: group id has %d parts, cube has %d attributes", len(id), len(c.attrs))
+	}
+	if n < 0 {
+		return fmt.Errorf("datacube: negative group count %d", n)
+	}
+	if n == 0 {
+		return nil
+	}
+	for mask := uint32(0); int(mask) < len(c.counts); mask++ {
+		c.counts[mask][id.Project(mask)] += n
+	}
+	finest := id.Key()
+	if _, ok := c.ids[finest]; !ok {
+		c.ids[finest] = append(GroupID(nil), id...)
+	}
+	c.total += n
+	return nil
+}
+
+// State exports the cube's serializable state. Groups are sorted by
+// finest key so the encoding is deterministic.
+func (c *Cube) State() *CubeState {
+	st := &CubeState{Attrs: append([]string(nil), c.attrs...)}
+	finest := c.counts[c.FinestMask()]
+	keys := make([]string, 0, len(finest))
+	for k := range finest {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		st.Groups = append(st.Groups, GroupCount{
+			ID:    append(GroupID(nil), c.ids[k]...),
+			Count: finest[k],
+		})
+	}
+	return st
+}
+
+// RestoreCube rebuilds a cube from exported state.
+func RestoreCube(st *CubeState) (*Cube, error) {
+	if st == nil {
+		return nil, fmt.Errorf("datacube: nil cube state")
+	}
+	c, err := New(st.Attrs)
+	if err != nil {
+		return nil, err
+	}
+	for _, g := range st.Groups {
+		if err := c.AddN(g.ID, g.Count); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}

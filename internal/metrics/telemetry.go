@@ -32,6 +32,15 @@ import (
 //	congress_cache_evictions_total     result-cache entries dropped by capacity bounds
 //	congress_cache_invalidations_total synopsis epoch bumps (insert/refresh/update)
 //	congress_cache_hit_rate            hits / (hits + misses), point-in-time
+//	persist_wal_records_total          records appended to the write-ahead log
+//	persist_wal_bytes_total            bytes appended to the write-ahead log
+//	persist_fsyncs_total               fsync calls issued by the WAL
+//	persist_snapshots_total            warehouse snapshots written
+//	persist_snapshot_bytes_total       bytes written across all snapshots
+//	persist_snapshot_seconds_total     cumulative snapshot wall time
+//	persist_recovery_seconds_total     wall time spent recovering at startup
+//	persist_replayed_records_total     WAL records replayed during recovery
+//	persist_truncated_bytes_total      torn WAL tail bytes truncated at recovery
 type Telemetry struct {
 	rowsScanned       atomic.Int64
 	strataTouched     atomic.Int64
@@ -43,10 +52,19 @@ type Telemetry struct {
 	cacheEvictions     atomic.Int64
 	cacheInvalidations atomic.Int64
 
-	build    opStats
-	refresh  opStats
-	answer   opStats
-	estimate opStats
+	walRecords      atomic.Int64
+	walBytes        atomic.Int64
+	fsyncs          atomic.Int64
+	snapshotBytes   atomic.Int64
+	replayedRecords atomic.Int64
+	truncatedBytes  atomic.Int64
+	recoveryNanos   atomic.Int64
+
+	build     opStats
+	refresh   opStats
+	answer    opStats
+	estimate  opStats
+	snapshots opStats
 }
 
 // opStats accumulates a count and total duration for one operation kind.
@@ -156,6 +174,40 @@ func (t *Telemetry) CacheInvalidation() {
 	}
 }
 
+// WALAppend records one record of n bytes appended to the WAL.
+func (t *Telemetry) WALAppend(n int64) {
+	if t != nil {
+		t.walRecords.Add(1)
+		t.walBytes.Add(n)
+	}
+}
+
+// Fsync records one fsync issued by the WAL (group commit counts the
+// batched fsync once, however many appends it covered).
+func (t *Telemetry) Fsync() {
+	if t != nil {
+		t.fsyncs.Add(1)
+	}
+}
+
+// ObserveSnapshot records one completed warehouse snapshot of n bytes.
+func (t *Telemetry) ObserveSnapshot(n int64, d time.Duration) {
+	if t != nil {
+		t.snapshots.observe(d)
+		t.snapshotBytes.Add(n)
+	}
+}
+
+// ObserveRecovery records a completed startup recovery: its wall time,
+// the number of WAL records replayed, and torn-tail bytes truncated.
+func (t *Telemetry) ObserveRecovery(d time.Duration, replayed int64, truncated int64) {
+	if t != nil {
+		t.recoveryNanos.Add(int64(d))
+		t.replayedRecords.Add(replayed)
+		t.truncatedBytes.Add(truncated)
+	}
+}
+
 // OpSnapshot is the point-in-time reading of one operation kind.
 type OpSnapshot struct {
 	Count int64
@@ -184,6 +236,15 @@ type TelemetrySnapshot struct {
 	Refresh              OpSnapshot
 	Answer               OpSnapshot
 	Estimate             OpSnapshot
+
+	WALRecords      int64
+	WALBytes        int64
+	Fsyncs          int64
+	Snapshots       OpSnapshot
+	SnapshotBytes   int64
+	ReplayedRecords int64
+	TruncatedBytes  int64
+	Recovery        time.Duration
 }
 
 // CacheHitRate returns hits/(hits+misses), or 0 with no cache lookups.
@@ -214,6 +275,14 @@ func (t *Telemetry) Snapshot() TelemetrySnapshot {
 		Refresh:              t.refresh.snapshot(),
 		Answer:               t.answer.snapshot(),
 		Estimate:             t.estimate.snapshot(),
+		WALRecords:           t.walRecords.Load(),
+		WALBytes:             t.walBytes.Load(),
+		Fsyncs:               t.fsyncs.Load(),
+		Snapshots:            t.snapshots.snapshot(),
+		SnapshotBytes:        t.snapshotBytes.Load(),
+		ReplayedRecords:      t.replayedRecords.Load(),
+		TruncatedBytes:       t.truncatedBytes.Load(),
+		Recovery:             time.Duration(t.recoveryNanos.Load()),
 	}
 }
 
@@ -239,5 +308,14 @@ func (s TelemetrySnapshot) String() string {
 	out += fmt.Sprintf("congress_cache_evictions_total %d\n", s.CacheEvictions)
 	out += fmt.Sprintf("congress_cache_invalidations_total %d\n", s.CacheInvalidations)
 	out += fmt.Sprintf("congress_cache_hit_rate %.4f\n", s.CacheHitRate())
+	out += fmt.Sprintf("persist_wal_records_total %d\n", s.WALRecords)
+	out += fmt.Sprintf("persist_wal_bytes_total %d\n", s.WALBytes)
+	out += fmt.Sprintf("persist_fsyncs_total %d\n", s.Fsyncs)
+	out += fmt.Sprintf("persist_snapshots_total %d\n", s.Snapshots.Count)
+	out += fmt.Sprintf("persist_snapshot_bytes_total %d\n", s.SnapshotBytes)
+	out += fmt.Sprintf("persist_snapshot_seconds_total %.6f\n", s.Snapshots.Total.Seconds())
+	out += fmt.Sprintf("persist_recovery_seconds_total %.6f\n", s.Recovery.Seconds())
+	out += fmt.Sprintf("persist_replayed_records_total %d\n", s.ReplayedRecords)
+	out += fmt.Sprintf("persist_truncated_bytes_total %d\n", s.TruncatedBytes)
 	return out
 }

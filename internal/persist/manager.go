@@ -1,0 +1,357 @@
+package persist
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"github.com/approxdb/congress/internal/metrics"
+)
+
+// Options configures a Manager.
+type Options struct {
+	// Mode is the WAL fsync policy (default SyncAlways).
+	Mode SyncMode
+	// SyncInterval is the fsync period for SyncInterval (default 50ms).
+	SyncInterval time.Duration
+	// SnapshotInterval triggers a background snapshot this often
+	// (default 5m; negative disables the timer).
+	SnapshotInterval time.Duration
+	// SnapshotEvery triggers a background snapshot after this many
+	// logged inserts (default 100000; negative disables).
+	SnapshotEvery int64
+	// KeepSnapshots is how many snapshot generations to retain
+	// (default 2; the WAL segments an old retained snapshot still needs
+	// are retained with it).
+	KeepSnapshots int
+	// Telemetry receives persist_* counters (nil is allowed).
+	Telemetry *metrics.Telemetry
+}
+
+func (o Options) withDefaults() Options {
+	if o.SyncInterval <= 0 {
+		o.SyncInterval = 50 * time.Millisecond
+	}
+	if o.SnapshotInterval == 0 {
+		o.SnapshotInterval = 5 * time.Minute
+	}
+	if o.SnapshotEvery == 0 {
+		o.SnapshotEvery = 100000
+	}
+	if o.KeepSnapshots <= 0 {
+		o.KeepSnapshots = 2
+	}
+	return o
+}
+
+// Manager owns a data directory: it logs mutations to the current WAL
+// segment, writes snapshots that compact the log, and prunes files no
+// retained snapshot needs.
+//
+// The manager mutex serializes every logged mutation against snapshot
+// cuts: a mutation is applied and its record appended to the segment
+// under the same critical section that a snapshot uses to export state
+// and rotate segments. The invariant that makes recovery exact: the
+// snapshot of generation S contains every mutation logged to segments
+// of generation < S and none from segment S.
+type Manager struct {
+	dir  string
+	opts Options
+	tel  *metrics.Telemetry
+
+	// export captures the warehouse state; called under mu, so it must
+	// deep-copy anything that keeps mutating (the aqua/core export
+	// paths do).
+	export func() (*State, error)
+
+	mu               sync.Mutex
+	wal              *WAL
+	gen              uint64
+	insertsSinceSnap int64
+
+	snapMu sync.Mutex // serializes whole snapshots, not the cut
+
+	snapCh chan struct{}
+	stop   chan struct{}
+	wg     sync.WaitGroup
+	closed bool
+}
+
+// Start opens (creating if needed) a data directory for logging, writes
+// a fresh snapshot of the current exported state, and launches the
+// background snapshotter. The caller is responsible for having already
+// recovered dir's prior contents into the warehouse (see Recover);
+// Start's initial snapshot then supersedes them.
+func Start(dir string, opts Options, export func() (*State, error)) (*Manager, error) {
+	if export == nil {
+		return nil, fmt.Errorf("persist: Start needs an export function")
+	}
+	opts = opts.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	maxGen, err := maxGeneration(dir)
+	if err != nil {
+		return nil, err
+	}
+	gen := maxGen + 1
+	wal, err := CreateWAL(WALPath(dir, gen), opts.Mode, opts.SyncInterval, opts.Telemetry)
+	if err != nil {
+		return nil, err
+	}
+	m := &Manager{
+		dir:    dir,
+		opts:   opts,
+		tel:    opts.Telemetry,
+		export: export,
+		wal:    wal,
+		gen:    gen,
+		snapCh: make(chan struct{}, 1),
+		stop:   make(chan struct{}),
+	}
+	// The initial snapshot carries the recovered (or fresh) state and
+	// makes every older snapshot and segment prunable.
+	if err := m.writeSnapshotAt(gen); err != nil {
+		wal.Close()
+		return nil, err
+	}
+	m.wg.Add(1)
+	go m.snapshotLoop()
+	return m, nil
+}
+
+// maxGeneration returns the highest generation among all snap-* and
+// wal-* files in dir (0 if none).
+func maxGeneration(dir string) (uint64, error) {
+	var max uint64
+	for _, prefix := range []string{"snap-", "wal-"} {
+		gens, err := listGens(dir, prefix)
+		if err != nil {
+			return 0, err
+		}
+		if len(gens) > 0 && gens[len(gens)-1] > max {
+			max = gens[len(gens)-1]
+		}
+	}
+	return max, nil
+}
+
+// Dir returns the managed data directory.
+func (m *Manager) Dir() string { return m.dir }
+
+// Log applies a mutation and appends its record, atomically with
+// respect to snapshot cuts: either the snapshot contains the applied
+// mutation, or the record lands in a segment the snapshot does not
+// cover — never both, never neither. The append reaches the OS before
+// Log returns; under SyncAlways, Log additionally blocks until the
+// record is fsynced (batched with concurrent committers).
+//
+// apply runs under the manager mutex and must not call back into the
+// manager. If apply fails nothing is logged; if the append fails the
+// mutation stays applied in memory and the error reports the durability
+// gap.
+func (m *Manager) Log(rec *Record, apply func() error) error {
+	payload, err := EncodeRecord(rec)
+	if err != nil {
+		return err
+	}
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return fmt.Errorf("persist: manager is closed")
+	}
+	if err := apply(); err != nil {
+		m.mu.Unlock()
+		return err
+	}
+	seq, werr := m.wal.Append(payload)
+	wal := m.wal
+	var snapDue bool
+	if rec.Kind == RecInsert {
+		m.insertsSinceSnap++
+		snapDue = m.opts.SnapshotEvery > 0 && m.insertsSinceSnap >= m.opts.SnapshotEvery
+	}
+	m.mu.Unlock()
+	if werr != nil {
+		return fmt.Errorf("persist: mutation applied but not logged: %w", werr)
+	}
+	if snapDue {
+		m.RequestSnapshot()
+	}
+	// Wait for group commit outside the mutex so concurrent committers
+	// batch into one fsync and snapshots never stall behind disk flushes.
+	return wal.WaitDurable(seq)
+}
+
+// RequestSnapshot nudges the background snapshotter asynchronously;
+// bursts coalesce into one snapshot. Use Snapshot for a synchronous
+// write.
+func (m *Manager) RequestSnapshot() {
+	select {
+	case m.snapCh <- struct{}{}:
+	default:
+	}
+}
+
+// Snapshot writes a snapshot of the current state now, rotating the WAL
+// so the new snapshot compacts everything logged before it. Concurrent
+// calls are serialized; mutations are only blocked for the in-memory
+// state export and segment swap, not the disk write.
+func (m *Manager) Snapshot() error {
+	m.snapMu.Lock()
+	defer m.snapMu.Unlock()
+
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return fmt.Errorf("persist: manager is closed")
+	}
+	err := m.rotateAndSnapshotLocked()
+	return err
+}
+
+// rotateAndSnapshotLocked is the shared snapshot path. It is entered
+// holding m.mu (which it releases) and m.snapMu.
+func (m *Manager) rotateAndSnapshotLocked() error {
+	newGen := m.gen + 1
+	newWAL, err := CreateWAL(WALPath(m.dir, newGen), m.opts.Mode, m.opts.SyncInterval, m.tel)
+	if err != nil {
+		m.mu.Unlock()
+		return fmt.Errorf("persist: rotating WAL: %w", err)
+	}
+	oldWAL := m.wal
+	m.wal = newWAL
+	m.gen = newGen
+	m.insertsSinceSnap = 0
+	m.mu.Unlock()
+
+	if err := oldWAL.Close(); err != nil {
+		return fmt.Errorf("persist: closing rotated WAL: %w", err)
+	}
+	return m.writeSnapshotAt(newGen)
+}
+
+// writeSnapshotAt exports the current state and writes it as snapshot
+// generation gen, then prunes. The export takes m.mu briefly; the disk
+// write happens outside every lock but snapMu.
+func (m *Manager) writeSnapshotAt(gen uint64) error {
+	start := time.Now()
+	m.mu.Lock()
+	st, err := m.export()
+	m.mu.Unlock()
+	if err != nil {
+		return fmt.Errorf("persist: exporting state: %w", err)
+	}
+	size, err := WriteSnapshot(m.dir, gen, st)
+	if err != nil {
+		return err
+	}
+	m.tel.ObserveSnapshot(size, time.Since(start))
+	m.prune()
+	return nil
+}
+
+// prune deletes snapshots beyond the retention bound and WAL segments
+// older than the oldest retained snapshot.
+func (m *Manager) prune() {
+	snaps, err := listGens(m.dir, "snap-")
+	if err != nil || len(snaps) == 0 {
+		return
+	}
+	keepFrom := 0
+	if len(snaps) > m.opts.KeepSnapshots {
+		keepFrom = len(snaps) - m.opts.KeepSnapshots
+	}
+	for _, gen := range snaps[:keepFrom] {
+		os.Remove(SnapPath(m.dir, gen))
+	}
+	oldestKept := snaps[keepFrom]
+	wals, err := listGens(m.dir, "wal-")
+	if err != nil {
+		return
+	}
+	for _, gen := range wals {
+		if gen < oldestKept {
+			os.Remove(WALPath(m.dir, gen))
+		}
+	}
+}
+
+// snapshotLoop runs background snapshots on the insert-count trigger
+// and the wall-clock timer.
+func (m *Manager) snapshotLoop() {
+	defer m.wg.Done()
+	var tick <-chan time.Time
+	if m.opts.SnapshotInterval > 0 {
+		t := time.NewTicker(m.opts.SnapshotInterval)
+		defer t.Stop()
+		tick = t.C
+	}
+	for {
+		select {
+		case <-m.stop:
+			return
+		case <-m.snapCh:
+		case <-tick:
+			m.mu.Lock()
+			dirty := m.insertsSinceSnap > 0
+			m.mu.Unlock()
+			if !dirty {
+				continue
+			}
+		}
+		if err := m.Snapshot(); err != nil {
+			// Background snapshot failures are not fatal: the WAL still
+			// holds every mutation. The next trigger retries.
+			continue
+		}
+	}
+}
+
+// Close drains the manager: stops the background snapshotter, writes a
+// final snapshot, and closes the WAL. The warehouse must not log
+// further mutations afterwards.
+func (m *Manager) Close() error {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil
+	}
+	m.mu.Unlock()
+
+	close(m.stop)
+	m.wg.Wait()
+
+	// Final snapshot so the next open replays nothing.
+	snapErr := m.Snapshot()
+
+	m.mu.Lock()
+	m.closed = true
+	wal := m.wal
+	m.mu.Unlock()
+	if err := wal.Close(); err != nil {
+		return err
+	}
+	return snapErr
+}
+
+// Stats is a point-in-time view of the manager for diagnostics.
+type Stats struct {
+	Dir              string
+	Generation       uint64
+	InsertsSinceSnap int64
+	Mode             SyncMode
+}
+
+// Stats reports the manager's current generation and backlog.
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return Stats{
+		Dir:              m.dir,
+		Generation:       m.gen,
+		InsertsSinceSnap: m.insertsSinceSnap,
+		Mode:             m.opts.Mode,
+	}
+}

@@ -1,0 +1,335 @@
+package persist
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"sync"
+	"time"
+
+	"github.com/approxdb/congress/internal/metrics"
+)
+
+// WAL segment layout: an 8-byte magic "CGRWAL01" followed by records
+// framed as
+//
+//	4 bytes  payload length (little endian)
+//	4 bytes  CRC32C of the payload
+//	N bytes  payload
+//
+// Appends issue one write(2) per record, so after a process crash the
+// OS page cache holds every acknowledged record; fsync policy only
+// changes exposure to machine crashes. Recovery truncates the segment
+// at the first frame whose header is short or whose checksum fails —
+// the torn tail of an append cut off mid-write.
+
+const (
+	walMagic = "CGRWAL01"
+	// maxRecordBytes bounds one record; a longer length header is
+	// treated as corruption rather than an allocation request.
+	maxRecordBytes = 1 << 30
+)
+
+// SyncMode selects the WAL durability policy.
+type SyncMode int
+
+// Durability policies for the -fsync flag.
+const (
+	// SyncAlways fsyncs before acknowledging every append, batching
+	// concurrent appenders into one fsync (group commit).
+	SyncAlways SyncMode = iota
+	// SyncInterval fsyncs on a timer (default 50ms); a machine crash
+	// can lose up to one interval of acknowledged appends.
+	SyncInterval
+	// SyncNone never fsyncs outside Close; acknowledged appends survive
+	// process crashes (they reached the OS) but not machine crashes.
+	SyncNone
+)
+
+// ParseSyncMode resolves a -fsync flag value.
+func ParseSyncMode(s string) (SyncMode, error) {
+	switch s {
+	case "always", "":
+		return SyncAlways, nil
+	case "interval":
+		return SyncInterval, nil
+	case "none":
+		return SyncNone, nil
+	default:
+		return 0, fmt.Errorf("persist: unknown fsync mode %q (want always, interval, or none)", s)
+	}
+}
+
+// String returns the flag spelling of the mode.
+func (m SyncMode) String() string {
+	switch m {
+	case SyncAlways:
+		return "always"
+	case SyncInterval:
+		return "interval"
+	case SyncNone:
+		return "none"
+	default:
+		return fmt.Sprintf("SyncMode(%d)", int(m))
+	}
+}
+
+// WAL is one append-only log segment.
+type WAL struct {
+	mode     SyncMode
+	interval time.Duration
+	tel      *metrics.Telemetry
+
+	mu        sync.Mutex
+	f         *os.File
+	scratch   []byte
+	seq       uint64 // appends written so far
+	syncedSeq uint64 // appends known durable
+	err       error  // first write/sync error; sticky
+	closed    bool
+
+	syncReq *sync.Cond // signals the syncer that seq advanced
+	syncAck *sync.Cond // broadcast when syncedSeq advances
+
+	wg sync.WaitGroup
+}
+
+// CreateWAL creates a new segment at path (which must not exist) and
+// starts the background syncer its mode needs. interval applies to
+// SyncInterval (0 means 50ms).
+func CreateWAL(path string, mode SyncMode, interval time.Duration, tel *metrics.Telemetry) (*WAL, error) {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := f.Write([]byte(walMagic)); err != nil {
+		f.Close()
+		os.Remove(path)
+		return nil, err
+	}
+	if interval <= 0 {
+		interval = 50 * time.Millisecond
+	}
+	w := &WAL{mode: mode, interval: interval, tel: tel, f: f}
+	w.syncReq = sync.NewCond(&w.mu)
+	w.syncAck = sync.NewCond(&w.mu)
+	switch mode {
+	case SyncAlways:
+		w.wg.Add(1)
+		go w.groupCommitLoop()
+	case SyncInterval:
+		w.wg.Add(1)
+		go w.intervalLoop()
+	}
+	return w, nil
+}
+
+// Append frames and writes one record, returning its sequence number
+// for WaitDurable. The write reaches the OS before Append returns;
+// durability depends on the sync mode.
+func (w *WAL) Append(payload []byte) (uint64, error) {
+	if len(payload) > maxRecordBytes {
+		return 0, fmt.Errorf("persist: record of %d bytes exceeds limit", len(payload))
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return 0, fmt.Errorf("persist: append to closed WAL")
+	}
+	if w.err != nil {
+		return 0, w.err
+	}
+	w.scratch = w.scratch[:0]
+	w.scratch = binary.LittleEndian.AppendUint32(w.scratch, uint32(len(payload)))
+	w.scratch = binary.LittleEndian.AppendUint32(w.scratch, crc32.Checksum(payload, castagnoli))
+	w.scratch = append(w.scratch, payload...)
+	if _, err := w.f.Write(w.scratch); err != nil {
+		w.err = fmt.Errorf("persist: WAL append: %w", err)
+		w.syncAck.Broadcast()
+		return 0, w.err
+	}
+	w.seq++
+	w.tel.WALAppend(int64(len(w.scratch)))
+	if w.mode == SyncAlways {
+		w.syncReq.Signal()
+	}
+	return w.seq, nil
+}
+
+// WaitDurable blocks until the record with the given sequence number is
+// durable under the WAL's sync mode. For SyncInterval and SyncNone it
+// returns immediately — the caller accepted the mode's loss window.
+func (w *WAL) WaitDurable(seq uint64) error {
+	if w.mode != SyncAlways {
+		return nil
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for w.syncedSeq < seq && w.err == nil && !w.closed {
+		w.syncAck.Wait()
+	}
+	if w.err != nil {
+		return w.err
+	}
+	if w.syncedSeq < seq {
+		return fmt.Errorf("persist: WAL closed before record %d became durable", seq)
+	}
+	return nil
+}
+
+// groupCommitLoop batches fsyncs for SyncAlways: every wakeup makes all
+// appends so far durable with one fsync, however many appenders are
+// waiting.
+func (w *WAL) groupCommitLoop() {
+	defer w.wg.Done()
+	w.mu.Lock()
+	for {
+		for w.seq == w.syncedSeq && !w.closed && w.err == nil {
+			w.syncReq.Wait()
+		}
+		if w.closed || w.err != nil {
+			w.mu.Unlock()
+			return
+		}
+		target := w.seq
+		w.mu.Unlock()
+		err := w.f.Sync()
+		w.tel.Fsync()
+		w.mu.Lock()
+		if err != nil && w.err == nil {
+			w.err = fmt.Errorf("persist: WAL fsync: %w", err)
+		}
+		if w.syncedSeq < target {
+			w.syncedSeq = target
+		}
+		w.syncAck.Broadcast()
+	}
+}
+
+// intervalLoop fsyncs on a timer for SyncInterval.
+func (w *WAL) intervalLoop() {
+	defer w.wg.Done()
+	ticker := time.NewTicker(w.interval)
+	defer ticker.Stop()
+	for range ticker.C {
+		w.mu.Lock()
+		if w.closed {
+			w.mu.Unlock()
+			return
+		}
+		dirty := w.seq > w.syncedSeq
+		target := w.seq
+		w.mu.Unlock()
+		if !dirty {
+			continue
+		}
+		if err := w.f.Sync(); err != nil {
+			w.mu.Lock()
+			if w.err == nil {
+				w.err = fmt.Errorf("persist: WAL fsync: %w", err)
+			}
+			w.mu.Unlock()
+			return
+		}
+		w.tel.Fsync()
+		w.mu.Lock()
+		if w.syncedSeq < target {
+			w.syncedSeq = target
+		}
+		w.mu.Unlock()
+	}
+}
+
+// Sync makes everything appended so far durable now, regardless of
+// mode.
+func (w *WAL) Sync() error {
+	w.mu.Lock()
+	if w.err != nil {
+		err := w.err
+		w.mu.Unlock()
+		return err
+	}
+	target := w.seq
+	f := w.f
+	w.mu.Unlock()
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	w.tel.Fsync()
+	w.mu.Lock()
+	if w.syncedSeq < target {
+		w.syncedSeq = target
+	}
+	w.syncAck.Broadcast()
+	w.mu.Unlock()
+	return nil
+}
+
+// Close flushes, fsyncs, and closes the segment. Safe to call once.
+func (w *WAL) Close() error {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return nil
+	}
+	w.closed = true
+	err := w.err
+	w.syncReq.Broadcast()
+	w.syncAck.Broadcast()
+	w.mu.Unlock()
+	w.wg.Wait()
+	if serr := w.f.Sync(); serr != nil && err == nil {
+		err = serr
+	} else if serr == nil {
+		w.tel.Fsync()
+	}
+	if cerr := w.f.Close(); cerr != nil && err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// ReadWAL scans a segment, calling fn for each intact record payload in
+// order. On encountering a torn tail — a truncated frame or a checksum
+// mismatch — it truncates the file at the last intact frame boundary
+// and reports how many bytes were cut; this is the normal outcome of a
+// crash mid-append, not an error. fn's payload slice is only valid for
+// the duration of the call.
+func ReadWAL(path string, fn func(payload []byte) error) (records int, truncated int64, err error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return 0, 0, err
+	}
+	if len(raw) < len(walMagic) || string(raw[:len(walMagic)]) != walMagic {
+		return 0, 0, fmt.Errorf("persist: %s is not a WAL segment", path)
+	}
+	off := len(walMagic)
+	for {
+		if off == len(raw) {
+			return records, 0, nil // clean end
+		}
+		if len(raw)-off < 8 {
+			break // torn frame header
+		}
+		n := binary.LittleEndian.Uint32(raw[off:])
+		crc := binary.LittleEndian.Uint32(raw[off+4:])
+		if n > maxRecordBytes || int(n) > len(raw)-off-8 {
+			break // torn or corrupt payload
+		}
+		payload := raw[off+8 : off+8+int(n)]
+		if crc32.Checksum(payload, castagnoli) != crc {
+			break // bit flip or torn write inside the frame
+		}
+		if err := fn(payload); err != nil {
+			return records, 0, err
+		}
+		records++
+		off += 8 + int(n)
+	}
+	cut := int64(len(raw) - off)
+	if terr := os.Truncate(path, int64(off)); terr != nil {
+		return records, cut, fmt.Errorf("persist: truncating torn WAL tail of %s: %w", path, terr)
+	}
+	return records, cut, nil
+}

@@ -1,0 +1,274 @@
+package persist
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/approxdb/congress/internal/engine"
+)
+
+func walRoundtrip(t *testing.T, mode SyncMode) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "wal-0001")
+	w, err := CreateWAL(path, mode, 5*time.Millisecond, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want [][]byte
+	for i := 0; i < 50; i++ {
+		payload := []byte(fmt.Sprintf("record-%03d", i))
+		want = append(want, payload)
+		seq, err := w.Append(payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.WaitDurable(seq); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var got [][]byte
+	n, truncated, err := ReadWAL(path, func(p []byte) error {
+		got = append(got, append([]byte(nil), p...))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if truncated != 0 {
+		t.Fatalf("clean log reported %d truncated bytes", truncated)
+	}
+	if n != len(want) {
+		t.Fatalf("read %d records, wrote %d", n, len(want))
+	}
+	for i := range want {
+		if !bytes.Equal(got[i], want[i]) {
+			t.Fatalf("record %d: got %q want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestWALRoundtripAllModes(t *testing.T) {
+	for _, mode := range []SyncMode{SyncAlways, SyncInterval, SyncNone} {
+		t.Run(mode.String(), func(t *testing.T) { walRoundtrip(t, mode) })
+	}
+}
+
+func TestWALConcurrentAppendGroupCommit(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal-0001")
+	w, err := CreateWAL(path, SyncAlways, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const writers, perWriter = 8, 40
+	var wg sync.WaitGroup
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				seq, err := w.Append([]byte(fmt.Sprintf("w%d-%d", g, i)))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if err := w.WaitDurable(seq); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	n, truncated, err := ReadWAL(path, func([]byte) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != writers*perWriter || truncated != 0 {
+		t.Fatalf("read %d records (%d truncated bytes), want %d clean", n, truncated, writers*perWriter)
+	}
+}
+
+// writeTestWAL writes records and returns the path plus each record's
+// framed byte range, so tests can corrupt precise offsets.
+func writeTestWAL(t *testing.T, n int) (string, []int64) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "wal-0001")
+	w, err := CreateWAL(path, SyncNone, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	offsets := []int64{int64(len(walMagic))}
+	off := int64(len(walMagic))
+	for i := 0; i < n; i++ {
+		payload := []byte(fmt.Sprintf("record-%03d-payload", i))
+		if _, err := w.Append(payload); err != nil {
+			t.Fatal(err)
+		}
+		off += 8 + int64(len(payload))
+		offsets = append(offsets, off)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path, offsets
+}
+
+func TestWALTornTailTruncated(t *testing.T) {
+	path, offsets := writeTestWAL(t, 10)
+	// Cut the file mid-way through the last frame: a crash mid-append.
+	tear := offsets[9] + 3
+	if err := os.Truncate(path, tear); err != nil {
+		t.Fatal(err)
+	}
+	n, truncated, err := ReadWAL(path, func([]byte) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 9 {
+		t.Fatalf("recovered %d records, want 9", n)
+	}
+	if truncated != 3 {
+		t.Fatalf("truncated %d bytes, want 3", truncated)
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Size() != offsets[9] {
+		t.Fatalf("file size %d after truncation, want %d", fi.Size(), offsets[9])
+	}
+	// A second read sees a clean log.
+	n, truncated, err = ReadWAL(path, func([]byte) error { return nil })
+	if err != nil || n != 9 || truncated != 0 {
+		t.Fatalf("re-read: n=%d truncated=%d err=%v, want 9 clean records", n, truncated, err)
+	}
+}
+
+func TestWALBitFlipTruncatesFromFlip(t *testing.T) {
+	path, offsets := writeTestWAL(t, 10)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one payload bit inside record 6: its checksum fails, and
+	// everything from that frame on is discarded.
+	raw[offsets[6]+8+2] ^= 0x40
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	n, truncated, err := ReadWAL(path, func([]byte) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 6 {
+		t.Fatalf("recovered %d records, want 6 (up to the flipped frame)", n)
+	}
+	if want := int64(len(raw)) - offsets[6]; truncated != want {
+		t.Fatalf("truncated %d bytes, want %d", truncated, want)
+	}
+}
+
+func TestWALBadMagicRejected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal-0001")
+	if err := os.WriteFile(path, []byte("NOTAWAL!extra"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ReadWAL(path, func([]byte) error { return nil }); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}
+
+func TestWALAppendAfterCloseFails(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal-0001")
+	w, err := CreateWAL(path, SyncAlways, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Append([]byte("late")); err == nil {
+		t.Fatal("append to closed WAL succeeded")
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+}
+
+func TestEncodeDecodeInsertRecord(t *testing.T) {
+	rec := &Record{
+		Kind:  RecInsert,
+		Table: "sales",
+		Row: engine.Row{
+			engine.NewString("east"),
+			engine.NewInt(-42),
+			engine.NewFloat(3.25),
+			engine.NewBool(true),
+			engine.Null,
+		},
+	}
+	payload, err := EncodeRecord(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeRecord(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Kind != RecInsert || got.Table != "sales" || len(got.Row) != len(rec.Row) {
+		t.Fatalf("decoded %+v", got)
+	}
+	for i, v := range rec.Row {
+		if got.Row[i] != v {
+			t.Errorf("value %d: got %+v want %+v", i, got.Row[i], v)
+		}
+	}
+}
+
+func TestDecodeRecordRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{byte(RecInsert)},
+		{byte(RecInsert), 0xff, 0xff},
+		{byte(RecCreateTable), 'g', 'a', 'r', 'b', 'a', 'g', 'e'},
+		{99, 1, 2, 3},
+	}
+	for i, payload := range cases {
+		if _, err := DecodeRecord(payload); err == nil {
+			t.Errorf("case %d: garbage decoded without error", i)
+		}
+	}
+}
+
+func TestEncodeDecodeDDLRecords(t *testing.T) {
+	recs := []*Record{
+		{Kind: RecCreateTable, Table: "t", Cols: []engine.Column{{Name: "x", Kind: engine.KindInt}}},
+		{Kind: RecRefreshSynopsis, Table: "t"},
+		{Kind: RecUpdateScaleFactor, Table: "t", Rewrite: 2, GroupKey: "east", SF: 1.5},
+	}
+	for _, rec := range recs {
+		payload, err := EncodeRecord(rec)
+		if err != nil {
+			t.Fatalf("%d: %v", rec.Kind, err)
+		}
+		got, err := DecodeRecord(payload)
+		if err != nil {
+			t.Fatalf("%d: %v", rec.Kind, err)
+		}
+		if got.Kind != rec.Kind || got.Table != rec.Table || got.GroupKey != rec.GroupKey || got.SF != rec.SF {
+			t.Fatalf("kind %d roundtrip: got %+v want %+v", rec.Kind, got, rec)
+		}
+	}
+}

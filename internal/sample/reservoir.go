@@ -7,6 +7,7 @@ package sample
 
 import (
 	"errors"
+	"fmt"
 	"math"
 	"math/rand"
 )
@@ -55,6 +56,17 @@ func MustReservoir[T any](capacity int, rng *rand.Rand) *Reservoir[T] {
 func (r *Reservoir[T]) Offer(item T) (evicted T, hadEviction, accepted bool) {
 	r.seen++
 	if len(r.items) < r.capacity {
+		// Free space exists either because the stream is still shorter
+		// than the capacity (classic fill phase: admit unconditionally)
+		// or because Shrink regrew the capacity mid-stream. After a
+		// regrow the stream is long, so unconditional admission would
+		// give post-regrow arrivals inclusion probability 1 and destroy
+		// uniformity; admit with Algorithm R's probability
+		// capacity/seen instead — no eviction needed while refilling.
+		if r.seen > int64(r.capacity) &&
+			r.rng.Float64()*float64(r.seen) >= float64(r.capacity) {
+			return evicted, false, false
+		}
 		r.items = append(r.items, item)
 		return evicted, false, true
 	}
@@ -121,15 +133,24 @@ func (r *Reservoir[T]) Rate() float64 {
 	return rate
 }
 
-// Shrink reduces the reservoir capacity to newCap, evicting uniformly
+// ErrCapacityUnderflow is returned by Shrink when the requested capacity
+// is below 1. A reservoir cannot hold fewer than one item, and silently
+// clamping used to mask real sizing bugs (e.g. a Senate X/m target
+// underflowing to 0 when the group count m exceeds the budget X).
+var ErrCapacityUnderflow = errors.New("sample: reservoir capacity below 1")
+
+// Shrink changes the reservoir capacity to newCap, evicting uniformly
 // random victims if the sample currently exceeds it. Shrinking preserves
 // the uniform-sample property: the paper's Theorem 6.1 proof notes the
 // property "is preserved under random eviction without insertion".
 // The evicted items are returned. Growing (newCap above the current
-// capacity) only raises the cap; it cannot retroactively add items.
-func (r *Reservoir[T]) Shrink(newCap int, rng *rand.Rand) []T {
+// capacity) only raises the cap; it cannot retroactively add items —
+// Offer refills the freed space at probability capacity/seen.
+// newCap < 1 returns ErrCapacityUnderflow and leaves the reservoir
+// unchanged.
+func (r *Reservoir[T]) Shrink(newCap int, rng *rand.Rand) ([]T, error) {
 	if newCap < 1 {
-		newCap = 1
+		return nil, fmt.Errorf("%w: requested %d", ErrCapacityUnderflow, newCap)
 	}
 	if newCap != r.capacity {
 		// Any pending skip count was drawn for the old capacity;
@@ -145,7 +166,50 @@ func (r *Reservoir[T]) Shrink(newCap int, rng *rand.Rand) []T {
 		r.items[victim] = r.items[last]
 		r.items = r.items[:last]
 	}
-	return out
+	return out, nil
+}
+
+// ReservoirState is the serializable state of a Reservoir for durable
+// snapshots. RNG state is intentionally excluded: restoring reseeds the
+// stream of randomness, which preserves the uniform-sample distribution
+// (every state the reservoir can reach is distribution-equivalent under
+// any RNG continuation) without persisting generator internals.
+type ReservoirState[T any] struct {
+	Capacity int
+	Seen     int64
+	Items    []T
+}
+
+// State exports the reservoir's serializable state. The items slice is
+// copied; the items themselves are shared.
+func (r *Reservoir[T]) State() *ReservoirState[T] {
+	return &ReservoirState[T]{
+		Capacity: r.capacity,
+		Seen:     r.seen,
+		Items:    append([]T(nil), r.items...),
+	}
+}
+
+// RestoreReservoir rebuilds a reservoir from exported state, drawing
+// future randomness from rng. The pending skip count is not part of the
+// state; it is recomputed on the next Offer.
+func RestoreReservoir[T any](st *ReservoirState[T], rng *rand.Rand) (*Reservoir[T], error) {
+	if st == nil {
+		return nil, errors.New("sample: nil reservoir state")
+	}
+	r, err := NewReservoir[T](st.Capacity, rng)
+	if err != nil {
+		return nil, err
+	}
+	if len(st.Items) > st.Capacity {
+		return nil, fmt.Errorf("sample: reservoir state holds %d items over capacity %d", len(st.Items), st.Capacity)
+	}
+	if st.Seen < int64(len(st.Items)) {
+		return nil, fmt.Errorf("sample: reservoir state saw %d items but holds %d", st.Seen, len(st.Items))
+	}
+	r.seen = st.Seen
+	r.items = append(r.items, st.Items...)
+	return r, nil
 }
 
 // SampleWithoutReplacement draws n distinct indices from [0, population)

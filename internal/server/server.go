@@ -9,6 +9,7 @@
 //	POST /v1/query     approximate answer (SQL rewrite or direct estimate)
 //	POST /v1/exact     exact answer against the base tables
 //	POST /v1/insert    feed rows to a table and its synopsis maintainer
+//	POST /v1/snapshot  write a durable snapshot now (persistent servers)
 //	GET  /v1/synopses  list registered synopses (+allocation tables)
 //	GET  /metrics      congress_* telemetry + server_* histograms
 //	GET  /healthz      liveness probe
@@ -131,6 +132,7 @@ func New(opts Options) *Server {
 	s.mux.Handle("POST /v1/query", s.instrument("query", s.handleQuery))
 	s.mux.Handle("POST /v1/exact", s.instrument("exact", s.handleExact))
 	s.mux.Handle("POST /v1/insert", s.instrument("insert", s.handleInsert))
+	s.mux.Handle("POST /v1/snapshot", s.instrument("snapshot", s.handleSnapshot))
 	s.mux.Handle("GET /v1/synopses", s.instrument("synopses", s.handleSynopses))
 	s.mux.Handle("GET /metrics", s.instrument("metrics", s.handleMetrics))
 	s.mux.Handle("GET /healthz", s.instrument("healthz", s.handleHealthz))
@@ -468,6 +470,30 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 		resp.Refreshed = true
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	_, cancel, ok := s.admitWithDeadline(w, r, 0)
+	if !ok {
+		return
+	}
+	defer cancel()
+
+	if _, enabled := s.w.PersistStats(); !enabled {
+		writeError(w, http.StatusConflict, "not_persistent",
+			"server runs without a data directory; start congressd with -data-dir to enable snapshots")
+		return
+	}
+	if err := s.w.TriggerSnapshot(); err != nil {
+		s.writeMappedError(w, err, http.StatusInternalServerError, "internal")
+		return
+	}
+	ps, _ := s.w.PersistStats()
+	writeJSON(w, http.StatusOK, client.SnapshotResponse{
+		Dir:        ps.Dir,
+		Generation: ps.Generation,
+		Fsync:      ps.Fsync.String(),
+	})
 }
 
 func (s *Server) handleSynopses(w http.ResponseWriter, r *http.Request) {

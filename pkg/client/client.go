@@ -130,6 +130,17 @@ func (c *Client) Synopses(ctx context.Context, withAllocation bool) ([]SynopsisI
 	return out.Synopses, nil
 }
 
+// Snapshot asks the server to write a durable snapshot now, compacting
+// its WAL. It fails with code "not_persistent" (409) when the server
+// runs without a data directory.
+func (c *Client) Snapshot(ctx context.Context) (*SnapshotResponse, error) {
+	var out SnapshotResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/snapshot", struct{}{}, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
 // Metrics fetches the Prometheus-style text exposition.
 func (c *Client) Metrics(ctx context.Context) (string, error) {
 	resp, err := c.raw(ctx, http.MethodGet, "/metrics", nil)

@@ -125,11 +125,23 @@ type SynopsesResponse struct {
 	Synopses []SynopsisInfo `json:"synopses"`
 }
 
+// SnapshotResponse is the body of POST /v1/snapshot: the durability
+// layer's state after the snapshot completed.
+type SnapshotResponse struct {
+	// Dir is the server's data directory.
+	Dir string `json:"dir"`
+	// Generation is the snapshot/WAL generation after the rotation.
+	Generation uint64 `json:"generation"`
+	// Fsync is the active WAL durability policy.
+	Fsync string `json:"fsync"`
+}
+
 // ErrorBody is the JSON error envelope every non-2xx response carries.
 type ErrorBody struct {
 	// Error is the human-readable message.
 	Error string `json:"error"`
 	// Code is a stable machine-readable cause: bad_query, no_synopsis,
-	// unknown_table, deadline_exceeded, canceled, overloaded, internal.
+	// unknown_table, deadline_exceeded, canceled, overloaded,
+	// not_persistent, internal.
 	Code string `json:"code"`
 }

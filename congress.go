@@ -134,6 +134,13 @@ type Warehouse struct {
 	pmu        sync.Mutex
 	baseTables map[string]bool // lower-cased names of base relations
 	mgr        *persist.Manager
+
+	// pbar is the persistence-enable barrier: mutations hold it shared,
+	// EnablePersistence holds it exclusively across the manager start.
+	// Without it a mutation could land between Start's initial snapshot
+	// export and the manager handle being published — in neither the
+	// snapshot nor the WAL, silently lost on crash.
+	pbar sync.RWMutex
 }
 
 // Open creates an empty warehouse with result caching enabled at the
@@ -237,9 +244,15 @@ func (w *Warehouse) CreateTable(name string, cols ...engine.Column) (*Table, err
 // is requested instead, and the attachment is durable once that (or
 // TriggerSnapshot, or a clean Close) completes.
 func (w *Warehouse) AttachRelation(rel *engine.Relation) *Table {
+	// Held shared for the same reason as logged: an attachment racing
+	// EnablePersistence must land either before the initial snapshot's
+	// export or after the manager is published.
+	w.pbar.RLock()
 	w.cat.Register(rel)
 	w.noteBaseTable(rel.Name)
-	if mgr := w.manager(); mgr != nil {
+	mgr := w.manager()
+	w.pbar.RUnlock()
+	if mgr != nil {
 		mgr.RequestSnapshot()
 	}
 	return &Table{w: w, rel: rel}

@@ -111,8 +111,17 @@ func Start(dir string, opts Options, export func() (*State, error)) (*Manager, e
 		stop:   make(chan struct{}),
 	}
 	// The initial snapshot carries the recovered (or fresh) state and
-	// makes every older snapshot and segment prunable.
-	if err := m.writeSnapshotAt(gen); err != nil {
+	// makes every older snapshot and segment prunable. The manager is
+	// not published yet, so nothing can log concurrently with this
+	// export; callers enabling persistence on a live warehouse must
+	// still barrier their own mutations (see Warehouse.EnablePersistence).
+	start := time.Now()
+	st, err := export()
+	if err != nil {
+		wal.Close()
+		return nil, fmt.Errorf("persist: exporting state: %w", err)
+	}
+	if err := m.writeSnapshot(gen, st, start); err != nil {
 		wal.Close()
 		return nil, err
 	}
@@ -212,13 +221,27 @@ func (m *Manager) Snapshot() error {
 }
 
 // rotateAndSnapshotLocked is the shared snapshot path. It is entered
-// holding m.mu (which it releases) and m.snapMu.
+// holding m.mu (which it releases) and m.snapMu. The state export and
+// the segment swap happen under the same m.mu critical section: a
+// mutation logged before the cut is in the export and only in segments
+// the new snapshot covers; one logged after lands in the new segment,
+// which the snapshot does not cover. Exporting after releasing m.mu
+// would let a racing Log land in both the export and the new snapshot's
+// own segment, duplicating it on replay.
 func (m *Manager) rotateAndSnapshotLocked() error {
+	start := time.Now()
 	newGen := m.gen + 1
 	newWAL, err := CreateWAL(WALPath(m.dir, newGen), m.opts.Mode, m.opts.SyncInterval, m.tel)
 	if err != nil {
 		m.mu.Unlock()
 		return fmt.Errorf("persist: rotating WAL: %w", err)
+	}
+	st, err := m.export()
+	if err != nil {
+		m.mu.Unlock()
+		newWAL.Close()
+		os.Remove(WALPath(m.dir, newGen))
+		return fmt.Errorf("persist: exporting state: %w", err)
 	}
 	oldWAL := m.wal
 	m.wal = newWAL
@@ -229,20 +252,13 @@ func (m *Manager) rotateAndSnapshotLocked() error {
 	if err := oldWAL.Close(); err != nil {
 		return fmt.Errorf("persist: closing rotated WAL: %w", err)
 	}
-	return m.writeSnapshotAt(newGen)
+	return m.writeSnapshot(newGen, st, start)
 }
 
-// writeSnapshotAt exports the current state and writes it as snapshot
-// generation gen, then prunes. The export takes m.mu briefly; the disk
-// write happens outside every lock but snapMu.
-func (m *Manager) writeSnapshotAt(gen uint64) error {
-	start := time.Now()
-	m.mu.Lock()
-	st, err := m.export()
-	m.mu.Unlock()
-	if err != nil {
-		return fmt.Errorf("persist: exporting state: %w", err)
-	}
+// writeSnapshot writes a pre-captured state as snapshot generation gen,
+// then prunes. The disk write happens outside every lock but snapMu;
+// the caller captured st under m.mu so the cut is exact.
+func (m *Manager) writeSnapshot(gen uint64, st *State, start time.Time) error {
 	size, err := WriteSnapshot(m.dir, gen, st)
 	if err != nil {
 		return err
@@ -310,24 +326,32 @@ func (m *Manager) snapshotLoop() {
 }
 
 // Close drains the manager: stops the background snapshotter, writes a
-// final snapshot, and closes the WAL. The warehouse must not log
-// further mutations afterwards.
+// final snapshot, and closes the WAL. Closing is idempotent and safe
+// against concurrent callers; the first caller wins and later ones
+// return nil without re-closing. Log rejects from the moment Close
+// begins, so no acknowledged mutation can land after the final
+// snapshot's cut.
 func (m *Manager) Close() error {
 	m.mu.Lock()
 	if m.closed {
 		m.mu.Unlock()
 		return nil
 	}
+	m.closed = true
 	m.mu.Unlock()
 
 	close(m.stop)
 	m.wg.Wait()
 
-	// Final snapshot so the next open replays nothing.
-	snapErr := m.Snapshot()
+	// Final snapshot so the next open replays nothing. Snapshot() would
+	// refuse now that closed is set, so enter the rotate path directly;
+	// an in-flight Snapshot serializes with us on snapMu.
+	m.snapMu.Lock()
+	m.mu.Lock()
+	snapErr := m.rotateAndSnapshotLocked()
+	m.snapMu.Unlock()
 
 	m.mu.Lock()
-	m.closed = true
 	wal := m.wal
 	m.mu.Unlock()
 	if err := wal.Close(); err != nil {

@@ -242,13 +242,18 @@ func (w *WAL) intervalLoop() {
 }
 
 // Sync makes everything appended so far durable now, regardless of
-// mode.
+// mode. On a closed WAL it returns nil: Close already fsynced every
+// append as part of closing the segment.
 func (w *WAL) Sync() error {
 	w.mu.Lock()
 	if w.err != nil {
 		err := w.err
 		w.mu.Unlock()
 		return err
+	}
+	if w.closed {
+		w.mu.Unlock()
+		return nil
 	}
 	target := w.seq
 	f := w.f

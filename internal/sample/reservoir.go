@@ -60,9 +60,17 @@ func (r *Reservoir[T]) Offer(item T) (evicted T, hadEviction, accepted bool) {
 		// than the capacity (classic fill phase: admit unconditionally)
 		// or because Shrink regrew the capacity mid-stream. After a
 		// regrow the stream is long, so unconditional admission would
-		// give post-regrow arrivals inclusion probability 1 and destroy
-		// uniformity; admit with Algorithm R's probability
-		// capacity/seen instead — no eviction needed while refilling.
+		// give post-regrow arrivals inclusion probability 1; admit with
+		// Algorithm R's probability capacity/seen instead — no eviction
+		// needed while refilling. The refilled sample is approximately,
+		// not exactly, uniform: pre-regrow survivors retain the lower
+		// inclusion probability they had under the old capacity while
+		// post-regrow arrivals enter at capacity/seen, and the gap only
+		// washes out as the stream grows. Exact uniformity across a
+		// capacity increase is impossible without revisiting discarded
+		// items; downstream estimators treat the sample as uniform, so
+		// a regrow introduces a small residual bias (far smaller than
+		// the probability-1 admission this replaces).
 		if r.seen > int64(r.capacity) &&
 			r.rng.Float64()*float64(r.seen) >= float64(r.capacity) {
 			return evicted, false, false
@@ -145,7 +153,9 @@ var ErrCapacityUnderflow = errors.New("sample: reservoir capacity below 1")
 // property "is preserved under random eviction without insertion".
 // The evicted items are returned. Growing (newCap above the current
 // capacity) only raises the cap; it cannot retroactively add items —
-// Offer refills the freed space at probability capacity/seen.
+// Offer refills the freed space at probability capacity/seen, which
+// keeps the sample approximately (not exactly) uniform; see Offer for
+// the residual bias.
 // newCap < 1 returns ErrCapacityUnderflow and leaves the reservoir
 // unchanged.
 func (r *Reservoir[T]) Shrink(newCap int, rng *rand.Rand) ([]T, error) {

@@ -108,8 +108,14 @@ func OpenDir(dir string, opts PersistOptions) (*Warehouse, RecoveryStats, error)
 // later insert and DDL is logged. Fails if persistence is already
 // enabled.
 func (w *Warehouse) EnablePersistence(dir string, opts PersistOptions) error {
-	// Start's initial snapshot calls back into exportState, which takes
-	// pmu — so pmu cannot be held across Start.
+	// Hold the enable barrier exclusively across Start: every mutation
+	// either completes before Start's initial snapshot export (and is
+	// in the snapshot) or begins after w.mgr is published (and is
+	// logged). Start calls back into exportState, which takes pmu — so
+	// pmu itself cannot be held across Start; pbar can, because neither
+	// exportState nor the manager ever acquires it.
+	w.pbar.Lock()
+	defer w.pbar.Unlock()
 	w.pmu.Lock()
 	if w.mgr != nil {
 		cur := w.mgr.Dir()
@@ -128,12 +134,6 @@ func (w *Warehouse) EnablePersistence(dir string, opts PersistOptions) error {
 		return err
 	}
 	w.pmu.Lock()
-	if w.mgr != nil {
-		cur := w.mgr.Dir()
-		w.pmu.Unlock()
-		mgr.Close()
-		return fmt.Errorf("congress: persistence already enabled (dir %s)", cur)
-	}
 	w.mgr = mgr
 	w.pmu.Unlock()
 	return nil
@@ -211,8 +211,12 @@ func (w *Warehouse) manager() *persist.Manager {
 
 // logged routes a mutation through the WAL when persistence is enabled
 // (apply-then-log under the manager mutex) and applies it directly
-// otherwise.
+// otherwise. The shared pbar hold pins the persistence decision: the
+// mutation cannot interleave with an EnablePersistence in progress, so
+// it is either fully in the initial snapshot or fully logged.
 func (w *Warehouse) logged(rec *persist.Record, apply func() error) error {
+	w.pbar.RLock()
+	defer w.pbar.RUnlock()
 	mgr := w.manager()
 	if mgr == nil {
 		return apply()

@@ -14,12 +14,27 @@
 //
 //	congressd serve -addr :8642 -data-dir /var/lib/congressd -fsync interval
 //
+// With -shards K the warehouse is partitioned by hash of the routing
+// key across K in-process shard warehouses and queries are answered by
+// scatter-gather estimation. Sharded mode is in-memory only, so it
+// cannot be combined with -data-dir:
+//
+//	congressd serve -addr :8642 -shards 4 -rows 200000 -groups 1000
+//
 // Loadgen mode drives a server with concurrent clients for a fixed
 // duration and reports p50/p95/p99 latency and error rates, writing a
 // machine-readable summary to BENCH_server.json:
 //
 //	congressd loadgen -self -clients 8 -duration 10s
 //	congressd loadgen -url http://localhost:8642 -clients 16 -duration 30s
+//
+// With -self -shards K loadgen drives a sharded in-process server
+// (rotating direct estimates replace the approximate-SQL mix, which
+// sharded mode does not serve) and afterwards benchmarks scatter-gather
+// accuracy against an unsharded build of the same data and exact SQL
+// ground truth, writing BENCH_shard.json:
+//
+//	congressd loadgen -self -shards 4 -clients 8 -duration 10s
 package main
 
 import (
@@ -30,6 +45,7 @@ import (
 	"fmt"
 	"io"
 	"log/slog"
+	"math"
 	"math/rand"
 	"os"
 	"os/signal"
@@ -69,14 +85,14 @@ func main() {
 // warehouseFlags are the demo-warehouse knobs shared by serve mode and
 // loadgen -self.
 type warehouseFlags struct {
-	rows      *int
-	groups    *int
-	skew      *float64
-	spacePct  *float64
-	strategy  *string
-	rewrite   *string
-	seed      *int64
-	workers   *int
+	rows         *int
+	groups       *int
+	skew         *float64
+	spacePct     *float64
+	strategy     *string
+	rewrite      *string
+	seed         *int64
+	workers      *int
 	loadCSV      *string
 	table        *string
 	groupCols    *string
@@ -86,14 +102,14 @@ type warehouseFlags struct {
 
 func addWarehouseFlags(fs *flag.FlagSet) *warehouseFlags {
 	return &warehouseFlags{
-		rows:      fs.Int("rows", 200_000, "generated table size"),
-		groups:    fs.Int("groups", 1000, "number of groups"),
-		skew:      fs.Float64("skew", 0.86, "group-size Zipf z"),
-		spacePct:  fs.Float64("space-pct", 7, "synopsis size as % of table"),
-		strategy:  fs.String("strategy", "congress", "house|senate|basic|congress"),
-		rewrite:   fs.String("rewrite", "integrated", "integrated|nested|normalized|keynormalized"),
-		seed:      fs.Int64("seed", 1, "RNG seed"),
-		workers:   fs.Int("workers", congress.DefaultBuildWorkers(), "synopsis build workers"),
+		rows:         fs.Int("rows", 200_000, "generated table size"),
+		groups:       fs.Int("groups", 1000, "number of groups"),
+		skew:         fs.Float64("skew", 0.86, "group-size Zipf z"),
+		spacePct:     fs.Float64("space-pct", 7, "synopsis size as % of table"),
+		strategy:     fs.String("strategy", "congress", "house|senate|basic|congress"),
+		rewrite:      fs.String("rewrite", "integrated", "integrated|nested|normalized|keynormalized"),
+		seed:         fs.Int64("seed", 1, "RNG seed"),
+		workers:      fs.Int("workers", congress.DefaultBuildWorkers(), "synopsis build workers"),
 		loadCSV:      fs.String("load", "", "load the base table from a typed CSV instead of generating"),
 		table:        fs.String("table", "lineitem", "base table name when loading from CSV"),
 		groupCols:    fs.String("group-cols", "", "comma-separated grouping columns (default: TPC-D grouping attributes)"),
@@ -112,19 +128,19 @@ func buildWarehouse(wf *warehouseFlags, log *slog.Logger) (*congress.Warehouse, 
 	return w, nil
 }
 
-// populateWarehouse loads or generates the base table and builds its
-// synopsis inside an already-open warehouse (fresh or durable).
-func populateWarehouse(w *congress.Warehouse, wf *warehouseFlags, log *slog.Logger) error {
+// loadRelation loads the base table from CSV or generates the TPC-D
+// lineitem table, per the flags.
+func loadRelation(wf *warehouseFlags, log *slog.Logger) (*engine.Relation, error) {
 	var rel *engine.Relation
 	start := time.Now()
 	if *wf.loadCSV != "" {
 		f, err := os.Open(*wf.loadCSV)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		defer f.Close()
 		if rel, err = engine.ReadCSV(*wf.table, f); err != nil {
-			return err
+			return nil, err
 		}
 	} else {
 		var err error
@@ -132,42 +148,89 @@ func populateWarehouse(w *congress.Warehouse, wf *warehouseFlags, log *slog.Logg
 			TableSize: *wf.rows, NumGroups: *wf.groups, GroupSkew: *wf.skew, Seed: *wf.seed,
 		})
 		if err != nil {
-			return err
+			return nil, err
 		}
 	}
 	log.Info("table ready", slog.String("table", rel.Name),
 		slog.Int("rows", rel.NumRows()), slog.Duration("took", time.Since(start)))
+	return rel, nil
+}
 
+// synopsisSpecFor resolves the strategy/rewrite/grouping flags into the
+// synopsis spec for a loaded relation.
+func synopsisSpecFor(wf *warehouseFlags, rel *engine.Relation) (congress.SynopsisSpec, error) {
 	strategy, err := congress.ParseStrategy(*wf.strategy)
 	if err != nil {
-		return err
+		return congress.SynopsisSpec{}, err
 	}
 	rw, err := congress.ParseRewriteStrategy(*wf.rewrite)
 	if err != nil {
-		return err
+		return congress.SynopsisSpec{}, err
 	}
 	grouping := tpcd.GroupingAttrs
 	if *wf.groupCols != "" {
 		grouping = splitCSV(*wf.groupCols)
 	}
-
-	w.AttachRelation(rel)
-	space := int(float64(rel.NumRows()) * *wf.spacePct / 100)
-	start = time.Now()
-	if err := w.BuildSynopsis(congress.SynopsisSpec{
+	return congress.SynopsisSpec{
 		Table:        rel.Name,
 		GroupBy:      grouping,
-		Space:        space,
+		Space:        int(float64(rel.NumRows()) * *wf.spacePct / 100),
 		Strategy:     strategy,
 		Rewrite:      rw,
 		BuildWorkers: *wf.workers,
 		Seed:         *wf.seed,
-	}); err != nil {
+	}, nil
+}
+
+// populateWarehouse loads or generates the base table and builds its
+// synopsis inside an already-open warehouse (fresh or durable).
+func populateWarehouse(w *congress.Warehouse, wf *warehouseFlags, log *slog.Logger) error {
+	rel, err := loadRelation(wf, log)
+	if err != nil {
 		return err
 	}
-	log.Info("synopsis ready", slog.String("strategy", strategy.String()),
-		slog.Int("space", space), slog.Duration("took", time.Since(start)))
+	spec, err := synopsisSpecFor(wf, rel)
+	if err != nil {
+		return err
+	}
+	w.AttachRelation(rel)
+	start := time.Now()
+	if err := w.BuildSynopsis(spec); err != nil {
+		return err
+	}
+	log.Info("synopsis ready", slog.String("strategy", spec.Strategy.String()),
+		slog.Int("space", spec.Space), slog.Duration("took", time.Since(start)))
 	return nil
+}
+
+// buildShardedWarehouse materializes the demo warehouse partitioned
+// across K shards, routed by the synopsis grouping key so every stratum
+// lives whole on one shard.
+func buildShardedWarehouse(wf *warehouseFlags, shards int, log *slog.Logger) (*congress.ShardedWarehouse, error) {
+	rel, err := loadRelation(wf, log)
+	if err != nil {
+		return nil, err
+	}
+	spec, err := synopsisSpecFor(wf, rel)
+	if err != nil {
+		return nil, err
+	}
+	sw, err := congress.OpenSharded(shards)
+	if err != nil {
+		return nil, err
+	}
+	sw.ConfigureCache(*wf.cacheEntries, *wf.cacheBytes)
+	if _, err := sw.AttachRelation(rel, spec.GroupBy); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	if err := sw.BuildSynopsis(spec); err != nil {
+		return nil, err
+	}
+	log.Info("sharded synopsis ready", slog.String("strategy", spec.Strategy.String()),
+		slog.Int("shards", shards), slog.Int("space", spec.Space),
+		slog.Duration("took", time.Since(start)))
+	return sw, nil
 }
 
 func splitCSV(s string) []string {
@@ -193,6 +256,7 @@ func newLogger(level string) (*slog.Logger, error) {
 func runServe(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("congressd serve", flag.ContinueOnError)
 	addr := fs.String("addr", ":8642", "listen address")
+	shards := fs.Int("shards", 0, "partition across K in-process shard warehouses with scatter-gather estimation (0 = unsharded; incompatible with -data-dir)")
 	wf := addWarehouseFlags(fs)
 	maxConcurrent := fs.Int("max-concurrent", 0, "max requests executing at once (0 = 4×GOMAXPROCS)")
 	queueDepth := fs.Int("queue-depth", 0, "admission queue depth before shedding with 429 (0 = 4×max-concurrent)")
@@ -215,8 +279,18 @@ func runServe(args []string, out io.Writer) error {
 		return err
 	}
 
-	var w *congress.Warehouse
-	if *dataDir != "" {
+	var (
+		w  *congress.Warehouse
+		sw *congress.ShardedWarehouse
+	)
+	if *shards > 0 {
+		if *dataDir != "" {
+			return errors.New("serve: -shards is in-memory only and cannot be combined with -data-dir")
+		}
+		if sw, err = buildShardedWarehouse(wf, *shards, log); err != nil {
+			return err
+		}
+	} else if *dataDir != "" {
 		mode, err := congress.ParseFsyncMode(*fsyncFlag)
 		if err != nil {
 			return err
@@ -259,6 +333,7 @@ func runServe(args []string, out io.Writer) error {
 	}
 	srv := server.New(server.Options{
 		Warehouse:      w,
+		Sharded:        sw,
 		Logger:         log,
 		MaxConcurrent:  *maxConcurrent,
 		QueueDepth:     *queueDepth,
@@ -283,7 +358,11 @@ func runServe(args []string, out io.Writer) error {
 	err = srv.Shutdown(drainCtx)
 	// After the drain no more mutations arrive: flush the final snapshot
 	// and close the WAL so the next start replays nothing.
-	if cerr := w.Close(); cerr != nil {
+	var closer interface{ Close() error } = w
+	if sw != nil {
+		closer = sw
+	}
+	if cerr := closer.Close(); cerr != nil {
 		log.Error("closing warehouse", slog.String("err", cerr.Error()))
 		if err == nil {
 			err = cerr
@@ -332,6 +411,8 @@ func runLoadgen(args []string, out io.Writer) error {
 	noCache := fs.Bool("no-cache", false, "send no_cache on every query (measure the uncached path)")
 	timeoutMS := fs.Int64("timeout-ms", 0, "per-request timeout_ms to send (0 = server default)")
 	outPath := fs.String("out", "BENCH_server.json", "summary JSON path (empty to skip)")
+	shards := fs.Int("shards", 0, "with -self: run the in-process server sharded across K warehouses (direct estimates replace the approximate-SQL mix)")
+	shardOut := fs.String("shard-out", "BENCH_shard.json", "with -self -shards: scatter-gather accuracy report path (empty to skip)")
 	seed := fs.Int64("loadgen-seed", 42, "workload RNG seed")
 	wf := addWarehouseFlags(fs)
 	logLevel := fs.String("log-level", "warn", "debug|info|warn|error")
@@ -349,11 +430,21 @@ func runLoadgen(args []string, out io.Writer) error {
 		if !*self {
 			return errors.New("loadgen: need -url or -self")
 		}
-		w, err := buildWarehouse(wf, log)
-		if err != nil {
-			return err
+		opts := server.Options{Logger: log}
+		if *shards > 0 {
+			sw, err := buildShardedWarehouse(wf, *shards, log)
+			if err != nil {
+				return err
+			}
+			opts.Sharded = sw
+		} else {
+			w, err := buildWarehouse(wf, log)
+			if err != nil {
+				return err
+			}
+			opts.Warehouse = w
 		}
-		srv = server.New(server.Options{Warehouse: w, Logger: log})
+		srv = server.New(opts)
 		bound, err := srv.Start("127.0.0.1:0")
 		if err != nil {
 			return err
@@ -393,7 +484,7 @@ func runLoadgen(args []string, out io.Writer) error {
 			timed := make([]sample, 0, 1024)
 			for ctx.Err() == nil {
 				t0 := time.Now()
-				kind, cache, err := oneRequest(ctx, c, rng, *insertPct, *estimatePct, *noCache, *timeoutMS)
+				kind, cache, err := oneRequest(ctx, c, rng, *insertPct, *estimatePct, *noCache, *timeoutMS, *shards > 0)
 				d := time.Since(t0)
 				if ctx.Err() != nil && err != nil {
 					break // don't count a request cut off by the run deadline
@@ -419,6 +510,9 @@ func runLoadgen(args []string, out io.Writer) error {
 		rep.Warehouse = map[string]any{
 			"rows": *wf.rows, "groups": *wf.groups, "skew": *wf.skew,
 			"space_pct": *wf.spacePct, "strategy": *wf.strategy,
+		}
+		if *shards > 0 {
+			rep.Warehouse["shards"] = *shards
 		}
 	}
 	lats := make([]float64, 0, len(samples))
@@ -486,13 +580,189 @@ func runLoadgen(args []string, out io.Writer) error {
 		}
 		fmt.Fprintf(out, "wrote %s\n", *outPath)
 	}
+
+	if *shards > 0 && *shardOut != "" {
+		if *wf.loadCSV != "" {
+			log.Warn("skipping shard accuracy bench: needs a generated table with known ground truth")
+			return nil
+		}
+		srep, err := shardAccuracyBench(wf, *shards, log)
+		if err != nil {
+			return err
+		}
+		for agg, acc := range srep.Aggregates {
+			fmt.Fprintf(out, "shard accuracy %s over %d groups: sharded rel-err mean=%.4f max=%.4f coverage=%.2f; unsharded mean=%.4f max=%.4f coverage=%.2f\n",
+				agg, acc.Groups,
+				acc.Sharded.MeanRelErr, acc.Sharded.MaxRelErr, acc.Sharded.Coverage,
+				acc.Unsharded.MeanRelErr, acc.Unsharded.MaxRelErr, acc.Unsharded.Coverage)
+		}
+		b, err := json.MarshalIndent(srep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*shardOut, append(b, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote %s\n", *shardOut)
+	}
 	return nil
+}
+
+// ----- sharded accuracy bench -----
+
+// shardBenchReport is the BENCH_shard.json schema: scatter-gather
+// estimation accuracy at K shards versus an unsharded synopsis over the
+// same generated data, both judged against exact SQL ground truth.
+type shardBenchReport struct {
+	Shards     int                         `json:"shards"`
+	Rows       int                         `json:"rows"`
+	Groups     int                         `json:"groups"`
+	SpacePct   float64                     `json:"space_pct"`
+	Confidence float64                     `json:"confidence"`
+	GroupBy    []string                    `json:"group_by"`
+	Aggregates map[string]shardAggAccuracy `json:"aggregates"`
+}
+
+// shardAggAccuracy compares one aggregate's sharded and unsharded
+// estimates over the same group set.
+type shardAggAccuracy struct {
+	Groups    int             `json:"groups"`
+	Sharded   accuracySummary `json:"sharded"`
+	Unsharded accuracySummary `json:"unsharded"`
+}
+
+// accuracySummary reports relative error against exact ground truth and
+// the fraction of groups whose confidence bound covered the truth.
+type accuracySummary struct {
+	MeanRelErr float64 `json:"mean_rel_err"`
+	MaxRelErr  float64 `json:"max_rel_err"`
+	Coverage   float64 `json:"bound_coverage"`
+}
+
+// shardAccuracyBench builds pristine sharded and unsharded warehouses
+// over one generated relation (independent of the load-test server, so
+// inserts during the run don't skew the comparison) and scores both
+// estimators' sum/count/avg answers against exact SQL.
+func shardAccuracyBench(wf *warehouseFlags, shards int, log *slog.Logger) (*shardBenchReport, error) {
+	rel, err := loadRelation(wf, log)
+	if err != nil {
+		return nil, err
+	}
+	spec, err := synopsisSpecFor(wf, rel)
+	if err != nil {
+		return nil, err
+	}
+	const conf = 0.95
+	groupBy := spec.GroupBy[:1]
+	aggCol := "l_quantity"
+
+	exactW := congress.Open()
+	exactW.AttachRelation(rel)
+	res, err := exactW.Query(fmt.Sprintf(
+		"select %s, sum(%s), count(*), avg(%s) from %s group by %s",
+		groupBy[0], aggCol, aggCol, rel.Name, groupBy[0]))
+	if err != nil {
+		return nil, err
+	}
+	truth := make(map[string][3]float64, len(res.Rows)) // group → sum, count, avg
+	for _, r := range res.Rows {
+		s, _ := r[1].AsFloat()
+		c, _ := r[2].AsFloat()
+		a, _ := r[3].AsFloat()
+		truth[r[0].String()] = [3]float64{s, c, a}
+	}
+
+	unW := congress.Open()
+	unW.AttachRelation(rel)
+	if err := unW.BuildSynopsis(spec); err != nil {
+		return nil, err
+	}
+	sw, err := congress.OpenSharded(shards)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := sw.AttachRelation(rel, spec.GroupBy); err != nil {
+		return nil, err
+	}
+	if err := sw.BuildSynopsis(spec); err != nil {
+		return nil, err
+	}
+
+	rep := &shardBenchReport{
+		Shards: shards, Rows: rel.NumRows(), Groups: len(truth),
+		SpacePct: *wf.spacePct, Confidence: conf, GroupBy: groupBy,
+		Aggregates: make(map[string]shardAggAccuracy, 3),
+	}
+	aggs := []struct {
+		name string
+		agg  congress.Aggregate
+	}{{"sum", congress.Sum}, {"count", congress.Count}, {"avg", congress.Avg}}
+	for ai, a := range aggs {
+		shardedEsts, err := sw.Estimate(rel.Name, groupBy, a.agg, aggCol, conf)
+		if err != nil {
+			return nil, err
+		}
+		unEsts, err := unW.Estimate(rel.Name, groupBy, a.agg, aggCol, conf)
+		if err != nil {
+			return nil, err
+		}
+		acc := shardAggAccuracy{Groups: len(truth)}
+		if acc.Sharded, err = scoreEstimates(shardedEsts, truth, ai); err != nil {
+			return nil, fmt.Errorf("sharded %s: %w", a.name, err)
+		}
+		if acc.Unsharded, err = scoreEstimates(unEsts, truth, ai); err != nil {
+			return nil, fmt.Errorf("unsharded %s: %w", a.name, err)
+		}
+		rep.Aggregates[a.name] = acc
+	}
+	return rep, nil
+}
+
+// scoreEstimates folds one estimator's groups into relative-error and
+// bound-coverage summaries against the exact answers.
+func scoreEstimates(ests []congress.GroupEstimate, truth map[string][3]float64, ai int) (accuracySummary, error) {
+	var acc accuracySummary
+	if len(ests) == 0 {
+		return acc, errors.New("no groups estimated")
+	}
+	covered := 0
+	for _, e := range ests {
+		tr, ok := truth[e.Key]
+		if !ok {
+			return acc, fmt.Errorf("estimated group %q not in ground truth", e.Key)
+		}
+		denom := math.Abs(tr[ai])
+		if denom == 0 {
+			denom = 1
+		}
+		rel := math.Abs(e.Value-tr[ai]) / denom
+		acc.MeanRelErr += rel
+		if rel > acc.MaxRelErr {
+			acc.MaxRelErr = rel
+		}
+		if math.Abs(e.Value-tr[ai]) <= e.Bound {
+			covered++
+		}
+	}
+	acc.MeanRelErr /= float64(len(ests))
+	acc.Coverage = float64(covered) / float64(len(ests))
+	return acc, nil
+}
+
+// scatterMix is the estimate rotation that replaces the
+// approximate-SQL slice of the workload in sharded mode, which only
+// serves direct scatter-gather estimates; entries vary the grouping and
+// aggregate so the fan-out path sees some diversity.
+var scatterMix = []client.EstimateRequest{
+	{Table: "lineitem", GroupBy: []string{"l_returnflag"}, Agg: "sum", Column: "l_quantity"},
+	{Table: "lineitem", GroupBy: []string{"l_linestatus"}, Agg: "count", Column: "l_quantity"},
+	{Table: "lineitem", GroupBy: []string{"l_returnflag", "l_linestatus"}, Agg: "avg", Column: "l_extendedprice"},
 }
 
 // oneRequest issues a single randomized request from the workload mix
 // and reports its kind plus the server's cache disposition (empty for
 // inserts and failures).
-func oneRequest(ctx context.Context, c *client.Client, rng *rand.Rand, insertPct, estimatePct int, noCache bool, timeoutMS int64) (kind, cache string, err error) {
+func oneRequest(ctx context.Context, c *client.Client, rng *rand.Rand, insertPct, estimatePct int, noCache bool, timeoutMS int64, sharded bool) (kind, cache string, err error) {
 	roll := rng.Intn(100)
 	switch {
 	case roll < insertPct:
@@ -519,6 +789,14 @@ func oneRequest(ctx context.Context, c *client.Client, rng *rand.Rand, insertPct
 		}
 		return "estimate", resp.Cache, nil
 	default:
+		if sharded {
+			est := scatterMix[rng.Intn(len(scatterMix))]
+			resp, err := c.Query(ctx, client.QueryRequest{Estimate: &est, NoCache: noCache, TimeoutMS: timeoutMS})
+			if err != nil {
+				return "scatter", "", err
+			}
+			return "scatter", resp.Cache, nil
+		}
 		resp, err := c.Query(ctx, client.QueryRequest{SQL: workload.Qg2, NoCache: noCache, TimeoutMS: timeoutMS})
 		if err != nil {
 			return "approx", "", err

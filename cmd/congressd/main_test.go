@@ -43,6 +43,68 @@ func TestLoadgenSelf(t *testing.T) {
 	}
 }
 
+// TestLoadgenSelfSharded drives an in-process sharded server (direct
+// scatter-gather estimates replacing the approximate-SQL mix) and
+// checks the BENCH_shard.json accuracy report: both estimators must see
+// every group and stay within sane relative error of exact SQL.
+func TestLoadgenSelfSharded(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "BENCH_server.json")
+	shardOut := filepath.Join(dir, "BENCH_shard.json")
+	var sb strings.Builder
+	err := runLoadgen([]string{
+		"-self", "-shards", "4", "-rows", "8000", "-groups", "27",
+		"-clients", "4", "-duration", "500ms",
+		"-out", out, "-shard-out", shardOut,
+	}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep benchReport
+	b, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(b, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests == 0 || rep.Errors != 0 {
+		t.Errorf("sharded loadgen: %d requests, %d errors: %v", rep.Requests, rep.Errors, rep.ByCode)
+	}
+	if rep.ByKind["approx"] != 0 {
+		t.Errorf("approximate SQL issued in sharded mode: %v", rep.ByKind)
+	}
+	if rep.ByKind["scatter"] == 0 {
+		t.Errorf("no scatter estimates issued: %v", rep.ByKind)
+	}
+
+	var srep shardBenchReport
+	b, err = os.ReadFile(shardOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(b, &srep); err != nil {
+		t.Fatalf("BENCH_shard.json is not valid JSON: %v\n%s", err, b)
+	}
+	if srep.Shards != 4 || srep.Groups == 0 {
+		t.Fatalf("report header %+v", srep)
+	}
+	for _, name := range []string{"sum", "count", "avg"} {
+		acc, ok := srep.Aggregates[name]
+		if !ok {
+			t.Fatalf("missing %s in %v", name, srep.Aggregates)
+		}
+		if acc.Groups != srep.Groups {
+			t.Errorf("%s: %d groups, want %d", name, acc.Groups, srep.Groups)
+		}
+		// Loose sanity rails, not statistical assertions: at 7% space a
+		// handful of coarse groups lands well within 50% relative error.
+		if acc.Sharded.MaxRelErr > 0.5 || acc.Unsharded.MaxRelErr > 0.5 {
+			t.Errorf("%s: implausible relative error: %+v", name, acc)
+		}
+	}
+}
+
 func TestSplitCSV(t *testing.T) {
 	got := splitCSV(" a, b ,,c ")
 	want := []string{"a", "b", "c"}

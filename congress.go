@@ -592,26 +592,45 @@ func (w *Warehouse) EstimateQuery(ctx context.Context, table string, grouping []
 
 func (w *Warehouse) estimateUncached(ctx context.Context, table string, grouping []string, agg estimate.Aggregate, aggCol string, confidence float64) ([]estimate.GroupEstimate, error) {
 	start := time.Now()
+	syn, q, err := w.estimatePlan(table, grouping, aggCol)
+	if err != nil {
+		return nil, err
+	}
+	q.Agg = agg
+	q.Confidence = confidence
+	ests, err := estimate.RunCtx(ctx, syn.Sample(), q)
+	if err == nil {
+		w.aq.Telemetry().ObserveEstimate(time.Since(start))
+	}
+	return ests, err
+}
+
+// estimatePlan resolves a direct-estimation request against the
+// warehouse: the table's synopsis plus an estimate.Query whose closures
+// read the grouping ordinals and aggregate column resolved once, up
+// front. Agg and Confidence are left zero for the caller to fill (a
+// partials scan ignores them entirely).
+func (w *Warehouse) estimatePlan(table string, grouping []string, aggCol string) (*aqua.Synopsis, estimate.Query, error) {
 	syn, ok := w.aq.Synopsis(table)
 	if !ok {
-		return nil, fmt.Errorf("%w %q", ErrNoSynopsis, table)
+		return nil, estimate.Query{}, fmt.Errorf("%w %q", ErrNoSynopsis, table)
 	}
 	rel, ok := w.cat.Lookup(table)
 	if !ok {
-		return nil, fmt.Errorf("congress: synopsis for %q exists but its base relation is gone from the catalog", table)
+		return nil, estimate.Query{}, fmt.Errorf("congress: synopsis for %q exists but its base relation is gone from the catalog", table)
 	}
 	// Validate the grouping columns against the schema up front, and
 	// resolve their ordinals once — not per sampled row.
 	g, err := core.NewGrouping(rel.Schema, grouping)
 	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrBadQuery, err)
+		return nil, estimate.Query{}, fmt.Errorf("%w: %v", ErrBadQuery, err)
 	}
 	cols := g.Columns()
 	ci := rel.Schema.Index(aggCol)
 	if ci < 0 {
-		return nil, fmt.Errorf("%w: unknown aggregate column %q", ErrBadQuery, aggCol)
+		return nil, estimate.Query{}, fmt.Errorf("%w: unknown aggregate column %q", ErrBadQuery, aggCol)
 	}
-	ests, err := estimate.RunCtx(ctx, syn.Sample(), estimate.Query{
+	return syn, estimate.Query{
 		GroupKey: func(row Row) string {
 			parts := make([]string, 0, len(cols))
 			for _, c := range cols {
@@ -622,13 +641,35 @@ func (w *Warehouse) estimateUncached(ctx context.Context, table string, grouping
 		Value: func(row Row) (float64, bool) {
 			return row[ci].AsFloat()
 		},
-		Agg:        agg,
-		Confidence: confidence,
-	})
+	}, nil
+}
+
+// GroupPartial re-exports the mergeable per-group estimation state a
+// scatter-gather coordinator moves between shards; see
+// EstimatePartialsCtx and estimate.MergePartials.
+type GroupPartial = estimate.GroupPartial
+
+// EstimatePartialsCtx runs the scan half of EstimateCtx and returns the
+// per-group mergeable partials instead of finished estimates. A
+// coordinator (ShardedWarehouse) calls this on every shard, merges with
+// estimate.MergePartials, and takes the confidence interval exactly once
+// with estimate.Finalize — which is why sharded estimates match
+// single-warehouse ones over the same strata. Partials are aggregate-
+// and confidence-independent. Error classification matches EstimateCtx
+// (ErrBadQuery, ErrNoSynopsis).
+func (w *Warehouse) EstimatePartialsCtx(ctx context.Context, table string, grouping []string, aggCol string) ([]GroupPartial, error) {
+	start := time.Now()
+	syn, q, err := w.estimatePlan(table, grouping, aggCol)
+	if err != nil {
+		return nil, err
+	}
+	parts, err := estimate.PartialsCtx(ctx, syn.Sample(), q)
 	if err == nil {
+		// Each scatter-gather leg counts as one estimate scan on its
+		// shard, so the merged Metrics() reflect fan-out work.
 		w.aq.Telemetry().ObserveEstimate(time.Since(start))
 	}
-	return ests, err
+	return parts, err
 }
 
 // EstimateKeySep separates the rendered grouping values inside a
@@ -666,6 +707,9 @@ func SplitEstimateKey(key string) []string {
 
 // Aggregate re-exports the direct-estimation aggregate selector.
 type Aggregate = estimate.Aggregate
+
+// GroupEstimate re-exports the direct-estimation result row.
+type GroupEstimate = estimate.GroupEstimate
 
 // Direct-estimation aggregates.
 const (
@@ -714,6 +758,9 @@ type SynopsisInfo struct {
 	// PendingInserts counts maintainer inserts not yet surfaced by a
 	// refresh.
 	PendingInserts int64
+	// Shards is the number of shards holding a partition of this synopsis
+	// (0 for an unsharded warehouse).
+	Shards int
 }
 
 // Synopses lists every registered synopsis, sorted by table name so the

@@ -1,0 +1,139 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+
+	"github.com/approxdb/congress/internal/engine"
+	"github.com/approxdb/congress/internal/sample"
+)
+
+// UnionStratified merges per-shard stratified samples of one logical
+// table into a single stratified view, the whole-synopsis read path of a
+// sharded warehouse. Populations add. For each group the merged items
+// are drawn with the same weighted reservoir-union the parallel builder
+// uses (MaterializeParallel): per-shard draw counts follow sequential
+// proportional-to-remaining selection over the shards' group
+// populations — the multivariate hypergeometric law — and each shard
+// contributes that many distinct tuples chosen uniformly from its
+// sample.
+//
+// perGroupCap bounds the merged items per group (0 = no bound, plain
+// concatenation). Under hash routing every group lives on one shard and
+// the union below the cap is exact concatenation; when a group does
+// span shards and the cap forces a subsample, a shard whose sample is
+// exhausted before its population-weighted demand is met is dropped
+// from the remaining draw (its tuples are all taken), which slightly
+// favors shards with higher sampling rates — acceptable for the
+// diagnostic read this serves, and impossible when rates are equal.
+//
+// Deterministic for a fixed (inputs, seed): groups merge in sorted key
+// order and shards contribute in slice order.
+func UnionStratified(parts []*sample.Stratified[engine.Row], perGroupCap int, seed int64) (*sample.Stratified[engine.Row], error) {
+	if seed == 0 {
+		seed = 1
+	}
+	rng := rand.New(rand.NewSource(workerSeed(seed, -3)))
+
+	keySet := make(map[string]bool)
+	for _, p := range parts {
+		if p == nil {
+			continue
+		}
+		for _, k := range p.Keys() {
+			keySet[k] = true
+		}
+	}
+	keys := make([]string, 0, len(keySet))
+	for k := range keySet {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	out := sample.NewStratified[engine.Row]()
+	for _, key := range keys {
+		var (
+			items      [][]engine.Row
+			pops       []int64
+			population int64
+			avail      int
+		)
+		for _, p := range parts {
+			if p == nil {
+				continue
+			}
+			s, ok := p.Get(key)
+			if !ok {
+				continue
+			}
+			population += s.Population
+			if len(s.Items) == 0 {
+				continue
+			}
+			items = append(items, s.Items)
+			pops = append(pops, s.Population)
+			avail += len(s.Items)
+		}
+		merged := &sample.Stratum[engine.Row]{Key: key, Population: population}
+		switch {
+		case avail == 0:
+			// nothing sampled anywhere; keep the population-only stratum
+		case perGroupCap <= 0 || avail <= perGroupCap:
+			flat := make([]engine.Row, 0, avail)
+			for _, it := range items {
+				flat = append(flat, it...)
+			}
+			merged.Items = flat
+		default:
+			merged.Items = drawUnion(items, pops, perGroupCap, rng)
+		}
+		out.Put(merged)
+	}
+	if err := out.Validate(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// drawUnion draws target tuples across the per-shard samples with
+// per-shard counts proportional-to-remaining over the shard group
+// populations, clamped to each shard's sample availability.
+func drawUnion(items [][]engine.Row, pops []int64, target int, rng *rand.Rand) []engine.Row {
+	remaining := append([]int64(nil), pops...)
+	counts := make([]int, len(items))
+	var left int64
+	for i := range remaining {
+		if remaining[i] < 1 {
+			remaining[i] = 1 // a sampled shard stratum has population >= 1
+		}
+		left += remaining[i]
+	}
+	for d := 0; d < target && left > 0; d++ {
+		pick := rng.Int63n(left)
+		for i := range remaining {
+			if pick < remaining[i] {
+				counts[i]++
+				remaining[i]--
+				left--
+				if counts[i] == len(items[i]) {
+					// Shard sample exhausted: take it wholly out of the
+					// remaining pool.
+					left -= remaining[i]
+					remaining[i] = 0
+				}
+				break
+			}
+			pick -= remaining[i]
+		}
+	}
+	out := make([]engine.Row, 0, target)
+	for i, it := range items {
+		if counts[i] == 0 {
+			continue
+		}
+		for _, idx := range sample.SampleWithoutReplacement(len(it), counts[i], rng) {
+			out = append(out, it[idx])
+		}
+	}
+	return out
+}

@@ -1,0 +1,169 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/approxdb/congress/internal/engine"
+	"github.com/approxdb/congress/internal/sample"
+)
+
+// mkStratum builds a stratum with rows whose single column encodes
+// (tag, i) so tuples are traceable back to their source shard.
+func mkStratum(key string, population int64, tag, n int) *sample.Stratum[engine.Row] {
+	s := &sample.Stratum[engine.Row]{Key: key, Population: population}
+	for i := 0; i < n; i++ {
+		s.Items = append(s.Items, engine.Row{engine.NewInt(int64(tag*1_000_000 + i))})
+	}
+	return s
+}
+
+func rowTag(r engine.Row) int { return int(r[0].I) / 1_000_000 }
+
+func TestUnionStratifiedConcatBelowCap(t *testing.T) {
+	a := sample.NewStratified[engine.Row]()
+	a.Put(mkStratum("g1", 100, 1, 10))
+	a.Put(mkStratum("g3", 50, 1, 5))
+	b := sample.NewStratified[engine.Row]()
+	b.Put(mkStratum("g1", 200, 2, 20))
+	b.Put(mkStratum("g2", 40, 2, 4))
+
+	u, err := UnionStratified([]*sample.Stratified[engine.Row]{a, b}, 0, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantKeys := []string{"g1", "g2", "g3"}
+	gotKeys := u.Keys()
+	if len(gotKeys) != len(wantKeys) {
+		t.Fatalf("keys = %v, want %v", gotKeys, wantKeys)
+	}
+	for i, k := range wantKeys {
+		if gotKeys[i] != k {
+			t.Fatalf("keys = %v, want %v", gotKeys, wantKeys)
+		}
+	}
+	g1, _ := u.Get("g1")
+	if g1.Population != 300 {
+		t.Errorf("g1 population = %d, want 300", g1.Population)
+	}
+	if len(g1.Items) != 30 {
+		t.Errorf("g1 items = %d, want 30 (no cap → concat)", len(g1.Items))
+	}
+	// Concat preserves shard order: all shard-1 tuples precede shard-2's.
+	for i, r := range g1.Items {
+		want := 1
+		if i >= 10 {
+			want = 2
+		}
+		if rowTag(r) != want {
+			t.Fatalf("g1 item %d from shard %d, want %d", i, rowTag(r), want)
+		}
+	}
+	g2, _ := u.Get("g2")
+	if g2.Population != 40 || len(g2.Items) != 4 {
+		t.Errorf("g2 = pop %d / %d items, want 40 / 4", g2.Population, len(g2.Items))
+	}
+}
+
+func TestUnionStratifiedCapProportional(t *testing.T) {
+	// Shard populations 9000 vs 1000 with equal sampling rates: a 100-item
+	// draw should land near 90/10.
+	a := sample.NewStratified[engine.Row]()
+	a.Put(mkStratum("g", 9000, 1, 900))
+	b := sample.NewStratified[engine.Row]()
+	b.Put(mkStratum("g", 1000, 2, 100))
+
+	u, err := UnionStratified([]*sample.Stratified[engine.Row]{a, b}, 100, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, _ := u.Get("g")
+	if g.Population != 10000 {
+		t.Errorf("population = %d, want 10000", g.Population)
+	}
+	if len(g.Items) != 100 {
+		t.Fatalf("items = %d, want cap 100", len(g.Items))
+	}
+	var fromA int
+	seen := make(map[int64]bool)
+	for _, r := range g.Items {
+		if rowTag(r) == 1 {
+			fromA++
+		}
+		if seen[r[0].I] {
+			t.Fatalf("duplicate tuple %d in draw", r[0].I)
+		}
+		seen[r[0].I] = true
+	}
+	// Hypergeometric(10000, 9000, 100): mean 90, sd ≈ 3; 75..99 is ±5 sd.
+	if fromA < 75 || fromA > 99 {
+		t.Errorf("draw took %d/100 from the 90%%-population shard", fromA)
+	}
+}
+
+func TestUnionStratifiedAvailabilityClamp(t *testing.T) {
+	// Shard A dominates by population but has only 3 sampled tuples; the
+	// draw must clamp to availability and fill from B.
+	a := sample.NewStratified[engine.Row]()
+	a.Put(mkStratum("g", 100000, 1, 3))
+	b := sample.NewStratified[engine.Row]()
+	b.Put(mkStratum("g", 100, 2, 50))
+
+	u, err := UnionStratified([]*sample.Stratified[engine.Row]{a, b}, 40, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, _ := u.Get("g")
+	if len(g.Items) != 40 {
+		t.Fatalf("items = %d, want 40", len(g.Items))
+	}
+	var fromA int
+	for _, r := range g.Items {
+		if rowTag(r) == 1 {
+			fromA++
+		}
+	}
+	if fromA != 3 {
+		t.Errorf("exhausted shard contributed %d tuples, want all 3", fromA)
+	}
+}
+
+func TestUnionStratifiedDeterministic(t *testing.T) {
+	build := func() []*sample.Stratified[engine.Row] {
+		a := sample.NewStratified[engine.Row]()
+		a.Put(mkStratum("g", 500, 1, 60))
+		b := sample.NewStratified[engine.Row]()
+		b.Put(mkStratum("g", 500, 2, 60))
+		return []*sample.Stratified[engine.Row]{a, b}
+	}
+	u1, err := UnionStratified(build(), 30, 123)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u2, err := UnionStratified(build(), 30, 123)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g1, _ := u1.Get("g")
+	g2, _ := u2.Get("g")
+	if len(g1.Items) != len(g2.Items) {
+		t.Fatalf("draw sizes differ: %d vs %d", len(g1.Items), len(g2.Items))
+	}
+	for i := range g1.Items {
+		if g1.Items[i][0].I != g2.Items[i][0].I {
+			t.Fatalf("item %d differs across identical runs", i)
+		}
+	}
+}
+
+func TestUnionStratifiedNilAndEmptyParts(t *testing.T) {
+	a := sample.NewStratified[engine.Row]()
+	a.Put(mkStratum("g", 10, 1, 2))
+	u, err := UnionStratified([]*sample.Stratified[engine.Row]{nil, a, sample.NewStratified[engine.Row]()}, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, ok := u.Get("g")
+	if !ok || len(g.Items) != 2 || g.Population != 10 {
+		t.Fatalf("union over nil/empty parts lost data: %+v", g)
+	}
+}

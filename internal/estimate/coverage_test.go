@@ -1,0 +1,182 @@
+package estimate
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/approxdb/congress/internal/engine"
+	"github.com/approxdb/congress/internal/sample"
+)
+
+// TestAvgBoundCoverageRatioEstimator is the empirical check behind the
+// AVG bound fix. The group is fed by two skewed strata: an expensive
+// stratum (values ≈ 1000) that is heavily undersampled (sf = 1000) and
+// where only ~30% of rows pass the predicate, plus a cheap stratum
+// (values ≈ 10) that is fully enumerated (sf = 1). The estimated
+// denominator — the scaled passing count — then swings with how many
+// sampled expensive rows happen to pass, dragging the group ratio up
+// and down, while the within-stratum variances stay tiny. The pre-fix
+// bound divided only the numerator's SRSWOR variance by the scaled
+// count, so it collapses toward zero here; the ratio-estimator
+// (delta-method) variance keeps the denominator variance and the
+// numerator-denominator covariance, whose residual form (v − R)²
+// measures each stratum's distance from the group ratio. The new bound
+// must cover the true AVG at ≥ the nominal 90% rate; the old formula
+// must demonstrably under-cover.
+func TestAvgBoundCoverageRatioEstimator(t *testing.T) {
+	const (
+		expPop  = 50_000 // expensive-stratum population
+		expDraw = 50     // sampled rows → sf = 1000
+		enumN   = 5_000  // cheap stratum, fully enumerated
+		trials  = 400
+		conf    = 0.90
+	)
+	// Row layout: [stratum tag int, row id int]. Expensive rows (tag 0)
+	// pass when id%10 < 3; cheap rows (tag 1) always pass.
+	value := func(tag, i int) float64 {
+		if tag == 0 {
+			return 1000 + float64(i%5)
+		}
+		return 10 + float64(i%3)
+	}
+	passes := func(tag, i int) bool { return tag != 0 || i%10 < 3 }
+
+	var trueSum, trueCnt float64
+	for i := 0; i < expPop; i++ {
+		if passes(0, i) {
+			trueSum += value(0, i)
+			trueCnt++
+		}
+	}
+	enumItems := make([]engine.Row, enumN)
+	for i := range enumItems {
+		trueSum += value(1, i)
+		trueCnt++
+		enumItems[i] = engine.Row{engine.NewInt(1), engine.NewInt(int64(i))}
+	}
+	trueAvg := trueSum / trueCnt
+
+	q := Query{
+		Value: func(row engine.Row) (float64, bool) {
+			tag, i := int(row[0].I), int(row[1].I)
+			return value(tag, i), passes(tag, i)
+		},
+	}
+	z := ZScore(conf)
+	rng := rand.New(rand.NewSource(20260808))
+	coveredNew, coveredOld := 0, 0
+	for trial := 0; trial < trials; trial++ {
+		idx := sample.SampleWithoutReplacement(expPop, expDraw, rng)
+		items := make([]engine.Row, len(idx))
+		for j, i := range idx {
+			items[j] = engine.Row{engine.NewInt(0), engine.NewInt(int64(i))}
+		}
+		st := sample.NewStratified[engine.Row]()
+		st.Put(&sample.Stratum[engine.Row]{Key: "exp", Population: expPop, Items: items})
+		st.Put(&sample.Stratum[engine.Row]{Key: "enum", Population: enumN, Items: enumItems})
+
+		parts, err := Partials(st, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ests, err := Finalize(parts, Avg, conf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ests) != 1 {
+			t.Fatalf("trial %d: %d groups", trial, len(ests))
+		}
+		est := ests[0]
+		if math.Abs(est.Value-trueAvg) <= est.Bound {
+			coveredNew++
+		}
+		// The pre-fix bound, reconstructed from the same partials:
+		// z·sqrt(SumVar)/ScaledCount — numerator variance only.
+		p := parts[0]
+		oldBound := z * math.Sqrt(p.SumVar) / p.ScaledCount
+		if math.Abs(est.Value-trueAvg) <= oldBound {
+			coveredOld++
+		}
+	}
+	newRate := float64(coveredNew) / trials
+	oldRate := float64(coveredOld) / trials
+	t.Logf("AVG coverage at %.0f%% nominal: ratio-estimator %.3f, pre-fix %.3f", conf*100, newRate, oldRate)
+	if newRate < 0.88 {
+		t.Errorf("ratio-estimator AVG bound covers %.3f < 0.88 (nominal %.2f)", newRate, conf)
+	}
+	if oldRate > 0.75 {
+		t.Errorf("pre-fix AVG bound covers %.3f — expected clear under-coverage (the bug this guards)", oldRate)
+	}
+}
+
+// TestSparseStratumBoundCoverage is the empirical check behind the
+// sparse-stratum fix. A group is fed by a fully enumerated stratum
+// (sf = 1, exact, many rows) plus one sparse stratum: a single sampled
+// row standing in for a large population. The Hoeffding fallback for
+// the sparse stratum must be sized by the sparse strata's own row count
+// (1), not the group's total sampled rows — with the group total, the
+// 1/sqrt(n) factor shrinks by the enumerated stratum's thousands of
+// rows and the bound cannot absorb the sparse row's sampling error.
+func TestSparseStratumBoundCoverage(t *testing.T) {
+	const (
+		enumN     = 4000 // fully enumerated rows, values span [0, 100]
+		sparsePop = 10_000
+		trials    = 400
+		conf      = 0.90
+	)
+	// Sparse-stratum population: values 40..60, mean 50.
+	sparseVal := func(i int) float64 { return 40 + float64(i%21) }
+	var sparseSum float64
+	for i := 0; i < sparsePop; i++ {
+		sparseSum += sparseVal(i)
+	}
+	var enumSum float64
+	enumItems := make([]engine.Row, enumN)
+	for i := range enumItems {
+		v := float64(i % 101) // spans [0, 100] → group range Hi−Lo = 100
+		enumSum += v
+		enumItems[i] = engine.Row{engine.NewFloat(v)}
+	}
+	trueSum := enumSum + sparseSum
+
+	q := Query{Value: func(row engine.Row) (float64, bool) { return row[0].F, true }}
+	z := ZScore(conf)
+	rng := rand.New(rand.NewSource(42))
+	coveredNew, coveredOld := 0, 0
+	for trial := 0; trial < trials; trial++ {
+		st := sample.NewStratified[engine.Row]()
+		st.Put(&sample.Stratum[engine.Row]{Key: "a", Population: enumN, Items: enumItems})
+		st.Put(&sample.Stratum[engine.Row]{Key: "b", Population: sparsePop,
+			Items: []engine.Row{{engine.NewFloat(sparseVal(rng.Intn(sparsePop)))}}})
+
+		parts, err := Partials(st, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ests, err := Finalize(parts, Sum, conf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		est := ests[0]
+		if math.Abs(est.Value-trueSum) <= est.Bound {
+			coveredNew++
+		}
+		// Pre-fix bound: the fallback's sqrt(1/n) used the group's total
+		// sampled rows (enumN + 1) instead of the sparse strata's own.
+		p := parts[0]
+		oldBound := z*math.Sqrt(p.SumVar) + fallbackHalfWidth(p.N, p.Lo, p.Hi, conf)*p.SparseCount
+		if math.Abs(est.Value-trueSum) <= oldBound {
+			coveredOld++
+		}
+	}
+	newRate := float64(coveredNew) / trials
+	oldRate := float64(coveredOld) / trials
+	t.Logf("sparse SUM coverage at %.0f%% nominal: per-stratum-sized %.3f, pre-fix %.3f", conf*100, newRate, oldRate)
+	if newRate < 0.90 {
+		t.Errorf("sparse fallback covers %.3f < 0.90", newRate)
+	}
+	if oldRate > 0.60 {
+		t.Errorf("pre-fix group-sized fallback covers %.3f — expected clear under-coverage", oldRate)
+	}
+}

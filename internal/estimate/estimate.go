@@ -11,7 +11,6 @@ package estimate
 
 import (
 	"context"
-	"errors"
 	"fmt"
 	"math"
 
@@ -83,154 +82,17 @@ func Run(st *sample.Stratified[engine.Row], q Query) ([]GroupEstimate, error) {
 // cancellation is observed inside the per-row scan loop (checked every
 // pollEvery sampled rows), so a query against a large sample stops
 // promptly when its caller gives up.
+//
+// RunCtx is exactly PartialsCtx followed by Finalize — the same two
+// halves a scatter-gather coordinator runs on opposite sides of a
+// MergePartials, so a single-warehouse estimate and a sharded one over
+// the same strata are numerically identical.
 func RunCtx(ctx context.Context, st *sample.Stratified[engine.Row], q Query) ([]GroupEstimate, error) {
-	if q.Value == nil {
-		return nil, errors.New("estimate: Query.Value is required")
+	partials, err := PartialsCtx(ctx, st, q)
+	if err != nil {
+		return nil, err
 	}
-	conf := q.Confidence
-	if conf == 0 {
-		conf = 0.90
-	}
-	if conf <= 0 || conf >= 1 {
-		return nil, fmt.Errorf("estimate: confidence %v out of (0,1)", conf)
-	}
-	z := ZScore(conf)
-
-	type cell struct {
-		scaledSum   float64
-		scaledCount float64
-		variance    float64 // accumulated Var contributions
-		countVar    float64 // HT variance for COUNT
-		n           int
-		lo, hi      float64 // observed value range, for the sparse fallback
-		sparse      bool    // some stratum had < 2 rows at sf > 1
-	}
-	cells := make(map[string]*cell)
-	var order []string
-
-	scanned := 0 // rows visited across strata, for cancellation polling
-	for _, sk := range st.Keys() {
-		s, ok := st.Get(sk)
-		if !ok || len(s.Items) == 0 {
-			continue
-		}
-		sf := s.ScaleFactor()
-		if sf < 1 {
-			sf = 1
-		}
-		// All tuples of a stratum share one output group, but we must
-		// group lazily because the first passing tuple determines it.
-		var (
-			key        string
-			haveKey    bool
-			n          int64
-			mean, m2   float64
-			passedSum  float64
-			passedCnt  float64
-			countVarTr float64
-		)
-		sLo, sHi := math.Inf(1), math.Inf(-1)
-		for _, row := range s.Items {
-			if scanned&(pollEvery-1) == 0 {
-				if err := ctx.Err(); err != nil {
-					return nil, err
-				}
-			}
-			scanned++
-			v, ok := q.Value(row)
-			if !ok {
-				continue
-			}
-			if !haveKey {
-				if q.GroupKey != nil {
-					key = q.GroupKey(row)
-				}
-				haveKey = true
-			}
-			n++
-			d := v - mean
-			mean += d / float64(n)
-			m2 += d * (v - mean)
-			passedSum += v * sf
-			passedCnt += sf
-			countVarTr += sf * (sf - 1)
-			if v < sLo {
-				sLo = v
-			}
-			if v > sHi {
-				sHi = v
-			}
-		}
-		if n == 0 {
-			continue
-		}
-		c := cells[key]
-		if c == nil {
-			c = &cell{lo: math.Inf(1), hi: math.Inf(-1)}
-			cells[key] = c
-			order = append(order, key)
-		}
-		c.scaledSum += passedSum
-		c.scaledCount += passedCnt
-		c.n += int(n)
-		c.countVar += countVarTr
-		if sLo < c.lo {
-			c.lo = sLo
-		}
-		if sHi > c.hi {
-			c.hi = sHi
-		}
-		if n >= 2 {
-			s2 := m2 / float64(n-1)
-			c.variance += sf * sf * float64(n) * (1 - 1/sf) * s2
-		} else if sf > 1 {
-			// A single sampled row at sf > 1 has no defined sample
-			// variance — the s2 term above would divide by n-1 = 0. The
-			// old behavior contributed 0, i.e. reported false certainty
-			// for the least-certain strata. Mark the group so the output
-			// pass substitutes a distribution-free Hoeffding half-width
-			// (§4 error guarantees). sf == 1 with one row really is the
-			// whole stratum, so a zero contribution is correct there.
-			c.sparse = true
-		}
-	}
-
-	out := make([]GroupEstimate, 0, len(order))
-	for _, key := range order {
-		c := cells[key]
-		ge := GroupEstimate{Key: key, SampleN: c.n}
-		switch q.Agg {
-		case Sum:
-			ge.Value = c.scaledSum
-			ge.Bound = z * math.Sqrt(c.variance)
-			if c.sparse {
-				ge.Bound += fallbackHalfWidth(c.n, c.lo, c.hi, conf) * c.scaledCount
-			}
-		case Count:
-			// The Horvitz-Thompson count variance sf·(sf−1) per row is
-			// defined even for single-row strata; no fallback needed.
-			ge.Value = c.scaledCount
-			ge.Bound = z * math.Sqrt(c.countVar)
-		case Avg:
-			if c.scaledCount == 0 {
-				continue
-			}
-			ge.Value = c.scaledSum / c.scaledCount
-			ge.Bound = z * math.Sqrt(c.variance) / c.scaledCount
-			if c.sparse {
-				ge.Bound += fallbackHalfWidth(c.n, c.lo, c.hi, conf)
-			}
-		default:
-			return nil, fmt.Errorf("estimate: unknown aggregate %v", q.Agg)
-		}
-		// Bounds must serialize as valid JSON through /v1/query; clamp
-		// any residual non-finite half-width to "no information".
-		if math.IsNaN(ge.Bound) || math.IsInf(ge.Bound, 0) {
-			ge.Bound = math.MaxFloat64
-		}
-		out = append(out, ge)
-	}
-	return out, nil
+	return Finalize(partials, q.Agg, q.Confidence)
 }
 
 // fallbackHalfWidth is the defined half-width substituted for groups

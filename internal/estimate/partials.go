@@ -1,0 +1,341 @@
+package estimate
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/approxdb/congress/internal/engine"
+	"github.com/approxdb/congress/internal/sample"
+)
+
+// GroupPartial is the mergeable per-group state of one estimation scan.
+// Every field is either additive (sums, variances, counts) or combines
+// by min/max (Lo/Hi), so partials computed over disjoint sets of strata
+// — per-shard synopses, or any other partition — merge into exactly the
+// state a single scan over the union would have produced: sums of sums,
+// sums of variances. The confidence interval is taken once, after the
+// merge, by Finalize.
+//
+// Partials are confidence- and aggregate-independent: one scan serves
+// SUM, COUNT and AVG at any confidence level.
+type GroupPartial struct {
+	// Key is the output group key (see Query.GroupKey).
+	Key string
+	// N counts sampled rows that passed the predicate.
+	N int
+	// ScaledSum is Σ sf·v over passing rows (the expansion SUM estimate).
+	ScaledSum float64
+	// ScaledCount is Σ sf over passing rows (the expansion COUNT
+	// estimate).
+	ScaledCount float64
+	// SumVar accumulates the per-stratum SRSWOR variance contributions
+	// sf²·n·(1−1/sf)·s² used for the SUM bound.
+	SumVar float64
+	// CountVar is the Horvitz-Thompson count variance Σ sf·(sf−1),
+	// defined even for single-row strata.
+	CountVar float64
+	// HTSumVar is Σ sf·(sf−1)·v², the HT variance of the scaled sum
+	// under per-row inclusion probability 1/sf ((1−π)/π² = sf·(sf−1)).
+	HTSumVar float64
+	// HTSumCountCov is Σ sf·(sf−1)·v, the HT covariance between the
+	// scaled sum and the scaled count (the same rows drive both), needed
+	// by the ratio-estimator AVG bound.
+	HTSumCountCov float64
+	// Lo and Hi are the observed passing-value range, the input to the
+	// distribution-free Hoeffding fallbacks. An empty partial holds
+	// (+Inf, −Inf) so min/max merging is the identity.
+	Lo, Hi float64
+	// SparseN counts rows in sparse strata: strata contributing a single
+	// passing row at sf > 1, whose sample variance is undefined. The
+	// Hoeffding fallback is sized from this count — not from the group's
+	// total N, which let one sparse stratum hide behind a populous
+	// sibling with a vanishing half-width.
+	SparseN int
+	// SparseCount is Σ sf over sparse-strata rows: the slice of the
+	// group's scaled count the fallback must cover.
+	SparseCount float64
+	// ZeroN counts sampled rows in zero-contribution strata: strata
+	// whose rows all failed the predicate. Without this record the
+	// stratum would simply vanish, which a scatter-gather merge misreads
+	// as "no information" — a group present on shard A and predicate-
+	// empty on shard B must still merge to a defined bound.
+	ZeroN int
+	// ZeroScaled is the total population of zero-contribution strata at
+	// sf > 1 (a fully enumerated sf == 1 stratum with no passing rows
+	// contributes exactly zero, with certainty).
+	ZeroScaled float64
+}
+
+// emptyPartial returns a zero-information partial for key.
+func emptyPartial(key string) GroupPartial {
+	return GroupPartial{Key: key, Lo: math.Inf(1), Hi: math.Inf(-1)}
+}
+
+// accumulate folds other into p (both must carry the same Key).
+func (p *GroupPartial) accumulate(other *GroupPartial) {
+	p.N += other.N
+	p.ScaledSum += other.ScaledSum
+	p.ScaledCount += other.ScaledCount
+	p.SumVar += other.SumVar
+	p.CountVar += other.CountVar
+	p.HTSumVar += other.HTSumVar
+	p.HTSumCountCov += other.HTSumCountCov
+	if other.Lo < p.Lo {
+		p.Lo = other.Lo
+	}
+	if other.Hi > p.Hi {
+		p.Hi = other.Hi
+	}
+	p.SparseN += other.SparseN
+	p.SparseCount += other.SparseCount
+	p.ZeroN += other.ZeroN
+	p.ZeroScaled += other.ZeroScaled
+}
+
+// Partials scans the stratified sample and returns per-group partials in
+// first-appearance order (strata are visited in sorted key order).
+func Partials(st *sample.Stratified[engine.Row], q Query) ([]GroupPartial, error) {
+	return PartialsCtx(context.Background(), st, q)
+}
+
+// PartialsCtx is the scan half of RunCtx: it reduces every stratum into
+// its output group's GroupPartial and performs no statistics that depend
+// on the aggregate or confidence level. q.Agg and q.Confidence are
+// ignored. Cancellation is observed every pollEvery sampled rows.
+func PartialsCtx(ctx context.Context, st *sample.Stratified[engine.Row], q Query) ([]GroupPartial, error) {
+	if q.Value == nil {
+		return nil, errors.New("estimate: Query.Value is required")
+	}
+	cells := make(map[string]*GroupPartial)
+	var order []string
+	cell := func(key string) *GroupPartial {
+		c := cells[key]
+		if c == nil {
+			p := emptyPartial(key)
+			c = &p
+			cells[key] = c
+			order = append(order, key)
+		}
+		return c
+	}
+
+	scanned := 0 // rows visited across strata, for cancellation polling
+	for _, sk := range st.Keys() {
+		s, ok := st.Get(sk)
+		if !ok || len(s.Items) == 0 {
+			continue
+		}
+		sf := s.ScaleFactor()
+		if sf < 1 {
+			sf = 1
+		}
+		// Every tuple of a stratum carries the same grouping-column
+		// values (a stratum is a finest group and the output grouping is
+		// a subset of the synopsis grouping), so the key can be read off
+		// the first tuple whether or not it passes the predicate.
+		var key string
+		if q.GroupKey != nil {
+			key = q.GroupKey(s.Items[0])
+		}
+		var (
+			n          int64
+			mean, m2   float64
+			passedSum  float64
+			passedCnt  float64
+			countVarTr float64
+			htSumVarTr float64
+			htCovTr    float64
+		)
+		sLo, sHi := math.Inf(1), math.Inf(-1)
+		for _, row := range s.Items {
+			if scanned&(pollEvery-1) == 0 {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+			}
+			scanned++
+			v, ok := q.Value(row)
+			if !ok {
+				continue
+			}
+			n++
+			d := v - mean
+			mean += d / float64(n)
+			m2 += d * (v - mean)
+			passedSum += v * sf
+			passedCnt += sf
+			countVarTr += sf * (sf - 1)
+			htSumVarTr += sf * (sf - 1) * v * v
+			htCovTr += sf * (sf - 1) * v
+			if v < sLo {
+				sLo = v
+			}
+			if v > sHi {
+				sHi = v
+			}
+		}
+		if n == 0 {
+			// Zero-contribution stratum: every sampled row failed the
+			// predicate. The group's partial records it explicitly so a
+			// merge (and Finalize) can widen the bound for the unsampled
+			// population instead of treating absence as certainty.
+			c := cell(key)
+			c.ZeroN += len(s.Items)
+			if sf > 1 {
+				c.ZeroScaled += float64(s.Population)
+			}
+			continue
+		}
+		c := cell(key)
+		c.N += int(n)
+		c.ScaledSum += passedSum
+		c.ScaledCount += passedCnt
+		c.CountVar += countVarTr
+		c.HTSumVar += htSumVarTr
+		c.HTSumCountCov += htCovTr
+		if sLo < c.Lo {
+			c.Lo = sLo
+		}
+		if sHi > c.Hi {
+			c.Hi = sHi
+		}
+		if n >= 2 {
+			s2 := m2 / float64(n-1)
+			c.SumVar += sf * sf * float64(n) * (1 - 1/sf) * s2
+		} else if sf > 1 {
+			// A single sampled row at sf > 1 has no defined sample
+			// variance — the s2 term above would divide by n-1 = 0.
+			// Record the stratum's own row count and scaled mass so the
+			// fallback half-width is sized from the sparse strata alone.
+			// sf == 1 with one row really is the whole stratum, so a
+			// zero contribution is correct there.
+			c.SparseN++
+			c.SparseCount += passedCnt
+		}
+	}
+
+	out := make([]GroupPartial, 0, len(order))
+	for _, key := range order {
+		out = append(out, *cells[key])
+	}
+	return out, nil
+}
+
+// MergePartials combines per-shard (or otherwise partitioned) partials
+// group by group: sums add, variances add, ranges widen. Groups present
+// in some inputs and absent from others merge as if absent inputs
+// contributed the empty partial. The output is sorted by group key, so
+// the merge is deterministic regardless of shard completion order.
+func MergePartials(parts ...[]GroupPartial) []GroupPartial {
+	merged := make(map[string]*GroupPartial)
+	for _, list := range parts {
+		for i := range list {
+			p := &list[i]
+			m := merged[p.Key]
+			if m == nil {
+				cp := *p
+				merged[p.Key] = &cp
+				continue
+			}
+			m.accumulate(p)
+		}
+	}
+	keys := make([]string, 0, len(merged))
+	for k := range merged {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]GroupPartial, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, *merged[k])
+	}
+	return out
+}
+
+// Finalize turns merged partials into estimates with confidence bounds,
+// taking the interval exactly once — per-shard half-widths are never
+// added directly; their variances are, which is the statistically sound
+// combination. Input order is preserved. Groups with no passing rows
+// (pure zero-contribution records) are dropped, matching SQL group-by
+// semantics; their information still mattered during the merge, where
+// they widened the bounds of groups that do appear.
+//
+// Bounds per aggregate, at confidence conf with critical value z:
+//
+//   - SUM: z·sqrt(SumVar), plus Hoeffding fallbacks for the sparse
+//     strata (sized by SparseN, weighted by SparseCount) and the
+//     zero-contribution strata (sized by ZeroN, weighted by ZeroScaled).
+//   - COUNT: z·sqrt(CountVar) plus the zero-stratum fallback over the
+//     indicator range [0,1].
+//   - AVG: the ratio-estimator (delta-method) variance
+//     (HTSumVar − 2R·HTSumCountCov + R²·CountVar)/ScaledCount², which
+//     accounts for the variance of the estimated denominator and its
+//     covariance with the numerator — algebraically Σ sf(sf−1)(v−R)²,
+//     guaranteed non-negative — plus the sparse fallback weighted by the
+//     sparse strata's share of the scaled count.
+func Finalize(partials []GroupPartial, agg Aggregate, confidence float64) ([]GroupEstimate, error) {
+	conf := confidence
+	if conf == 0 {
+		conf = 0.90
+	}
+	if conf <= 0 || conf >= 1 {
+		return nil, fmt.Errorf("estimate: confidence %v out of (0,1)", conf)
+	}
+	z := ZScore(conf)
+
+	out := make([]GroupEstimate, 0, len(partials))
+	for i := range partials {
+		c := &partials[i]
+		if c.N == 0 {
+			continue
+		}
+		ge := GroupEstimate{Key: c.Key, SampleN: c.N}
+		switch agg {
+		case Sum:
+			ge.Value = c.ScaledSum
+			ge.Bound = z * math.Sqrt(c.SumVar)
+			if c.SparseN > 0 {
+				ge.Bound += fallbackHalfWidth(c.SparseN, c.Lo, c.Hi, conf) * c.SparseCount
+			}
+			if c.ZeroScaled > 0 {
+				ge.Bound += fallbackHalfWidth(c.ZeroN, c.Lo, c.Hi, conf) * c.ZeroScaled
+			}
+		case Count:
+			// The Horvitz-Thompson count variance sf·(sf−1) per row is
+			// defined even for single-row strata; no sparse fallback
+			// needed. Zero-contribution strata still widen the bound:
+			// their pass indicator is bounded in [0,1].
+			ge.Value = c.ScaledCount
+			ge.Bound = z * math.Sqrt(c.CountVar)
+			if c.ZeroScaled > 0 {
+				ge.Bound += fallbackHalfWidth(c.ZeroN, 0, 1, conf) * c.ZeroScaled
+			}
+		case Avg:
+			if c.ScaledCount == 0 {
+				continue
+			}
+			r := c.ScaledSum / c.ScaledCount
+			ge.Value = r
+			varR := c.HTSumVar - 2*r*c.HTSumCountCov + r*r*c.CountVar
+			if varR < 0 {
+				varR = 0 // floating-point residue; the form is a sum of squares
+			}
+			ge.Bound = z * math.Sqrt(varR) / c.ScaledCount
+			if c.SparseN > 0 {
+				ge.Bound += fallbackHalfWidth(c.SparseN, c.Lo, c.Hi, conf) * (c.SparseCount / c.ScaledCount)
+			}
+		default:
+			return nil, fmt.Errorf("estimate: unknown aggregate %v", agg)
+		}
+		// Bounds must serialize as valid JSON through /v1/query; clamp
+		// any residual non-finite half-width to "no information".
+		if math.IsNaN(ge.Bound) || math.IsInf(ge.Bound, 0) {
+			ge.Bound = math.MaxFloat64
+		}
+		out = append(out, ge)
+	}
+	return out, nil
+}

@@ -39,8 +39,14 @@ import (
 // Options configures a Server. The zero value of every field has a
 // sensible default.
 type Options struct {
-	// Warehouse is the warehouse to serve (required).
+	// Warehouse is the warehouse to serve. Exactly one of Warehouse and
+	// Sharded must be set.
 	Warehouse *congress.Warehouse
+	// Sharded serves a sharded warehouse instead: estimates scatter-
+	// gather across the shards. The SQL paths (/v1/exact and sql-form
+	// /v1/query) are not available in sharded mode, and /v1/snapshot
+	// reports not_persistent (sharded warehouses are in-memory).
+	Sharded *congress.ShardedWarehouse
 	// Logger receives structured request and lifecycle logs; defaults to
 	// slog.Default().
 	Logger *slog.Logger
@@ -98,7 +104,8 @@ func (o *Options) withDefaults() {
 // Server serves one warehouse over HTTP. Create with New, start with
 // Start (or mount Handler on your own listener), stop with Shutdown.
 type Server struct {
-	w    *congress.Warehouse
+	w    *congress.Warehouse        // nil in sharded mode
+	sw   *congress.ShardedWarehouse // nil in single-warehouse mode
 	opts Options
 	log  *slog.Logger
 	adm  *admission
@@ -114,15 +121,17 @@ type Server struct {
 	onExecute func()
 }
 
-// New builds a Server over the warehouse. It panics if opts.Warehouse is
-// nil (a programming error, not a runtime condition).
+// New builds a Server over the warehouse. It panics unless exactly one
+// of opts.Warehouse and opts.Sharded is set (a programming error, not a
+// runtime condition).
 func New(opts Options) *Server {
-	if opts.Warehouse == nil {
-		panic("server: Options.Warehouse is required")
+	if (opts.Warehouse == nil) == (opts.Sharded == nil) {
+		panic("server: exactly one of Options.Warehouse and Options.Sharded is required")
 	}
 	opts.withDefaults()
 	s := &Server{
 		w:    opts.Warehouse,
+		sw:   opts.Sharded,
 		opts: opts,
 		log:  opts.Logger,
 		adm:  newAdmission(opts.MaxConcurrent, opts.QueueDepth),
@@ -167,7 +176,7 @@ func (s *Server) Start(addr string) (string, error) {
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.log.Info("congressd shutting down, draining in-flight requests")
 	err := s.http.Shutdown(ctx)
-	m := s.w.Metrics()
+	m := s.warehouseMetrics()
 	lat := s.met.all.Snapshot()
 	s.log.Info("final metrics",
 		slog.Int64("answers_served", m.Answer.Count),
@@ -317,6 +326,62 @@ func (s *Server) admitWithDeadline(w http.ResponseWriter, r *http.Request, timeo
 	}, true
 }
 
+// ----- backend dispatch -----
+//
+// The server fronts either a single warehouse or a sharded one. The
+// direct-estimation, insert, synopsis and metrics paths work against
+// both through these helpers; the SQL paths are single-warehouse only
+// (a sharded warehouse holds no merged base relations to execute
+// against).
+
+// tableHandle is the insert surface both backends' table handles share.
+type tableHandle interface {
+	Columns() []engine.Column
+	Insert(vals ...congress.Value) error
+}
+
+func (s *Server) lookupTable(name string) (tableHandle, error) {
+	if s.sw != nil {
+		return s.sw.Table(name)
+	}
+	return s.w.Table(name)
+}
+
+func (s *Server) estimateQuery(ctx context.Context, e *client.EstimateRequest, agg estimate.Aggregate, noCache bool) ([]estimate.GroupEstimate, congress.CacheStatus, error) {
+	if s.sw != nil {
+		return s.sw.EstimateQuery(ctx, e.Table, e.GroupBy, agg, e.Column, e.Confidence, noCache)
+	}
+	return s.w.EstimateQuery(ctx, e.Table, e.GroupBy, agg, e.Column, e.Confidence, noCache)
+}
+
+func (s *Server) refreshSynopsis(table string) error {
+	if s.sw != nil {
+		return s.sw.RefreshSynopsis(table)
+	}
+	return s.w.RefreshSynopsis(table)
+}
+
+func (s *Server) synopses() []congress.SynopsisInfo {
+	if s.sw != nil {
+		return s.sw.Synopses()
+	}
+	return s.w.Synopses()
+}
+
+func (s *Server) allocationTable(table string) ([]congress.AllocationRow, error) {
+	if s.sw != nil {
+		return s.sw.AllocationTable(table)
+	}
+	return s.w.AllocationTable(table)
+}
+
+func (s *Server) warehouseMetrics() congress.MetricsSnapshot {
+	if s.sw != nil {
+		return s.sw.Metrics()
+	}
+	return s.w.Metrics()
+}
+
 // ----- handlers -----
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
@@ -348,7 +413,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		var ests []estimate.GroupEstimate
-		ests, status, err = s.w.EstimateQuery(ctx, e.Table, e.GroupBy, agg, e.Column, e.Confidence, req.NoCache)
+		ests, status, err = s.estimateQuery(ctx, e, agg, req.NoCache)
 		if err != nil {
 			s.writeMappedError(w, err, http.StatusBadRequest, "bad_query")
 			return
@@ -363,6 +428,11 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 	} else {
+		if s.sw != nil {
+			writeError(w, http.StatusBadRequest, "bad_query",
+				"sharded mode answers estimate requests only; SQL queries need a single warehouse")
+			return
+		}
 		opts := congress.ApproxOptions{NoCache: req.NoCache}
 		var err error
 		if req.Rewrite != "" {
@@ -393,6 +463,11 @@ func (s *Server) handleExact(w http.ResponseWriter, r *http.Request) {
 	}
 	if req.SQL == "" {
 		writeError(w, http.StatusBadRequest, "bad_query", "sql is required")
+		return
+	}
+	if s.sw != nil {
+		writeError(w, http.StatusBadRequest, "bad_query",
+			"sharded mode has no merged base tables; /v1/exact needs a single warehouse")
 		return
 	}
 	ctx, cancel, ok := s.admitWithDeadline(w, r, req.TimeoutMS)
@@ -431,7 +506,7 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 	}
 	defer cancel()
 
-	tbl, err := s.w.Table(req.Table)
+	tbl, err := s.lookupTable(req.Table)
 	if err != nil {
 		s.writeMappedError(w, err, http.StatusBadRequest, "bad_request")
 		return
@@ -463,7 +538,7 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 	}
 	resp := client.InsertResponse{Inserted: inserted}
 	if req.Refresh {
-		if err := s.w.RefreshSynopsis(req.Table); err != nil {
+		if err := s.refreshSynopsis(req.Table); err != nil {
 			s.writeMappedError(w, err, http.StatusInternalServerError, "internal")
 			return
 		}
@@ -479,6 +554,11 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	}
 	defer cancel()
 
+	if s.sw != nil {
+		writeError(w, http.StatusConflict, "not_persistent",
+			"sharded warehouses are in-memory; snapshots need a single warehouse with -data-dir")
+		return
+	}
 	if _, enabled := s.w.PersistStats(); !enabled {
 		writeError(w, http.StatusConflict, "not_persistent",
 			"server runs without a data directory; start congressd with -data-dir to enable snapshots")
@@ -498,7 +578,7 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleSynopses(w http.ResponseWriter, r *http.Request) {
 	withAlloc := r.URL.Query().Get("allocation") != ""
-	infos := s.w.Synopses()
+	infos := s.synopses()
 	resp := client.SynopsesResponse{Synopses: make([]client.SynopsisInfo, 0, len(infos))}
 	for _, si := range infos {
 		ci := client.SynopsisInfo{
@@ -509,9 +589,10 @@ func (s *Server) handleSynopses(w http.ResponseWriter, r *http.Request) {
 			SampleSize:     si.SampleSize,
 			Strata:         si.Strata,
 			PendingInserts: si.PendingInserts,
+			Shards:         si.Shards,
 		}
 		if withAlloc {
-			rows, err := s.w.AllocationTable(si.Table)
+			rows, err := s.allocationTable(si.Table)
 			if err == nil {
 				ci.Allocation = make([]client.AllocationRow, len(rows))
 				for i, ar := range rows {
@@ -532,7 +613,10 @@ func (s *Server) handleSynopses(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	var sb strings.Builder
-	sb.WriteString(s.w.Metrics().String())
+	sb.WriteString(s.warehouseMetrics().String())
+	if s.sw != nil {
+		s.sw.ShardTelemetry().Render(&sb)
+	}
 	s.met.render(&sb, s.adm.depth())
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	w.WriteHeader(http.StatusOK)

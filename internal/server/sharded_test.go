@@ -1,0 +1,159 @@
+package server
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	congress "github.com/approxdb/congress"
+	"github.com/approxdb/congress/internal/tpcd"
+	"github.com/approxdb/congress/pkg/client"
+)
+
+// testShardedWarehouse builds a K-shard lineitem warehouse with a
+// congressional synopsis partitioned across the shards.
+func testShardedWarehouse(t testing.TB, shards, rows, groups int) *congress.ShardedWarehouse {
+	t.Helper()
+	rel, err := tpcd.Generate(tpcd.Params{TableSize: rows, NumGroups: groups, GroupSkew: 0.86, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw, err := congress.OpenSharded(shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sw.AttachRelation(rel, tpcd.GroupingAttrs); err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.BuildSynopsis(congress.SynopsisSpec{
+		Table:   "lineitem",
+		GroupBy: tpcd.GroupingAttrs,
+		Space:   rows / 10,
+		Seed:    1,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return sw
+}
+
+func TestShardedServerEstimateFlow(t *testing.T) {
+	sw := testShardedWarehouse(t, 4, 5000, 27)
+	_, c := testServer(t, Options{Sharded: sw})
+	ctx := context.Background()
+
+	res, err := c.Query(ctx, client.QueryRequest{Estimate: &client.EstimateRequest{
+		Table: "lineitem", GroupBy: []string{"l_returnflag"},
+		Agg: "avg", Column: "l_quantity", Confidence: 0.95,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Groups) == 0 {
+		t.Fatal("sharded estimate returned no groups")
+	}
+	for _, g := range res.Groups {
+		if len(g.Group) != 1 {
+			t.Errorf("group key %v, want one rendered value", g.Group)
+		}
+		if !(g.Bound >= 0) || g.SampleN <= 0 {
+			t.Errorf("group %v: bound %v sample_n %d", g.Group, g.Bound, g.SampleN)
+		}
+	}
+	// Sharded estimates always bypass the result cache.
+	if res.Cache != "bypass" {
+		t.Errorf("cache status %q, want bypass", res.Cache)
+	}
+}
+
+func TestShardedServerRejectsSQLPaths(t *testing.T) {
+	sw := testShardedWarehouse(t, 2, 1000, 27)
+	_, c := testServer(t, Options{Sharded: sw})
+	ctx := context.Background()
+
+	if _, err := c.Query(ctx, client.QueryRequest{SQL: "select count(*) from lineitem"}); err == nil {
+		t.Error("approximate SQL accepted in sharded mode")
+	} else if apiErr, ok := err.(*client.APIError); !ok || apiErr.Code != "bad_query" {
+		t.Errorf("approx SQL error = %v, want bad_query", err)
+	}
+	if _, err := c.Exact(ctx, client.ExactRequest{SQL: "select count(*) from lineitem"}); err == nil {
+		t.Error("/v1/exact accepted in sharded mode")
+	}
+	if _, err := c.Snapshot(ctx); err == nil {
+		t.Error("/v1/snapshot accepted in sharded mode")
+	} else if apiErr, ok := err.(*client.APIError); !ok || apiErr.Code != "not_persistent" {
+		t.Errorf("snapshot error = %v, want not_persistent", err)
+	}
+}
+
+func TestShardedServerInsertRefreshSynopsesMetrics(t *testing.T) {
+	sw := testShardedWarehouse(t, 4, 2000, 27)
+	_, c := testServer(t, Options{Sharded: sw})
+	ctx := context.Background()
+
+	ins, err := c.Insert(ctx, client.InsertRequest{
+		Table: "lineitem",
+		Rows: [][]any{
+			{int64(9_000_001), 0, 0, "1994-06-15", 7.0, 1200.0},
+			{int64(9_000_002), 1, 1, "1994-07-15", 9.0, 1800.0},
+		},
+		Refresh: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ins.Inserted != 2 || !ins.Refreshed {
+		t.Fatalf("insert response %+v", ins)
+	}
+
+	infos, err := c.Synopses(ctx, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 1 {
+		t.Fatalf("synopses: %+v", infos)
+	}
+	si := infos[0]
+	if si.Table != "lineitem" || si.Shards < 1 || si.Shards > 4 {
+		t.Errorf("synopsis info %+v", si)
+	}
+	if si.SampleSize == 0 || len(si.Allocation) == 0 {
+		t.Errorf("merged synopsis listing empty: %+v", si)
+	}
+
+	metrics, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"congress_shard_count 4",
+		"congress_shard_inserts_total",
+		"congress_estimate_total",
+		"server_requests_total",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
+func TestServerRequiresExactlyOneBackend(t *testing.T) {
+	for _, opts := range []Options{{}, {Warehouse: congress.Open(), Sharded: mustSharded(t)}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%+v) did not panic", opts)
+				}
+			}()
+			New(opts)
+		}()
+	}
+}
+
+func mustSharded(t *testing.T) *congress.ShardedWarehouse {
+	t.Helper()
+	sw, err := congress.OpenSharded(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sw
+}

@@ -1,0 +1,152 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestRouterValidation(t *testing.T) {
+	if _, err := NewRouter(0); err == nil {
+		t.Error("0 shards accepted")
+	}
+	if _, err := NewRouter(-3); err == nil {
+		t.Error("negative shards accepted")
+	}
+	r, err := NewRouter(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Route("anything"); got != 0 {
+		t.Errorf("single-shard route = %d", got)
+	}
+}
+
+func TestRouterDeterministicAndInRange(t *testing.T) {
+	r, _ := NewRouter(5)
+	for i := 0; i < 1000; i++ {
+		key := fmt.Sprintf("group-%d", i)
+		a, b := r.Route(key), r.Route(key)
+		if a != b {
+			t.Fatalf("key %q routed to %d then %d", key, a, b)
+		}
+		if a < 0 || a >= 5 {
+			t.Fatalf("key %q routed out of range: %d", key, a)
+		}
+	}
+}
+
+// TestRouterBalanceChiSquare checks that FNV-1a routing spreads group
+// keys evenly: a chi-square goodness-of-fit statistic over the shard
+// occupancy counts must stay below the 99.9% critical value, for every
+// shard count the differential tests exercise.
+func TestRouterBalanceChiSquare(t *testing.T) {
+	// chi-square 0.999 quantiles for k-1 degrees of freedom.
+	critical := map[int]float64{2: 10.83, 4: 16.27, 8: 24.32, 16: 39.25}
+	const keys = 100_000
+	for _, k := range []int{2, 4, 8, 16} {
+		r, _ := NewRouter(k)
+		counts := make([]int, k)
+		for i := 0; i < keys; i++ {
+			counts[r.Route(fmt.Sprintf("g\x1f%d\x1f%d", i, i%977))]++
+		}
+		expected := float64(keys) / float64(k)
+		chi2 := 0.0
+		for _, c := range counts {
+			d := float64(c) - expected
+			chi2 += d * d / expected
+		}
+		if chi2 > critical[k] {
+			t.Errorf("k=%d: chi2 = %.2f exceeds 99.9%% critical %.2f (counts %v)", k, chi2, critical[k], counts)
+		}
+	}
+}
+
+func TestFanoutOrdersResultsByShard(t *testing.T) {
+	out, err := Fanout(context.Background(), 8, func(ctx context.Context, shard int) (int, error) {
+		// Finish in reverse order to prove ordering is by ordinal, not
+		// completion.
+		time.Sleep(time.Duration(8-shard) * time.Millisecond)
+		return shard * 10, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i*10 {
+			t.Fatalf("out[%d] = %d, want %d (full: %v)", i, v, i*10, out)
+		}
+	}
+}
+
+func TestFanoutPropagatesFirstRealError(t *testing.T) {
+	boom := errors.New("shard 3 exploded")
+	var canceled atomic.Int32
+	_, err := Fanout(context.Background(), 6, func(ctx context.Context, shard int) (int, error) {
+		if shard == 3 {
+			return 0, boom
+		}
+		select {
+		case <-ctx.Done():
+			canceled.Add(1)
+			return 0, ctx.Err()
+		case <-time.After(2 * time.Second):
+			return shard, nil
+		}
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the shard-3 failure (cancellation must not mask it)", err)
+	}
+	if canceled.Load() == 0 {
+		t.Error("sibling legs were not canceled after the failure")
+	}
+}
+
+func TestFanoutParentCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := Fanout(ctx, 4, func(ctx context.Context, shard int) (int, error) {
+		return 0, ctx.Err()
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestTelemetryRender(t *testing.T) {
+	tel := NewTelemetry(2)
+	tel.AddInserts(0, 7)
+	tel.AddInserts(1, 3)
+	tel.ObserveFanout(1, 5*time.Millisecond)
+	tel.FanoutError(0)
+	var sb strings.Builder
+	tel.Render(&sb)
+	out := sb.String()
+	for _, want := range []string{
+		"congress_shard_count 2\n",
+		`congress_shard_inserts_total{shard="0"} 7`,
+		`congress_shard_inserts_total{shard="1"} 3`,
+		`congress_shard_fanout_errors_total{shard="0"} 1`,
+		`congress_shard_fanout_seconds_count{shard="1"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, `congress_shard_fanout_seconds_count{shard="0"}`) {
+		t.Error("unobserved shard-0 histogram should not render")
+	}
+	// Out-of-range and nil receivers must be inert.
+	tel.AddInserts(9, 1)
+	tel.ObserveFanout(-1, time.Second)
+	var nilTel *Telemetry
+	nilTel.AddInserts(0, 1)
+	nilTel.Render(&sb)
+	if nilTel.Shards() != 0 || nilTel.Inserts(0) != 0 {
+		t.Error("nil telemetry must read as zero")
+	}
+}

@@ -107,6 +107,7 @@ type SynopsisInfo struct {
 	SampleSize     int             `json:"sample_size"`
 	Strata         int             `json:"strata"`
 	PendingInserts int64           `json:"pending_inserts"`
+	Shards         int             `json:"shards,omitempty"`
 	Allocation     []AllocationRow `json:"allocation,omitempty"`
 }
 

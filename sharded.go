@@ -1,0 +1,493 @@
+package congress
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/approxdb/congress/internal/core"
+	"github.com/approxdb/congress/internal/engine"
+	"github.com/approxdb/congress/internal/estimate"
+	"github.com/approxdb/congress/internal/metrics"
+	"github.com/approxdb/congress/internal/sample"
+	"github.com/approxdb/congress/internal/shard"
+)
+
+// StratifiedSample is the public name of the stratified sample a
+// synopsis materializes; ShardedWarehouse.Sample returns the weighted
+// union of the per-shard samples as one.
+type StratifiedSample = sample.Stratified[Row]
+
+// ShardedWarehouse partitions every table by hash of a routing key
+// across K in-process shard warehouses, each holding its own
+// congressional synopsis over its slice of the data. Inserts route to
+// one shard; estimation scatter-gathers: each shard computes mergeable
+// per-group partials (EstimatePartialsCtx), the coordinator merges them
+// by sum-of-sums and sum-of-variances (estimate.MergePartials), and the
+// confidence interval is taken exactly once (estimate.Finalize) — never
+// by adding per-shard half-widths.
+//
+// Routing by the finest grouping key places every stratum whole on one
+// shard, so the per-shard synopses partition the stratum set and the
+// merged estimate is the single-warehouse estimate over the same
+// strata. Routing by a coarser key (a subset of the grouping) is still
+// statistically sound — a split stratum just becomes one stratum per
+// shard — but the variance decomposition then differs from the
+// unsharded build.
+//
+// Sharded warehouses are in-memory only: persistence belongs to the
+// individual Warehouse and is not exposed here.
+type ShardedWarehouse struct {
+	router *shard.Router
+	tel    *shard.Telemetry
+	shards []*Warehouse
+
+	mu     sync.RWMutex
+	tables map[string]*ShardedTable // lower-cased name → handle
+}
+
+// OpenSharded creates an empty sharded warehouse over the given number
+// of shards (at least 1).
+func OpenSharded(shards int) (*ShardedWarehouse, error) {
+	r, err := shard.NewRouter(shards)
+	if err != nil {
+		return nil, fmt.Errorf("congress: %w", err)
+	}
+	sw := &ShardedWarehouse{
+		router: r,
+		tel:    shard.NewTelemetry(shards),
+		shards: make([]*Warehouse, shards),
+		tables: make(map[string]*ShardedTable),
+	}
+	for i := range sw.shards {
+		sw.shards[i] = Open()
+	}
+	return sw, nil
+}
+
+// NumShards returns the configured shard count.
+func (sw *ShardedWarehouse) NumShards() int { return len(sw.shards) }
+
+// Shard returns the i-th shard warehouse for diagnostics and tests.
+// Mutating a shard directly bypasses routing; treat it as read-only.
+func (sw *ShardedWarehouse) Shard(i int) *Warehouse { return sw.shards[i] }
+
+// ShardTelemetry returns the coordinator's per-shard counters.
+func (sw *ShardedWarehouse) ShardTelemetry() *shard.Telemetry { return sw.tel }
+
+// ConfigureCache re-sizes every shard's result cache; see
+// Warehouse.ConfigureCache. Note that sharded estimates always bypass
+// the result cache (the merged answer spans epochs of all shards), so
+// this only affects direct access to the shard warehouses.
+func (sw *ShardedWarehouse) ConfigureCache(maxEntries int, maxBytes int64) {
+	for _, w := range sw.shards {
+		w.ConfigureCache(maxEntries, maxBytes)
+	}
+}
+
+// Close closes every shard. Sharded warehouses are in-memory, so this
+// is a formality that keeps the lifecycle symmetric with Warehouse.
+func (sw *ShardedWarehouse) Close() error {
+	var first error
+	for _, w := range sw.shards {
+		if err := w.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// ShardedTable is a handle to a table partitioned across the shards.
+type ShardedTable struct {
+	sw     *ShardedWarehouse
+	name   string
+	g      *core.Grouping // routing grouping, resolved against the schema
+	maxCol int            // highest routing ordinal, for short-row guards
+	per    []*Table       // per-shard handles, indexed by shard ordinal
+}
+
+// CreateTable registers an empty table on every shard. routeBy names
+// the routing key columns — use the finest grouping attributes the
+// table's synopsis will be built over, so every stratum has a single
+// home shard.
+func (sw *ShardedWarehouse) CreateTable(name string, routeBy []string, cols ...engine.Column) (*ShardedTable, error) {
+	schema, err := engine.NewSchema(cols...)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadQuery, err)
+	}
+	g, err := core.NewGrouping(schema, routeBy)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadQuery, err)
+	}
+	if len(g.Columns()) == 0 {
+		return nil, fmt.Errorf("%w: sharded table %q needs at least one routing column", ErrBadQuery, name)
+	}
+	st := &ShardedTable{sw: sw, name: name, g: g, maxCol: maxOrdinal(g), per: make([]*Table, len(sw.shards))}
+	for i, w := range sw.shards {
+		t, err := w.CreateTable(name, cols...)
+		if err != nil {
+			return nil, err
+		}
+		st.per[i] = t
+	}
+	sw.mu.Lock()
+	sw.tables[strings.ToLower(name)] = st
+	sw.mu.Unlock()
+	return st, nil
+}
+
+// AttachRelation bulk-loads an existing relation, partitioning its rows
+// by the routing key: each shard receives its slice as a fresh relation
+// under the same name and schema. The source relation is not retained.
+func (sw *ShardedWarehouse) AttachRelation(rel *engine.Relation, routeBy []string) (*ShardedTable, error) {
+	g, err := core.NewGrouping(rel.Schema, routeBy)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadQuery, err)
+	}
+	if len(g.Columns()) == 0 {
+		return nil, fmt.Errorf("%w: sharded table %q needs at least one routing column", ErrBadQuery, rel.Name)
+	}
+	parts := make([][]Row, len(sw.shards))
+	for _, row := range rel.Rows() {
+		i := sw.router.Route(g.Key(row))
+		parts[i] = append(parts[i], row)
+	}
+	st := &ShardedTable{sw: sw, name: rel.Name, g: g, maxCol: maxOrdinal(g), per: make([]*Table, len(sw.shards))}
+	for i, w := range sw.shards {
+		shardRel := engine.NewRelation(rel.Name, rel.Schema)
+		if err := shardRel.InsertAll(parts[i]); err != nil {
+			return nil, err
+		}
+		st.per[i] = w.AttachRelation(shardRel)
+		sw.tel.AddInserts(i, int64(len(parts[i])))
+	}
+	sw.mu.Lock()
+	sw.tables[strings.ToLower(rel.Name)] = st
+	sw.mu.Unlock()
+	return st, nil
+}
+
+// Table returns the handle to a sharded table. The error wraps
+// ErrUnknownTable for errors.Is classification.
+func (sw *ShardedWarehouse) Table(name string) (*ShardedTable, error) {
+	sw.mu.RLock()
+	st := sw.tables[strings.ToLower(name)]
+	sw.mu.RUnlock()
+	if st == nil {
+		return nil, fmt.Errorf("congress: %w %q", ErrUnknownTable, name)
+	}
+	return st, nil
+}
+
+// maxOrdinal returns the highest column ordinal the routing key reads.
+func maxOrdinal(g *core.Grouping) int {
+	m := 0
+	for _, c := range g.Columns() {
+		if c > m {
+			m = c
+		}
+	}
+	return m
+}
+
+// Insert routes one row to its home shard by the routing key and
+// appends it there; the shard's synopsis maintainer (if any) is fed as
+// on an unsharded warehouse.
+func (t *ShardedTable) Insert(vals ...Value) error {
+	row := Row(vals)
+	if len(row) <= t.maxCol {
+		return fmt.Errorf("%w: row has %d values but the routing key reads column %d",
+			ErrBadQuery, len(row), t.maxCol)
+	}
+	i := t.sw.router.Route(t.g.Key(row))
+	if err := t.per[i].Insert(vals...); err != nil {
+		return err
+	}
+	t.sw.tel.AddInserts(i, 1)
+	return nil
+}
+
+// NumRows returns the total row count across shards.
+func (t *ShardedTable) NumRows() int {
+	n := 0
+	for _, p := range t.per {
+		n += p.NumRows()
+	}
+	return n
+}
+
+// Columns returns a copy of the table's schema columns, in order.
+func (t *ShardedTable) Columns() []engine.Column { return t.per[0].Columns() }
+
+// Name returns the table name.
+func (t *ShardedTable) Name() string { return t.name }
+
+// RouteOf reports which shard a row's routing key maps to, for tests
+// and diagnostics.
+func (t *ShardedTable) RouteOf(row Row) int { return t.sw.router.Route(t.g.Key(row)) }
+
+// BuildSynopsis builds a congressional synopsis on every non-empty
+// shard of spec.Table, splitting spec.Space across shards proportional
+// to their row counts (floor + largest remainder, so the total is
+// exactly spec.Space). Per-shard sampling seeds derive from spec.Seed
+// and the shard ordinal, so the build is deterministic for a fixed
+// (data, routing, Seed) and shards never share a random stream.
+func (sw *ShardedWarehouse) BuildSynopsis(spec SynopsisSpec) error {
+	st, err := sw.Table(spec.Table)
+	if err != nil {
+		return err
+	}
+	rows := make([]int, len(sw.shards))
+	total := 0
+	for i, p := range st.per {
+		rows[i] = p.NumRows()
+		total += rows[i]
+	}
+	if total == 0 {
+		return fmt.Errorf("%w: sharded table %q is empty", ErrBadQuery, spec.Table)
+	}
+	space := splitProportional(spec.Space, rows, total)
+	seed := spec.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	for i, w := range sw.shards {
+		if rows[i] == 0 {
+			continue // empty shard: no synopsis; estimation skips it
+		}
+		ss := spec
+		ss.Space = space[i]
+		ss.Seed = seed + int64(i)*0x9E37 // distinct deterministic streams
+		if err := w.BuildSynopsis(ss); err != nil {
+			return fmt.Errorf("shard %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// splitProportional divides budget across weights summing to total by
+// floors plus largest remainders; the parts sum exactly to budget and
+// zero-weight entries get zero.
+func splitProportional(budget int, weights []int, total int) []int {
+	out := make([]int, len(weights))
+	type rem struct {
+		i    int
+		frac float64
+	}
+	rems := make([]rem, 0, len(weights))
+	assigned := 0
+	for i, wt := range weights {
+		if wt == 0 {
+			continue
+		}
+		exact := float64(budget) * float64(wt) / float64(total)
+		out[i] = int(exact)
+		assigned += out[i]
+		rems = append(rems, rem{i, exact - float64(out[i])})
+	}
+	sort.Slice(rems, func(a, b int) bool {
+		if rems[a].frac != rems[b].frac {
+			return rems[a].frac > rems[b].frac
+		}
+		return rems[a].i < rems[b].i
+	})
+	for k := 0; k < budget-assigned && k < len(rems); k++ {
+		out[rems[k].i]++
+	}
+	return out
+}
+
+// RefreshSynopsis re-materializes the table's sample on every shard
+// that has a synopsis, in parallel.
+func (sw *ShardedWarehouse) RefreshSynopsis(table string) error {
+	if !sw.hasSynopsis(table) {
+		return fmt.Errorf("%w %q", ErrNoSynopsis, table)
+	}
+	_, err := shard.Fanout(context.Background(), len(sw.shards), func(_ context.Context, i int) (struct{}, error) {
+		if _, ok := sw.shards[i].aq.Synopsis(table); !ok {
+			return struct{}{}, nil // empty shard skipped at build time
+		}
+		return struct{}{}, sw.shards[i].RefreshSynopsis(table)
+	})
+	return err
+}
+
+// hasSynopsis reports whether any shard holds a synopsis for table —
+// the distinction between "never built" (an error) and "this shard was
+// empty at build time" (skipped during scatter-gather).
+func (sw *ShardedWarehouse) hasSynopsis(table string) bool {
+	for _, w := range sw.shards {
+		if _, ok := w.aq.Synopsis(table); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// Estimate scatter-gathers a direct estimate; see EstimateCtx.
+func (sw *ShardedWarehouse) Estimate(table string, grouping []string, agg estimate.Aggregate, aggCol string, confidence float64) ([]estimate.GroupEstimate, error) {
+	return sw.EstimateCtx(context.Background(), table, grouping, agg, aggCol, confidence)
+}
+
+// EstimateCtx answers a group-by estimate by scatter-gather: every
+// shard with a synopsis computes per-group partials over its own
+// sample, the coordinator merges them (sums of sums, sums of
+// variances; groups absent on a shard contribute that shard's explicit
+// zero-information record), and the confidence interval is taken once
+// over the merged state. With finest-key routing the result is
+// numerically identical to a single warehouse holding the same strata.
+//
+// Fan-out legs observe ctx: the first failing shard cancels its
+// siblings, and per-shard leg latency lands in ShardTelemetry.
+func (sw *ShardedWarehouse) EstimateCtx(ctx context.Context, table string, grouping []string, agg estimate.Aggregate, aggCol string, confidence float64) ([]estimate.GroupEstimate, error) {
+	if !sw.hasSynopsis(table) {
+		return nil, fmt.Errorf("%w %q", ErrNoSynopsis, table)
+	}
+	parts, err := shard.Fanout(ctx, len(sw.shards), func(ctx context.Context, i int) ([]estimate.GroupPartial, error) {
+		start := time.Now()
+		p, err := sw.shards[i].EstimatePartialsCtx(ctx, table, grouping, aggCol)
+		if err != nil {
+			if errors.Is(err, ErrNoSynopsis) {
+				// This shard was empty at build time: it holds no rows of
+				// the table, so it contributes nothing to any group.
+				return nil, nil
+			}
+			sw.tel.FanoutError(i)
+			return nil, err
+		}
+		sw.tel.ObserveFanout(i, time.Since(start))
+		return p, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	merged := estimate.MergePartials(parts...)
+	return estimate.Finalize(merged, agg, confidence)
+}
+
+// EstimateQuery matches the Warehouse signature so congressd can serve
+// either backend. Sharded estimates always bypass the result cache:
+// the merged answer depends on every shard's data epoch at once, and a
+// coordinator-level key would have to read all of them racily. The
+// returned status is therefore always CacheBypass.
+func (sw *ShardedWarehouse) EstimateQuery(ctx context.Context, table string, grouping []string, agg estimate.Aggregate, aggCol string, confidence float64, _ bool) ([]estimate.GroupEstimate, CacheStatus, error) {
+	ests, err := sw.EstimateCtx(ctx, table, grouping, agg, aggCol, confidence)
+	return ests, CacheBypass, err
+}
+
+// Sample returns the weighted union of the per-shard stratified samples
+// for a table: group populations add, and when perGroupCap forces a
+// subsample the per-shard draws follow the group's population split
+// (core.UnionStratified). seed fixes the draw (0 = 1). perGroupCap <= 0
+// concatenates everything.
+func (sw *ShardedWarehouse) Sample(table string, perGroupCap int, seed int64) (*StratifiedSample, error) {
+	if !sw.hasSynopsis(table) {
+		return nil, fmt.Errorf("%w %q", ErrNoSynopsis, table)
+	}
+	parts := make([]*sample.Stratified[Row], 0, len(sw.shards))
+	for _, w := range sw.shards {
+		if syn, ok := w.aq.Synopsis(table); ok {
+			parts = append(parts, syn.Sample())
+		}
+	}
+	return core.UnionStratified(parts, perGroupCap, seed)
+}
+
+// AllocationTable concatenates the per-shard allocation tables and
+// re-sorts by descending target allocation (ties broken by rendered
+// group, so the listing is deterministic).
+func (sw *ShardedWarehouse) AllocationTable(table string) ([]AllocationRow, error) {
+	if !sw.hasSynopsis(table) {
+		return nil, fmt.Errorf("congress: no synopsis for %q", table)
+	}
+	var out []AllocationRow
+	for _, w := range sw.shards {
+		if _, ok := w.aq.Synopsis(table); !ok {
+			continue
+		}
+		rows, err := w.AllocationTable(table)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rows...)
+	}
+	sort.SliceStable(out, func(a, b int) bool {
+		if out[a].Target != out[b].Target {
+			return out[a].Target > out[b].Target
+		}
+		return strings.Join(out[a].Group, "\x1f") < strings.Join(out[b].Group, "\x1f")
+	})
+	return out, nil
+}
+
+// Synopses lists every synopsis merged across shards: sizes, strata and
+// pending counts sum; Shards counts the shards holding a partition.
+// Sorted by table name.
+func (sw *ShardedWarehouse) Synopses() []SynopsisInfo {
+	byTable := make(map[string]*SynopsisInfo)
+	for _, w := range sw.shards {
+		for _, info := range w.Synopses() {
+			m := byTable[info.Table]
+			if m == nil {
+				cp := info
+				cp.Shards = 1
+				byTable[info.Table] = &cp
+				continue
+			}
+			m.Space += info.Space
+			m.SampleSize += info.SampleSize
+			m.Strata += info.Strata
+			m.PendingInserts += info.PendingInserts
+			m.Shards++
+		}
+	}
+	out := make([]SynopsisInfo, 0, len(byTable))
+	for _, info := range byTable {
+		out = append(out, *info)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Table < out[b].Table })
+	return out
+}
+
+// Metrics sums the per-shard telemetry snapshots field-wise into one
+// warehouse-level reading.
+func (sw *ShardedWarehouse) Metrics() MetricsSnapshot {
+	var sum MetricsSnapshot
+	for _, w := range sw.shards {
+		addSnapshot(&sum, w.Metrics())
+	}
+	return sum
+}
+
+// addSnapshot folds one shard's telemetry into the running sum.
+func addSnapshot(sum *MetricsSnapshot, s MetricsSnapshot) {
+	sum.RowsScanned += s.RowsScanned
+	sum.StrataTouched += s.StrataTouched
+	sum.MaintainerInserts += s.MaintainerInserts
+	sum.MaintainerQueueDepth += s.MaintainerQueueDepth
+	sum.CacheHits += s.CacheHits
+	sum.CacheMisses += s.CacheMisses
+	sum.CacheEvictions += s.CacheEvictions
+	sum.CacheInvalidations += s.CacheInvalidations
+	addOp(&sum.Build, s.Build)
+	addOp(&sum.Refresh, s.Refresh)
+	addOp(&sum.Answer, s.Answer)
+	addOp(&sum.Estimate, s.Estimate)
+	sum.WALRecords += s.WALRecords
+	sum.WALBytes += s.WALBytes
+	sum.Fsyncs += s.Fsyncs
+	addOp(&sum.Snapshots, s.Snapshots)
+	sum.SnapshotBytes += s.SnapshotBytes
+	sum.ReplayedRecords += s.ReplayedRecords
+	sum.TruncatedBytes += s.TruncatedBytes
+	sum.Recovery += s.Recovery
+}
+
+func addOp(sum *metrics.OpSnapshot, o metrics.OpSnapshot) {
+	sum.Count += o.Count
+	sum.Total += o.Total
+}

@@ -1,0 +1,145 @@
+// Command colbench measures the columnar engine against the row engine
+// on identical scan-filter-aggregate and scan-filter-project queries
+// over a TPC-D-style lineitem table, and records the results as JSON.
+//
+// Every timed query is first checked for columnar eligibility via the
+// engine's execution counters: if a query silently falls back to the
+// row path the run exits nonzero, so a benchmark artifact can never
+// report a "speedup" of the row engine over itself.
+//
+// Usage:
+//
+//	colbench [flags]
+//
+//	-rows N    lineitem rows to generate (default 1000000)
+//	-iters N   timed iterations per query; the median is reported (default 5)
+//	-out FILE  JSON output path (default BENCH_columnar.json)
+//	-seed N    generator seed (default 1)
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"github.com/approxdb/congress/internal/engine"
+	"github.com/approxdb/congress/internal/tpcd"
+)
+
+// result is one query's measurement, append-written to -out.
+type result struct {
+	Name         string  `json:"name"`
+	Rows         int     `json:"rows"`
+	RowNS        int64   `json:"row_ns"`
+	VectorizedNS int64   `json:"vectorized_ns"`
+	Speedup      float64 `json:"speedup"`
+}
+
+var benchQueries = []struct{ name, sql string }{
+	{
+		"scan_filter_aggregate",
+		"select l_returnflag, l_linestatus, sum(l_quantity), sum(l_extendedprice), " +
+			"avg(l_extendedprice), count(*) from lineitem " +
+			"where l_shipdate >= '1994-01-01' and l_quantity < 500 " +
+			"group by l_returnflag, l_linestatus order by l_returnflag, l_linestatus",
+	},
+	{
+		"scan_filter_project",
+		"select l_id, l_quantity, l_extendedprice from lineitem " +
+			"where l_extendedprice > 1400.0 and l_quantity between 100 and 900 " +
+			"order by l_id limit 100",
+	},
+}
+
+// median times fn iters times and returns the median duration.
+func median(iters int, fn func() error) (time.Duration, error) {
+	times := make([]time.Duration, 0, iters)
+	for i := 0; i < iters; i++ {
+		start := time.Now()
+		if err := fn(); err != nil {
+			return 0, err
+		}
+		times = append(times, time.Since(start))
+	}
+	sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+	return times[len(times)/2], nil
+}
+
+func run() error {
+	rows := flag.Int("rows", 1_000_000, "lineitem rows")
+	iters := flag.Int("iters", 5, "timed iterations per query (median reported)")
+	out := flag.String("out", "BENCH_columnar.json", "JSON output path")
+	seed := flag.Int64("seed", 1, "generator seed")
+	flag.Parse()
+
+	fmt.Fprintf(os.Stderr, "generating %d lineitem rows...\n", *rows)
+	rel, err := tpcd.Generate(tpcd.Params{TableSize: *rows, Seed: *seed})
+	if err != nil {
+		return err
+	}
+	cat := engine.NewCatalog()
+	cat.Register(rel)
+	rel.Batch() // pay batch construction once, outside the timings
+
+	results := make([]result, 0, len(benchQueries))
+	for _, q := range benchQueries {
+		// Eligibility check: the vectorized counter must advance.
+		engine.SetVectorized(true)
+		v0, _ := engine.ExecCounts()
+		if _, err := engine.ExecuteSQL(cat, q.sql); err != nil {
+			return fmt.Errorf("%s: %w", q.name, err)
+		}
+		if v1, _ := engine.ExecCounts(); v1 == v0 {
+			return fmt.Errorf("%s: query fell back to the row engine — columnar eligibility regressed", q.name)
+		}
+
+		vecNS, err := median(*iters, func() error {
+			_, err := engine.ExecuteSQL(cat, q.sql)
+			return err
+		})
+		if err != nil {
+			return err
+		}
+
+		engine.SetVectorized(false)
+		rowNS, err := median(*iters, func() error {
+			_, err := engine.ExecuteSQL(cat, q.sql)
+			return err
+		})
+		engine.SetVectorized(true)
+		if err != nil {
+			return err
+		}
+
+		r := result{
+			Name:         q.name,
+			Rows:         *rows,
+			RowNS:        rowNS.Nanoseconds(),
+			VectorizedNS: vecNS.Nanoseconds(),
+			Speedup:      float64(rowNS) / float64(vecNS),
+		}
+		results = append(results, r)
+		fmt.Printf("%-24s row %12v  vectorized %12v  speedup %.2fx\n", q.name, rowNS, vecNS, r.Speedup)
+	}
+
+	data, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
+	return nil
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "colbench:", err)
+		os.Exit(1)
+	}
+}

@@ -641,6 +641,9 @@ func (w *Warehouse) estimatePlan(table string, grouping []string, aggCol string)
 		Value: func(row Row) (float64, bool) {
 			return row[ci].AsFloat()
 		},
+		// The value closure above is a bare column read, so the scan may
+		// gather the column in batches instead of calling it per row.
+		ValueIndex: &ci,
 	}, nil
 }
 

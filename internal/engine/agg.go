@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"sort"
 	"strings"
 
 	"github.com/approxdb/congress/internal/sqlparse"
@@ -26,29 +27,7 @@ const zScore90 = 1.6448536269514722
 // select list (and HAVING and ORDER BY keys) once per group with the
 // aggregate results bound.
 func aggregate(goCtx context.Context, items []sqlparse.SelectItem, groupBy []sqlparse.Expr, having sqlparse.Expr, orderBy []sqlparse.OrderItem, in *input) ([]sortableRow, error) {
-	// Collect the distinct aggregate calls appearing anywhere.
-	aggExprs := make([]*sqlparse.FuncCall, 0, 4)
-	seen := make(map[string]bool)
-	collect := func(e sqlparse.Expr) {
-		sqlparse.Walk(e, func(n sqlparse.Expr) bool {
-			if f, ok := n.(*sqlparse.FuncCall); ok && sqlparse.AggregateFuncs[f.Name] {
-				key := f.String()
-				if !seen[key] {
-					seen[key] = true
-					aggExprs = append(aggExprs, f)
-				}
-				return false // no nested aggregates
-			}
-			return true
-		})
-	}
-	for _, item := range items {
-		collect(item.Expr)
-	}
-	collect(having)
-	for _, o := range orderBy {
-		collect(o.Expr)
-	}
+	aggExprs := collectAggExprs(items, having, orderBy)
 
 	type group struct {
 		rep  Row // representative row for evaluating group-by columns
@@ -58,22 +37,21 @@ func aggregate(goCtx context.Context, items []sqlparse.SelectItem, groupBy []sql
 	var order []string // first-appearance order for deterministic output
 
 	ctx := &evalCtx{env: in.env}
-	var kb strings.Builder
+	var kb []byte // reused scratch: the composite key allocates only for new groups
 	for ri, r := range in.rows {
 		if err := pollCtx(goCtx, ri); err != nil {
 			return nil, err
 		}
 		ctx.row = r
-		kb.Reset()
+		kb = kb[:0]
 		for _, g := range groupBy {
 			v, err := ctx.eval(g)
 			if err != nil {
 				return nil, err
 			}
-			kb.WriteString(v.GroupKey())
+			kb = v.AppendGroupKey(kb)
 		}
-		key := kb.String()
-		grp, ok := groups[key]
+		grp, ok := groups[string(kb)]
 		if !ok {
 			grp = &group{rep: r, accs: make([]aggregator, len(aggExprs))}
 			for i, f := range aggExprs {
@@ -83,6 +61,7 @@ func aggregate(goCtx context.Context, items []sqlparse.SelectItem, groupBy []sql
 				}
 				grp.accs[i] = acc
 			}
+			key := string(kb)
 			groups[key] = grp
 			order = append(order, key)
 		}
@@ -108,12 +87,64 @@ func aggregate(goCtx context.Context, items []sqlparse.SelectItem, groupBy []sql
 		order = append(order, "")
 	}
 
-	var out []sortableRow
+	results := make([]groupResult, 0, len(order))
 	for _, key := range order {
 		grp := groups[key]
-		gctx := &evalCtx{env: in.env, row: grp.rep, aggs: make(map[string]Value, len(aggExprs))}
+		vals := make([]Value, len(aggExprs))
+		for i := range grp.accs {
+			vals[i] = grp.accs[i].result()
+		}
+		results = append(results, groupResult{rep: grp.rep, vals: vals})
+	}
+	return emitGroups(in.env, aggExprs, items, having, orderBy, results)
+}
+
+// collectAggExprs gathers the distinct aggregate calls (keyed by their
+// rendering) appearing in the select list, HAVING, or ORDER BY.
+func collectAggExprs(items []sqlparse.SelectItem, having sqlparse.Expr, orderBy []sqlparse.OrderItem) []*sqlparse.FuncCall {
+	aggExprs := make([]*sqlparse.FuncCall, 0, 4)
+	seen := make(map[string]bool)
+	collect := func(e sqlparse.Expr) {
+		sqlparse.Walk(e, func(n sqlparse.Expr) bool {
+			if f, ok := n.(*sqlparse.FuncCall); ok && sqlparse.AggregateFuncs[f.Name] {
+				key := f.String()
+				if !seen[key] {
+					seen[key] = true
+					aggExprs = append(aggExprs, f)
+				}
+				return false // no nested aggregates
+			}
+			return true
+		})
+	}
+	for _, item := range items {
+		collect(item.Expr)
+	}
+	collect(having)
+	for _, o := range orderBy {
+		collect(o.Expr)
+	}
+	return aggExprs
+}
+
+// groupResult is one hashed group ready for output evaluation: its
+// representative input row (nil for the synthesized empty global group)
+// and the computed aggregate values, parallel to the aggExprs slice.
+type groupResult struct {
+	rep  Row
+	vals []Value
+}
+
+// emitGroups evaluates HAVING, the select list, and the ORDER BY keys
+// once per group with the aggregate results bound, producing the
+// pre-sort output rows. Shared by the row and vectorized executors so
+// per-group evaluation semantics are identical by construction.
+func emitGroups(env *rowEnv, aggExprs []*sqlparse.FuncCall, items []sqlparse.SelectItem, having sqlparse.Expr, orderBy []sqlparse.OrderItem, groups []groupResult) ([]sortableRow, error) {
+	var out []sortableRow
+	for _, grp := range groups {
+		gctx := &evalCtx{env: env, row: grp.rep, aggs: make(map[string]Value, len(aggExprs))}
 		for i, f := range aggExprs {
-			gctx.aggs[f.String()] = grp.accs[i].result()
+			gctx.aggs[f.String()] = grp.vals[i]
 		}
 		if having != nil {
 			hv, err := gctx.eval(having)
@@ -413,9 +444,22 @@ func (a *errorAcc) add(ctx *evalCtx) error {
 	return nil
 }
 
-func (a *errorAcc) variance() float64 {
+func (a *errorAcc) variance() float64 { return strataVariance(a.strata) }
+
+// strataVariance sums the per-stratum variance contributions in sorted
+// key order. Iterating the map directly would sum floats in a random
+// order and make the last bits of the result nondeterministic; both the
+// row and vectorized *_error aggregates use this so repeated runs (and
+// the differential test) see identical values.
+func strataVariance(strata map[uint64]*stratumStats) float64 {
+	keys := make([]uint64, 0, len(strata))
+	for k := range strata {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
 	var total float64
-	for _, st := range a.strata {
+	for _, k := range keys {
+		st := strata[k]
 		if st.n < 2 {
 			continue
 		}

@@ -105,6 +105,18 @@ func ExecuteCtx(ctx context.Context, cat *Catalog, stmt *sqlparse.SelectStmt) (*
 		return executeNoFrom(stmt)
 	}
 
+	// Route eligible single-table scan-filter-aggregate statements
+	// through the columnar path; everything it declines (joins, nested
+	// subqueries, unsupported expressions, mixed-kind columns) falls
+	// back to the row engine below, unchanged.
+	if vecEnabled.Load() {
+		if res, handled, err := execVectorized(ctx, cat, stmt); handled {
+			vecExecs.Add(1)
+			return res, err
+		}
+	}
+	fallbackExecs.Add(1)
+
 	// Resolve FROM inputs (recursively executing derived tables).
 	inputs := make([]*input, 0, len(stmt.From)+len(stmt.Joins))
 	for _, ref := range stmt.From {
@@ -333,27 +345,33 @@ func joinInputs(ctx context.Context, left, right *input, keys []joinKey) (*input
 	}
 
 	ht := make(map[string][]Row, len(right.rows))
-	var kb strings.Builder
+	var kb []byte
 	for ri, rr := range right.rows {
 		if err := pollCtx(ctx, ri); err != nil {
 			return nil, err
 		}
-		kb.Reset()
+		kb = kb[:0]
 		for _, k := range keys {
-			kb.WriteString(rr[k.right].GroupKey())
+			kb = rr[k.right].AppendGroupKey(kb)
 		}
-		key := kb.String()
-		ht[key] = append(ht[key], rr)
+		// map[string(bytes)] lookups don't allocate; the key string is
+		// only materialized for newly seen keys.
+		bucket, ok := ht[string(kb)]
+		if !ok {
+			ht[string(kb)] = []Row{rr}
+			continue
+		}
+		ht[string(kb)] = append(bucket, rr)
 	}
 	for li, lr := range left.rows {
 		if err := pollCtx(ctx, li); err != nil {
 			return nil, err
 		}
-		kb.Reset()
+		kb = kb[:0]
 		for _, k := range keys {
-			kb.WriteString(lr[k.left].GroupKey())
+			kb = lr[k.left].AppendGroupKey(kb)
 		}
-		for _, rr := range ht[kb.String()] {
+		for _, rr := range ht[string(kb)] {
 			out.rows = append(out.rows, concatRows(lr, rr))
 		}
 	}
@@ -378,9 +396,19 @@ func outputName(item sqlparse.SelectItem) string {
 	return strings.ToLower(item.Expr.String())
 }
 
-// project applies grouping/aggregation (if any), HAVING, DISTINCT,
-// ORDER BY, and LIMIT/OFFSET to produce the final result.
-func project(ctx context.Context, stmt *sqlparse.SelectStmt, in *input) (*Result, error) {
+// projPlan is the resolved projection plan shared by the row and
+// vectorized executors: star-expanded select items, alias-resolved
+// GROUP BY / ORDER BY, and whether the query aggregates.
+type projPlan struct {
+	items   []sqlparse.SelectItem
+	groupBy []sqlparse.Expr
+	orderBy []sqlparse.OrderItem
+	hasAgg  bool
+}
+
+// buildProjection expands SELECT *, resolves select-list aliases in
+// GROUP BY / ORDER BY, and classifies the query as aggregating or not.
+func buildProjection(stmt *sqlparse.SelectStmt, env *rowEnv) projPlan {
 	// Expand SELECT *.
 	items := make([]sqlparse.SelectItem, 0, len(stmt.Select))
 	for _, item := range stmt.Select {
@@ -388,7 +416,7 @@ func project(ctx context.Context, stmt *sqlparse.SelectStmt, in *input) (*Result
 			items = append(items, item)
 			continue
 		}
-		for _, c := range in.env.cols {
+		for _, c := range env.cols {
 			items = append(items, sqlparse.SelectItem{
 				Expr: &sqlparse.ColumnRef{Name: c.name},
 			})
@@ -405,7 +433,7 @@ func project(ctx context.Context, stmt *sqlparse.SelectStmt, in *input) (*Result
 	resolveAlias := func(e sqlparse.Expr) sqlparse.Expr {
 		if c, ok := e.(*sqlparse.ColumnRef); ok && c.Table == "" {
 			// A select alias shadows nothing that exists in the input.
-			if _, err := in.env.resolve("", c.Name); err != nil {
+			if _, err := env.resolve("", c.Name); err != nil {
 				if a, ok := aliases[strings.ToLower(c.Name)]; ok {
 					return a
 				}
@@ -434,16 +462,17 @@ func project(ctx context.Context, stmt *sqlparse.SelectStmt, in *input) (*Result
 			hasAgg = true
 		}
 	}
+	return projPlan{items: items, groupBy: groupBy, orderBy: orderBy, hasAgg: hasAgg}
+}
 
-	res := &Result{Columns: make([]string, len(items))}
-	for i, item := range items {
-		res.Columns[i] = outputName(item)
-	}
+// project applies grouping/aggregation (if any), HAVING, DISTINCT,
+// ORDER BY, and LIMIT/OFFSET to produce the final result.
+func project(ctx context.Context, stmt *sqlparse.SelectStmt, in *input) (*Result, error) {
+	p := buildProjection(stmt, in.env)
 
 	var rows []sortableRow
-
-	if hasAgg {
-		grouped, err := aggregate(ctx, items, groupBy, stmt.Having, orderBy, in)
+	if p.hasAgg {
+		grouped, err := aggregate(ctx, p.items, p.groupBy, stmt.Having, p.orderBy, in)
 		if err != nil {
 			return nil, err
 		}
@@ -455,8 +484,8 @@ func project(ctx context.Context, stmt *sqlparse.SelectStmt, in *input) (*Result
 				return nil, err
 			}
 			ec.row = r
-			out := make(Row, len(items))
-			for i, item := range items {
+			out := make(Row, len(p.items))
+			for i, item := range p.items {
 				v, err := ec.eval(item.Expr)
 				if err != nil {
 					return nil, err
@@ -464,7 +493,7 @@ func project(ctx context.Context, stmt *sqlparse.SelectStmt, in *input) (*Result
 				out[i] = v
 			}
 			var keys []Value
-			for _, o := range orderBy {
+			for _, o := range p.orderBy {
 				v, err := ec.eval(o.Expr)
 				if err != nil {
 					return nil, err
@@ -475,26 +504,39 @@ func project(ctx context.Context, stmt *sqlparse.SelectStmt, in *input) (*Result
 		}
 	}
 
+	return assembleResult(stmt, p, rows), nil
+}
+
+// assembleResult applies DISTINCT, ORDER BY, and OFFSET/LIMIT to the
+// produced rows and packages them with the output column names. Shared
+// by the row and vectorized executors so the result-shaping semantics
+// cannot drift between them.
+func assembleResult(stmt *sqlparse.SelectStmt, p projPlan, rows []sortableRow) *Result {
+	res := &Result{Columns: make([]string, len(p.items))}
+	for i, item := range p.items {
+		res.Columns[i] = outputName(item)
+	}
+
 	if stmt.Distinct {
 		seen := make(map[string]bool, len(rows))
 		dedup := rows[:0]
-		var kb strings.Builder
+		var kb []byte
 		for _, sr := range rows {
-			kb.Reset()
+			kb = kb[:0]
 			for _, v := range sr.row {
-				kb.WriteString(v.GroupKey())
+				kb = v.AppendGroupKey(kb)
 			}
-			if !seen[kb.String()] {
-				seen[kb.String()] = true
+			if !seen[string(kb)] {
+				seen[string(kb)] = true
 				dedup = append(dedup, sr)
 			}
 		}
 		rows = dedup
 	}
 
-	if len(orderBy) > 0 {
+	if len(p.orderBy) > 0 {
 		sort.SliceStable(rows, func(a, b int) bool {
-			for i, o := range orderBy {
+			for i, o := range p.orderBy {
 				c := rows[a].keys[i].Compare(rows[b].keys[i])
 				if c == 0 {
 					continue
@@ -523,5 +565,5 @@ func project(ctx context.Context, stmt *sqlparse.SelectStmt, in *input) (*Result
 	if res.Rows == nil {
 		res.Rows = []Row{}
 	}
-	return res, nil
+	return res
 }

@@ -93,8 +93,10 @@ type Relation struct {
 	Name   string
 	Schema *Schema
 
-	mu   sync.RWMutex
-	rows []Row
+	mu      sync.RWMutex
+	rows    []Row
+	version uint64 // bumped on every mutation; guards the batch cache
+	batch   *Batch // lazily built columnar snapshot; nil until built or after a mutation
 }
 
 // NewRelation creates an empty relation.
@@ -110,16 +112,32 @@ func (r *Relation) Insert(row Row) error {
 	}
 	r.mu.Lock()
 	r.rows = append(r.rows, row)
+	r.invalidateBatchLocked()
 	r.mu.Unlock()
 	return nil
 }
 
-// InsertAll appends rows, failing on the first arity mismatch.
+// InsertAll appends rows, failing on the first arity mismatch (rows
+// before the mismatch stay inserted). The lock is taken once for the
+// whole slice and capacity is grown up front.
 func (r *Relation) InsertAll(rows []Row) error {
+	if len(rows) == 0 {
+		return nil
+	}
+	arity := r.Schema.Len()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.invalidateBatchLocked()
+	if need := len(r.rows) + len(rows); cap(r.rows) < need {
+		grown := make([]Row, len(r.rows), need)
+		copy(grown, r.rows)
+		r.rows = grown
+	}
 	for _, row := range rows {
-		if err := r.Insert(row); err != nil {
-			return err
+		if len(row) != arity {
+			return fmt.Errorf("engine: %s: row arity %d, schema arity %d", r.Name, len(row), arity)
 		}
+		r.rows = append(r.rows, row)
 	}
 	return nil
 }
@@ -145,7 +163,47 @@ func (r *Relation) Rows() []Row {
 func (r *Relation) Truncate() {
 	r.mu.Lock()
 	r.rows = r.rows[:0]
+	r.invalidateBatchLocked()
 	r.mu.Unlock()
+}
+
+// invalidateBatchLocked drops the cached columnar batch. Callers must
+// hold r.mu for writing.
+func (r *Relation) invalidateBatchLocked() {
+	r.version++
+	r.batch = nil
+}
+
+// Batch returns a columnar snapshot of the relation, building it lazily
+// on first use and caching it until the next mutation. The returned
+// batch is immutable and safe for concurrent use; it reflects the rows
+// present at some point between the call and its return.
+func (r *Relation) Batch() *Batch {
+	r.mu.RLock()
+	b := r.batch
+	ver := r.version
+	var rows []Row
+	if b == nil {
+		// Snapshot the slice header under the read lock: Update replaces
+		// r.rows[i] in place, so building from the live slice outside the
+		// lock would race.
+		rows = make([]Row, len(r.rows))
+		copy(rows, r.rows)
+	}
+	r.mu.RUnlock()
+	if b != nil {
+		return b
+	}
+	b = buildBatch(rows)
+	r.mu.Lock()
+	if r.version == ver {
+		r.batch = b
+	} else if r.batch != nil {
+		// Another builder cached a batch for the same (newer) version.
+		b = r.batch
+	}
+	r.mu.Unlock()
+	return b
 }
 
 // Update replaces every row matching pred with transform(row) and
@@ -155,6 +213,7 @@ func (r *Relation) Truncate() {
 func (r *Relation) Update(pred func(Row) bool, transform func(Row) Row) (int, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	r.invalidateBatchLocked()
 	updated := 0
 	for i, row := range r.rows {
 		if !pred(row) {

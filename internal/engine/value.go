@@ -199,22 +199,30 @@ func (v Value) Equal(o Value) bool { return v.Compare(o) == 0 }
 // the same key only if they are the same kind (group-by columns are
 // homogeneous in practice).
 func (v Value) GroupKey() string {
+	return string(v.AppendGroupKey(nil))
+}
+
+// AppendGroupKey appends the GroupKey encoding of v to dst and returns
+// the extended slice. Scan loops that build composite keys use it with a
+// reused scratch buffer so the per-row key costs no allocation; the
+// bytes appended are exactly GroupKey's.
+func (v Value) AppendGroupKey(dst []byte) []byte {
 	switch v.K {
 	case KindNull:
-		return "\x00n"
+		return append(dst, "\x00n"...)
 	case KindBool:
 		if v.I != 0 {
-			return "\x00t"
+			return append(dst, "\x00t"...)
 		}
-		return "\x00f"
+		return append(dst, "\x00f"...)
 	case KindInt:
-		return "\x00i" + strconv.FormatInt(v.I, 36)
+		return strconv.AppendInt(append(dst, "\x00i"...), v.I, 36)
 	case KindDate:
-		return "\x00d" + strconv.FormatInt(v.I, 36)
+		return strconv.AppendInt(append(dst, "\x00d"...), v.I, 36)
 	case KindFloat:
-		return "\x00g" + strconv.FormatUint(math.Float64bits(v.F), 36)
+		return strconv.AppendUint(append(dst, "\x00g"...), math.Float64bits(v.F), 36)
 	default:
-		return "\x00s" + v.S
+		return append(append(dst, "\x00s"...), v.S...)
 	}
 }
 

@@ -1,0 +1,61 @@
+package engine
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// benchCatalog builds an n-row lineitem-like table once per benchmark.
+func benchCatalog(n int) *Catalog {
+	cat := NewCatalog()
+	cat.Register(vecFuzzTable(rand.New(rand.NewSource(1)), n))
+	return cat
+}
+
+func benchQuery(b *testing.B, cat *Catalog, query string, vectorized bool) {
+	b.Helper()
+	prev := SetVectorized(vectorized)
+	defer SetVectorized(prev)
+	if vectorized {
+		// Fail loudly if the query ever falls off the fast path — a
+		// speedup measured against the row engine by accident is the
+		// exact regression this harness exists to catch.
+		v0, _ := ExecCounts()
+		if _, err := ExecuteSQL(cat, query); err != nil {
+			b.Fatal(err)
+		}
+		if v1, _ := ExecCounts(); v1 == v0 {
+			b.Fatalf("query not vectorized: %s", query)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ExecuteSQL(cat, query); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+const (
+	benchRows     = 200_000
+	benchAggQuery = "select status, mode, sum(price * (1 - disc)), sum(qty), avg(price), count(*) " +
+		"from li where qty < 40 and ship >= '1996-01-01' group by status, mode order by status, mode"
+	benchScanQuery = "select qty, price from li where price > 90000.0 and mode = 'AIR' order by price"
+)
+
+func BenchmarkVectorizedAggregate(b *testing.B) {
+	benchQuery(b, benchCatalog(benchRows), benchAggQuery, true)
+}
+
+func BenchmarkRowEngineAggregate(b *testing.B) {
+	benchQuery(b, benchCatalog(benchRows), benchAggQuery, false)
+}
+
+func BenchmarkVectorizedScan(b *testing.B) {
+	benchQuery(b, benchCatalog(benchRows), benchScanQuery, true)
+}
+
+func BenchmarkRowEngineScan(b *testing.B) {
+	benchQuery(b, benchCatalog(benchRows), benchScanQuery, false)
+}

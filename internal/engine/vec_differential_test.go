@@ -1,0 +1,339 @@
+package engine
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// This file holds the differential harness for the columnar engine: the
+// row engine is the oracle, and every randomized query must come back
+// bit-identical from both paths. The generator leans on TPC-D shapes
+// (low-cardinality dimension strings, quantities, prices, dates) plus
+// deliberately hostile columns: NULL-heavy values, a bool flag, and
+// predicates tuned to produce empty groups.
+
+// vecFuzzTable builds a deterministic lineitem-like relation.
+func vecFuzzTable(rng *rand.Rand, n int) *Relation {
+	rel := NewRelation("li", MustSchema(
+		Column{Name: "status", Kind: KindString},
+		Column{Name: "mode", Kind: KindString},
+		Column{Name: "qty", Kind: KindInt},
+		Column{Name: "price", Kind: KindFloat},
+		Column{Name: "disc", Kind: KindFloat},
+		Column{Name: "ship", Kind: KindDate},
+		Column{Name: "ret", Kind: KindBool},
+		Column{Name: "sparse", Kind: KindFloat},
+	))
+	statuses := []string{"A", "F", "N", "O"}
+	modes := []string{"AIR", "RAIL", "SHIP", "TRUCK", "MAIL"}
+	rows := make([]Row, 0, n)
+	for i := 0; i < n; i++ {
+		row := Row{
+			NewString(statuses[rng.Intn(len(statuses))]),
+			NewString(modes[rng.Intn(len(modes))]),
+			NewInt(int64(1 + rng.Intn(50))),
+			NewFloat(math.Round(rng.Float64()*100000) / 100),
+			NewFloat(float64(rng.Intn(11)) / 100),
+			NewDate(9131 + int64(rng.Intn(1460))), // 1995..1998
+			NewBool(rng.Intn(2) == 0),
+			NewFloat(rng.NormFloat64() * 1000),
+		}
+		// NULL injection: each nullable column independently, with the
+		// sparse column NULL-heavy so its aggregates exercise empty and
+		// single-row groups.
+		if rng.Intn(10) == 0 {
+			row[0] = Null
+		}
+		if rng.Intn(8) == 0 {
+			row[2] = Null
+		}
+		if rng.Intn(12) == 0 {
+			row[3] = Null
+		}
+		if rng.Intn(15) == 0 {
+			row[5] = Null
+		}
+		if rng.Intn(9) == 0 {
+			row[6] = Null
+		}
+		if rng.Intn(10) != 0 {
+			row[7] = Null
+		}
+		rows = append(rows, row)
+	}
+	if err := rel.InsertAll(rows); err != nil {
+		panic(err)
+	}
+	return rel
+}
+
+// vecFuzzQuery emits one randomized scan-filter-aggregate statement.
+func vecFuzzQuery(rng *rand.Rand) string {
+	groupCols := [][]string{nil, {"status"}, {"mode"}, {"ret"}, {"status", "mode"}, {"mode", "ret"}}
+	gb := groupCols[rng.Intn(len(groupCols))]
+
+	aggs := []string{
+		"sum(qty)", "sum(price)", "sum(sparse)", "avg(price)", "avg(qty)",
+		"count(*)", "count(qty)", "count(sparse)", "min(price)", "max(price)",
+		"min(qty)", "max(ship)", "min(status)", "variance(price)", "stddev(qty)",
+		"sum(price * (1 - disc))", "sum(qty + 1)", "avg(price / qty)",
+		"sum_error(price)", "avg_error(price)", "count_error(qty)",
+	}
+	nAgg := 1 + rng.Intn(3)
+	items := append([]string{}, gb...)
+	for i := 0; i < nAgg; i++ {
+		items = append(items, aggs[rng.Intn(len(aggs))])
+	}
+
+	preds := []string{
+		"qty > 25", "qty <= 10", "price >= 500.0", "price < 250.5",
+		"status = 'A'", "status <> 'F'", "mode in ('AIR', 'RAIL')",
+		"mode like 'S%'", "qty between 10 and 40", "ship >= '1997-01-01'",
+		"ship between '1995-06-01' and '1996-06-01'", "sparse is not null",
+		"sparse is null", "ret", "not ret", "disc = 0.05",
+		"qty in (1, 2, 3)", "price > 99990.0", // near-empty result
+		"qty * 2 > price / 10",
+	}
+	var where string
+	switch rng.Intn(4) {
+	case 0: // no predicate
+	case 1:
+		where = preds[rng.Intn(len(preds))]
+	case 2:
+		where = preds[rng.Intn(len(preds))] + " and " + preds[rng.Intn(len(preds))]
+	default:
+		where = "(" + preds[rng.Intn(len(preds))] + " or " + preds[rng.Intn(len(preds))] + ")"
+	}
+
+	var sb strings.Builder
+	sb.WriteString("select " + strings.Join(items, ", ") + " from li")
+	if where != "" {
+		sb.WriteString(" where " + where)
+	}
+	if len(gb) > 0 {
+		sb.WriteString(" group by " + strings.Join(gb, ", "))
+		if rng.Intn(4) == 0 {
+			sb.WriteString(" having count(*) > " + fmt.Sprint(rng.Intn(5)))
+		}
+		sb.WriteString(" order by " + strings.Join(gb, ", "))
+	}
+	if rng.Intn(5) == 0 {
+		sb.WriteString(fmt.Sprintf(" limit %d", 1+rng.Intn(10)))
+		if rng.Intn(2) == 0 {
+			sb.WriteString(fmt.Sprintf(" offset %d", rng.Intn(3)))
+		}
+	}
+	return sb.String()
+}
+
+// sameValue is bit-identity: same kind, same int payload, same string,
+// and the same float bit pattern (so +0 vs -0 or differing NaN payloads
+// fail — the columnar engine must replicate the row engine's float
+// operation order exactly, not just approximately).
+func sameValue(a, b Value) bool {
+	return a.K == b.K && a.I == b.I && a.S == b.S &&
+		math.Float64bits(a.F) == math.Float64bits(b.F)
+}
+
+func diffResults(t *testing.T, query string, want, got *Result) {
+	t.Helper()
+	if len(want.Columns) != len(got.Columns) {
+		t.Fatalf("%s\ncolumns: row %v vs vectorized %v", query, want.Columns, got.Columns)
+	}
+	for i := range want.Columns {
+		if want.Columns[i] != got.Columns[i] {
+			t.Fatalf("%s\ncolumn %d: row %q vs vectorized %q", query, i, want.Columns[i], got.Columns[i])
+		}
+	}
+	if len(want.Rows) != len(got.Rows) {
+		t.Fatalf("%s\nrows: row engine %d vs vectorized %d", query, len(want.Rows), len(got.Rows))
+	}
+	for r := range want.Rows {
+		for c := range want.Rows[r] {
+			if !sameValue(want.Rows[r][c], got.Rows[r][c]) {
+				t.Fatalf("%s\nrow %d col %d: row engine %#v vs vectorized %#v",
+					query, r, c, want.Rows[r][c], got.Rows[r][c])
+			}
+		}
+	}
+}
+
+// TestVectorizedDifferential runs hundreds of randomized queries through
+// both engines and requires bit-identical results. It also requires that
+// a healthy share actually exercised the columnar path — a regression
+// that silently declines everything would otherwise pass vacuously.
+func TestVectorizedDifferential(t *testing.T) {
+	prev := SetVectorized(true)
+	defer SetVectorized(prev)
+
+	rng := rand.New(rand.NewSource(20260808))
+	cat := NewCatalog()
+	cat.Register(vecFuzzTable(rng, 4000))
+
+	const queries = 250
+	vectorized := 0
+	for i := 0; i < queries; i++ {
+		query := vecFuzzQuery(rng)
+
+		SetVectorized(false)
+		want, errRow := ExecuteSQL(cat, query)
+		SetVectorized(true)
+		v0, _ := ExecCounts()
+		got, errVec := ExecuteSQL(cat, query)
+		v1, _ := ExecCounts()
+		if v1 > v0 {
+			vectorized++
+		}
+
+		if (errRow == nil) != (errVec == nil) {
+			t.Fatalf("%s\nerror mismatch: row %v vs vectorized %v", query, errRow, errVec)
+		}
+		if errRow != nil {
+			if errRow.Error() != errVec.Error() {
+				t.Fatalf("%s\nerror text: row %q vs vectorized %q", query, errRow, errVec)
+			}
+			continue
+		}
+		diffResults(t, query, want, got)
+	}
+	if vectorized < queries/2 {
+		t.Fatalf("only %d/%d queries took the columnar path — eligibility regressed", vectorized, queries)
+	}
+	t.Logf("%d/%d queries vectorized", vectorized, queries)
+}
+
+// TestVectorizedDifferentialScan covers the non-aggregate scan path:
+// filter + projection with expressions, DISTINCT, ORDER BY, LIMIT.
+func TestVectorizedDifferentialScan(t *testing.T) {
+	prev := SetVectorized(true)
+	defer SetVectorized(prev)
+
+	rng := rand.New(rand.NewSource(42))
+	cat := NewCatalog()
+	cat.Register(vecFuzzTable(rng, 1500))
+
+	queries := []string{
+		"select * from li where qty > 45",
+		"select status, qty from li where mode = 'AIR' order by qty, status limit 20",
+		"select qty, price, qty * price from li where price between 100.0 and 200.0 order by price",
+		"select distinct status, mode from li where ret order by status, mode",
+		"select mode from li where sparse is not null order by mode limit 50",
+		"select status, ship from li where ship < '1995-03-01' order by ship, status",
+		"select qty + 1, price - disc from li where status = 'O' and not ret order by qty limit 30 offset 5",
+		"select upper(mode), qty from li where qty in (7, 11, 13) order by mode, qty",
+		"select * from li where price > 99999.5 order by qty", // empty
+	}
+	for i, query := range queries {
+		for seed := 0; seed < 3; seed++ { // three table shapes per query
+			r2 := rand.New(rand.NewSource(int64(i*10 + seed)))
+			c2 := NewCatalog()
+			c2.Register(vecFuzzTable(r2, 400+seed*300))
+			SetVectorized(false)
+			want, errRow := ExecuteSQL(c2, query)
+			SetVectorized(true)
+			got, errVec := ExecuteSQL(c2, query)
+			if (errRow == nil) != (errVec == nil) {
+				t.Fatalf("%s\nerror mismatch: row %v vs vectorized %v", query, errRow, errVec)
+			}
+			if errRow != nil {
+				continue
+			}
+			diffResults(t, query, want, got)
+		}
+		SetVectorized(false)
+		want, errRow := ExecuteSQL(cat, query)
+		SetVectorized(true)
+		got, errVec := ExecuteSQL(cat, query)
+		if (errRow == nil) != (errVec == nil) {
+			t.Fatalf("%s\nerror mismatch: row %v vs vectorized %v", query, errRow, errVec)
+		}
+		if errRow == nil {
+			diffResults(t, query, want, got)
+		}
+	}
+}
+
+// TestBatchCacheConcurrency hammers the batch cache from concurrent
+// writers and readers. Run under -race this checks the version-guarded
+// cache publication in Relation.Batch against Insert, InsertAll, and
+// Update; without -race it still checks that every executed query sees
+// internally consistent data (no torn batches: count(*) metadata always
+// matches the rows actually scanned).
+func TestBatchCacheConcurrency(t *testing.T) {
+	prev := SetVectorized(true)
+	defer SetVectorized(prev)
+
+	rel := NewRelation("c", MustSchema(
+		Column{Name: "g", Kind: KindString},
+		Column{Name: "v", Kind: KindInt},
+	))
+	for i := 0; i < 256; i++ {
+		rel.Insert(Row{NewString(fmt.Sprint("g", i%4)), NewInt(int64(i))})
+	}
+	cat := NewCatalog()
+	cat.Register(rel)
+
+	var writers, readers sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 2; w++ {
+		writers.Add(1)
+		go func(w int) {
+			defer writers.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				switch i % 3 {
+				case 0:
+					rel.Insert(Row{NewString("g0"), NewInt(int64(i))})
+				case 1:
+					rel.InsertAll([]Row{
+						{NewString("g1"), NewInt(int64(i))},
+						{NewString("g2"), Null},
+					})
+				default:
+					rel.Update(func(r Row) bool { return r[1].K == KindInt && r[1].I == int64(rng.Intn(64)) },
+						func(r Row) Row { return Row{r[0], NewInt(r[1].I + 1)} })
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < 2; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for i := 0; i < 200; i++ {
+				b := rel.Batch()
+				if b.NumRows() < 256 {
+					t.Errorf("batch shrank to %d rows", b.NumRows())
+					return
+				}
+				res, err := ExecuteSQL(cat, "select g, count(*), sum(v) from c group by g order by g")
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				var total int64
+				for _, row := range res.Rows {
+					total += row[1].I
+				}
+				if total < 256 {
+					t.Errorf("query saw %d rows, fewer than the initial 256", total)
+					return
+				}
+			}
+		}()
+	}
+	// Readers run a fixed iteration budget; writers churn until they
+	// finish, then everything drains.
+	readers.Wait()
+	close(stop)
+	writers.Wait()
+}

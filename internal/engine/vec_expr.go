@@ -1,0 +1,949 @@
+package engine
+
+// Vectorized expression compilation. Predicates and numeric expressions
+// over a Batch compile into small kernel trees that evaluate one
+// vecChunk of rows per call into reused scratch buffers.
+//
+// The contract with the row engine is strict: a compiled kernel must
+// produce, for every row, exactly the value evalCtx.eval would produce
+// (same bits for floats, same NULL handling, same NaN behaviour via the
+// Compare ordering, same int64 wraparound, same /0 -> NULL rule).
+// Anything the compiler cannot guarantee bit-identical it declines
+// (returns ok=false), which routes the whole statement to the row
+// engine — declining is always safe, never wrong.
+
+import (
+	"strings"
+
+	"github.com/approxdb/congress/internal/sqlparse"
+)
+
+// numChunk is one chunk of a compiled numeric expression: the float
+// lane is always valid (the AsFloat view); the int lane is valid only
+// when the producing node's kind() is KindInt/KindDate/KindBool; null
+// is nil when no row in the chunk is NULL.
+type numChunk struct {
+	ints   []int64
+	floats []float64
+	null   []bool
+}
+
+// numNode is a compiled numeric expression. kind() is the Value kind of
+// every non-NULL result (KindNull for an always-NULL expression).
+type numNode interface {
+	kind() Kind
+	eval(lo, hi int) numChunk
+}
+
+// boolNode is a compiled predicate. eval fills out[i] with exactly the
+// .Bool() of the Value the row engine would produce for row lo+i.
+type boolNode interface {
+	eval(lo, hi int, out []bool)
+}
+
+// vecCompiler compiles expressions against one batch + environment.
+type vecCompiler struct {
+	b       *Batch
+	env     *rowEnv
+	nullOne *nullNum // shared always-NULL node (read-only buffers)
+}
+
+// col resolves a column reference to its batch column, declining
+// mixed-kind columns (their typed lanes were never built).
+func (vc *vecCompiler) col(cr *sqlparse.ColumnRef) (*colData, bool) {
+	idx, err := vc.env.resolve(cr.Table, cr.Name)
+	if err != nil || idx < 0 || idx >= len(vc.b.cols) {
+		return nil, false
+	}
+	c := &vc.b.cols[idx]
+	if c.mixed {
+		return nil, false
+	}
+	return c, true
+}
+
+// --- numeric nodes ---
+
+type colNum struct {
+	c       *colData
+	nullBuf []bool
+}
+
+func (n *colNum) kind() Kind { return n.c.kind }
+
+func (n *colNum) eval(lo, hi int) numChunk {
+	ch := numChunk{floats: n.c.floats[lo:hi]}
+	if n.c.ints != nil {
+		ch.ints = n.c.ints[lo:hi]
+	}
+	ch.null = n.c.fillNulls(lo, hi, n.nullBuf)
+	return ch
+}
+
+type constNum struct {
+	k      Kind
+	ints   []int64
+	floats []float64
+}
+
+func (n *constNum) kind() Kind { return n.k }
+
+func (n *constNum) eval(lo, hi int) numChunk {
+	sz := hi - lo
+	ch := numChunk{floats: n.floats[:sz]}
+	if n.ints != nil {
+		ch.ints = n.ints[:sz]
+	}
+	return ch
+}
+
+// nullNum is an expression that is NULL for every row (a NULL literal,
+// an all-NULL column, or arithmetic folded to always-NULL).
+type nullNum struct {
+	nulls  []bool
+	ints   []int64
+	floats []float64
+}
+
+func (n *nullNum) kind() Kind { return KindNull }
+
+func (n *nullNum) eval(lo, hi int) numChunk {
+	sz := hi - lo
+	return numChunk{ints: n.ints[:sz], floats: n.floats[:sz], null: n.nulls[:sz]}
+}
+
+func (vc *vecCompiler) nullNode() *nullNum {
+	if vc.nullOne == nil {
+		nulls := make([]bool, vecChunk)
+		for i := range nulls {
+			nulls[i] = true
+		}
+		vc.nullOne = &nullNum{nulls: nulls, ints: make([]int64, vecChunk), floats: make([]float64, vecChunk)}
+	}
+	return vc.nullOne
+}
+
+func (vc *vecCompiler) constNode(v Value) *constNum {
+	c := &constNum{k: v.K, floats: make([]float64, vecChunk)}
+	f, _ := v.AsFloat()
+	for i := range c.floats {
+		c.floats[i] = f
+	}
+	if v.K != KindFloat {
+		c.ints = make([]int64, vecChunk)
+		for i := range c.ints {
+			c.ints[i] = v.I
+		}
+	}
+	return c
+}
+
+// arithNum implements + - * / % with the row engine's arith semantics:
+// both-int operands stay integral (with int64 wraparound) except "/",
+// which always divides in float space and yields NULL on a zero
+// divisor; "%" is integral-only. The float lane of an integer result is
+// float64(intResult), never lf op rf, so downstream AsFloat views match
+// the row engine beyond 2^53.
+type arithNum struct {
+	op      byte // '+', '-', '*', '/', '%'
+	l, r    numNode
+	k       Kind
+	ints    []int64
+	floats  []float64
+	nullBuf []bool
+}
+
+func (n *arithNum) kind() Kind { return n.k }
+
+func (n *arithNum) eval(lo, hi int) numChunk {
+	lc := n.l.eval(lo, hi)
+	rc := n.r.eval(lo, hi)
+	sz := hi - lo
+	out := numChunk{floats: n.floats[:sz]}
+	if lc.null != nil || rc.null != nil || n.op == '/' || n.op == '%' {
+		null := n.nullBuf[:sz]
+		for i := range null {
+			null[i] = (lc.null != nil && lc.null[i]) || (rc.null != nil && rc.null[i])
+		}
+		out.null = null
+	}
+	if n.k == KindInt {
+		ints := n.ints[:sz]
+		out.ints = ints
+		li, ri := lc.ints, rc.ints
+		switch n.op {
+		case '+':
+			for i := range ints {
+				ints[i] = li[i] + ri[i]
+			}
+		case '-':
+			for i := range ints {
+				ints[i] = li[i] - ri[i]
+			}
+		case '*':
+			for i := range ints {
+				ints[i] = li[i] * ri[i]
+			}
+		case '%':
+			for i := range ints {
+				if ri[i] == 0 {
+					out.null[i] = true
+					continue
+				}
+				ints[i] = li[i] % ri[i]
+			}
+		}
+		f := out.floats
+		for i := range f {
+			f[i] = float64(ints[i])
+		}
+		return out
+	}
+	lf, rf := lc.floats, rc.floats
+	f := out.floats
+	switch n.op {
+	case '+':
+		for i := range f {
+			f[i] = lf[i] + rf[i]
+		}
+	case '-':
+		for i := range f {
+			f[i] = lf[i] - rf[i]
+		}
+	case '*':
+		for i := range f {
+			f[i] = lf[i] * rf[i]
+		}
+	case '/':
+		for i := range f {
+			if rf[i] == 0 {
+				out.null[i] = true
+				continue
+			}
+			f[i] = lf[i] / rf[i]
+		}
+	}
+	return out
+}
+
+type negNum struct {
+	x      numNode
+	k      Kind
+	ints   []int64
+	floats []float64
+}
+
+func (n *negNum) kind() Kind { return n.k }
+
+func (n *negNum) eval(lo, hi int) numChunk {
+	ch := n.x.eval(lo, hi)
+	sz := hi - lo
+	out := numChunk{floats: n.floats[:sz], null: ch.null}
+	if n.k == KindInt {
+		ints := n.ints[:sz]
+		out.ints = ints
+		for i := range ints {
+			ints[i] = -ch.ints[i]
+			out.floats[i] = float64(ints[i])
+		}
+		return out
+	}
+	for i := range out.floats {
+		out.floats[i] = -ch.floats[i]
+	}
+	return out
+}
+
+// compileNum compiles a numeric expression. Declines string-typed
+// operands, scalar functions, CASE, and anything whose result kind the
+// compiler cannot pin down statically.
+func (vc *vecCompiler) compileNum(e sqlparse.Expr) (numNode, bool) {
+	switch n := e.(type) {
+	case *sqlparse.ColumnRef:
+		c, ok := vc.col(n)
+		if !ok {
+			return nil, false
+		}
+		switch c.kind {
+		case KindInt, KindFloat, KindDate, KindBool:
+			return &colNum{c: c, nullBuf: make([]bool, vecChunk)}, true
+		case KindNull:
+			return vc.nullNode(), true
+		}
+		return nil, false
+	case *sqlparse.Literal:
+		switch n.Kind {
+		case sqlparse.LitInt:
+			return vc.constNode(NewInt(n.I)), true
+		case sqlparse.LitFloat:
+			return vc.constNode(NewFloat(n.F)), true
+		case sqlparse.LitBool:
+			return vc.constNode(NewBool(n.B)), true
+		case sqlparse.LitNull:
+			return vc.nullNode(), true
+		case sqlparse.LitDate:
+			d, err := ParseDate(n.S)
+			if err != nil {
+				return nil, false // row engine reports the parse error
+			}
+			return vc.constNode(d), true
+		}
+		return nil, false
+	case *sqlparse.BinaryExpr:
+		switch n.Op {
+		case "+", "-", "*", "/", "%":
+		default:
+			return nil, false
+		}
+		l, ok := vc.compileNum(n.Left)
+		if !ok {
+			return nil, false
+		}
+		r, ok := vc.compileNum(n.Right)
+		if !ok {
+			return nil, false
+		}
+		if n.Op == "%" {
+			// Row semantics: % over anything but two ints is NULL.
+			if l.kind() != KindInt || r.kind() != KindInt {
+				return vc.nullNode(), true
+			}
+		}
+		k := KindFloat
+		if n.Op != "/" && l.kind() == KindInt && r.kind() == KindInt {
+			k = KindInt
+		}
+		return &arithNum{
+			op: n.Op[0], l: l, r: r, k: k,
+			ints:    make([]int64, vecChunk),
+			floats:  make([]float64, vecChunk),
+			nullBuf: make([]bool, vecChunk),
+		}, true
+	case *sqlparse.UnaryExpr:
+		if n.Op != "-" {
+			return nil, false
+		}
+		x, ok := vc.compileNum(n.Expr)
+		if !ok {
+			return nil, false
+		}
+		switch x.kind() {
+		case KindNull:
+			return x, true
+		case KindInt, KindFloat:
+			return &negNum{x: x, k: x.kind(), ints: make([]int64, vecChunk), floats: make([]float64, vecChunk)}, true
+		}
+		return nil, false // row engine errors on negating dates/bools
+	}
+	return nil, false
+}
+
+// --- comparison opcodes ---
+
+const (
+	opEQ = iota
+	opNE
+	opLT
+	opLE
+	opGT
+	opGE
+)
+
+func cmpOpCode(op string) (int, bool) {
+	switch op {
+	case "=":
+		return opEQ, true
+	case "<>":
+		return opNE, true
+	case "<":
+		return opLT, true
+	case "<=":
+		return opLE, true
+	case ">":
+		return opGT, true
+	case ">=":
+		return opGE, true
+	}
+	return 0, false
+}
+
+// flipCmp mirrors an operator across the operands: a<b == b>a.
+func flipCmp(op int) int {
+	switch op {
+	case opLT:
+		return opGT
+	case opLE:
+		return opGE
+	case opGT:
+		return opLT
+	case opGE:
+		return opLE
+	}
+	return op // =, <> are symmetric
+}
+
+// cmpMatch applies an opcode to a three-way comparison result.
+func cmpMatch(op, c int) bool {
+	switch op {
+	case opEQ:
+		return c == 0
+	case opNE:
+		return c != 0
+	case opLT:
+		return c < 0
+	case opLE:
+		return c <= 0
+	case opGT:
+		return c > 0
+	default:
+		return c >= 0
+	}
+}
+
+// floatCmp replicates Value.Compare's float ordering (NaN compares
+// equal to everything, as "not less and not greater") then applies op.
+func floatCmp(op int, a, b float64) bool {
+	switch op {
+	case opEQ:
+		return !(a < b) && !(a > b)
+	case opNE:
+		return a < b || a > b
+	case opLT:
+		return a < b
+	case opLE:
+		return !(a > b)
+	case opGT:
+		return a > b
+	default:
+		return !(a < b)
+	}
+}
+
+// --- boolean nodes ---
+
+type numCmpNode struct {
+	op   int
+	l, r numNode
+}
+
+func (n *numCmpNode) eval(lo, hi int, out []bool) {
+	lc := n.l.eval(lo, hi)
+	rc := n.r.eval(lo, hi)
+	lf, rf := lc.floats, rc.floats
+	if lc.null == nil && rc.null == nil {
+		switch n.op {
+		case opEQ:
+			for i := range out {
+				out[i] = !(lf[i] < rf[i]) && !(lf[i] > rf[i])
+			}
+		case opNE:
+			for i := range out {
+				out[i] = lf[i] < rf[i] || lf[i] > rf[i]
+			}
+		case opLT:
+			for i := range out {
+				out[i] = lf[i] < rf[i]
+			}
+		case opLE:
+			for i := range out {
+				out[i] = !(lf[i] > rf[i])
+			}
+		case opGT:
+			for i := range out {
+				out[i] = lf[i] > rf[i]
+			}
+		default:
+			for i := range out {
+				out[i] = !(lf[i] < rf[i])
+			}
+		}
+		return
+	}
+	for i := range out {
+		if (lc.null != nil && lc.null[i]) || (rc.null != nil && rc.null[i]) {
+			out[i] = false // NULL comparisons are never true
+			continue
+		}
+		out[i] = floatCmp(n.op, lf[i], rf[i])
+	}
+}
+
+// strTableNode answers string-column predicates from a per-dictionary-
+// code truth table computed at compile time (comparisons, LIKE, IN).
+// whenNull is the result for NULL rows.
+type strTableNode struct {
+	c        *colData
+	table    []bool
+	whenNull bool
+}
+
+func (n *strTableNode) eval(lo, hi int, out []bool) {
+	for i := range out {
+		abs := lo + i
+		if n.c.nulls.get(abs) {
+			out[i] = n.whenNull
+			continue
+		}
+		out[i] = n.table[n.c.codes[abs]]
+	}
+}
+
+type andNode struct {
+	l, r boolNode
+	buf  []bool
+}
+
+func (n *andNode) eval(lo, hi int, out []bool) {
+	n.l.eval(lo, hi, out)
+	rb := n.buf[:len(out)]
+	n.r.eval(lo, hi, rb)
+	for i := range out {
+		out[i] = out[i] && rb[i]
+	}
+}
+
+type orNode struct {
+	l, r boolNode
+	buf  []bool
+}
+
+func (n *orNode) eval(lo, hi int, out []bool) {
+	n.l.eval(lo, hi, out)
+	rb := n.buf[:len(out)]
+	n.r.eval(lo, hi, rb)
+	for i := range out {
+		out[i] = out[i] || rb[i]
+	}
+}
+
+type notNode struct {
+	x boolNode
+}
+
+func (n *notNode) eval(lo, hi int, out []bool) {
+	n.x.eval(lo, hi, out)
+	for i := range out {
+		out[i] = !out[i]
+	}
+}
+
+type constBoolNode struct {
+	val bool
+}
+
+func (n *constBoolNode) eval(lo, hi int, out []bool) {
+	for i := range out {
+		out[i] = n.val
+	}
+}
+
+// boolColNode is a bare BOOLEAN column used as a predicate.
+type boolColNode struct {
+	c *colData
+}
+
+func (n *boolColNode) eval(lo, hi int, out []bool) {
+	for i := range out {
+		abs := lo + i
+		out[i] = !n.c.nulls.get(abs) && n.c.ints[abs] != 0
+	}
+}
+
+type betweenNode struct {
+	v, lo, hi numNode
+	not       bool
+}
+
+func (n *betweenNode) eval(lo, hi int, out []bool) {
+	vc := n.v.eval(lo, hi)
+	lc := n.lo.eval(lo, hi)
+	hc := n.hi.eval(lo, hi)
+	for i := range out {
+		if (vc.null != nil && vc.null[i]) || (lc.null != nil && lc.null[i]) || (hc.null != nil && hc.null[i]) {
+			out[i] = n.not // row semantics: NULL operand -> NewBool(Not)
+			continue
+		}
+		in := !(vc.floats[i] < lc.floats[i]) && !(vc.floats[i] > hc.floats[i])
+		out[i] = in != n.not
+	}
+}
+
+type inNumNode struct {
+	v    numNode
+	vals []float64
+	not  bool
+}
+
+func (n *inNumNode) eval(lo, hi int, out []bool) {
+	ch := n.v.eval(lo, hi)
+	for i := range out {
+		if ch.null != nil && ch.null[i] {
+			out[i] = n.not // found stays false; result = found != Not
+			continue
+		}
+		f := ch.floats[i]
+		found := false
+		for _, x := range n.vals {
+			if !(f < x) && !(f > x) {
+				found = true
+				break
+			}
+		}
+		out[i] = found != n.not
+	}
+}
+
+// nullLaner exposes just the NULL lane of an operand (for IS NULL and
+// COUNT(col)).
+type nullLaner interface {
+	nullLane(lo, hi int) []bool // nil = no NULLs in the chunk
+}
+
+type colLane struct {
+	c   *colData
+	buf []bool
+}
+
+func (l *colLane) nullLane(lo, hi int) []bool { return l.c.fillNulls(lo, hi, l.buf) }
+
+type numLane struct {
+	n numNode
+}
+
+func (l *numLane) nullLane(lo, hi int) []bool { return l.n.eval(lo, hi).null }
+
+type constLane struct {
+	allNull bool
+	buf     []bool // prefilled true when allNull
+}
+
+func (l *constLane) nullLane(lo, hi int) []bool {
+	if !l.allNull {
+		return nil
+	}
+	return l.buf[:hi-lo]
+}
+
+type isNullNode struct {
+	src nullLaner
+	not bool
+}
+
+func (n *isNullNode) eval(lo, hi int, out []bool) {
+	lane := n.src.nullLane(lo, hi)
+	for i := range out {
+		isn := lane != nil && lane[i]
+		out[i] = isn != n.not
+	}
+}
+
+// compileNullLane compiles the operand of IS [NOT] NULL / COUNT(col).
+func (vc *vecCompiler) compileNullLane(e sqlparse.Expr) (nullLaner, bool) {
+	switch n := e.(type) {
+	case *sqlparse.ColumnRef:
+		c, ok := vc.col(n)
+		if !ok {
+			return nil, false
+		}
+		return &colLane{c: c, buf: make([]bool, vecChunk)}, true
+	case *sqlparse.Literal:
+		switch n.Kind {
+		case sqlparse.LitNull:
+			buf := make([]bool, vecChunk)
+			for i := range buf {
+				buf[i] = true
+			}
+			return &constLane{allNull: true, buf: buf}, true
+		case sqlparse.LitDate:
+			if _, err := ParseDate(n.S); err != nil {
+				return nil, false
+			}
+			return &constLane{}, true
+		default:
+			return &constLane{}, true
+		}
+	}
+	if num, ok := vc.compileNum(e); ok {
+		return &numLane{n: num}, true
+	}
+	return nil, false
+}
+
+// --- predicate compilation ---
+
+func (vc *vecCompiler) compilePred(e sqlparse.Expr) (boolNode, bool) {
+	switch n := e.(type) {
+	case *sqlparse.BinaryExpr:
+		switch n.Op {
+		case "and":
+			l, ok := vc.compilePred(n.Left)
+			if !ok {
+				return nil, false
+			}
+			r, ok := vc.compilePred(n.Right)
+			if !ok {
+				return nil, false
+			}
+			return &andNode{l: l, r: r, buf: make([]bool, vecChunk)}, true
+		case "or":
+			l, ok := vc.compilePred(n.Left)
+			if !ok {
+				return nil, false
+			}
+			r, ok := vc.compilePred(n.Right)
+			if !ok {
+				return nil, false
+			}
+			return &orNode{l: l, r: r, buf: make([]bool, vecChunk)}, true
+		case "=", "<>", "<", "<=", ">", ">=":
+			return vc.compileCmp(n)
+		case "like":
+			return vc.compileLike(n)
+		}
+		return nil, false
+	case *sqlparse.UnaryExpr:
+		if n.Op != "not" {
+			return nil, false
+		}
+		x, ok := vc.compilePred(n.Expr)
+		if !ok {
+			return nil, false
+		}
+		return &notNode{x: x}, true
+	case *sqlparse.BetweenExpr:
+		return vc.compileBetween(n)
+	case *sqlparse.InExpr:
+		return vc.compileIn(n)
+	case *sqlparse.IsNullExpr:
+		src, ok := vc.compileNullLane(n.Expr)
+		if !ok {
+			return nil, false
+		}
+		return &isNullNode{src: src, not: n.Not}, true
+	case *sqlparse.ColumnRef:
+		c, ok := vc.col(n)
+		if !ok {
+			return nil, false
+		}
+		if c.kind == KindBool {
+			return &boolColNode{c: c}, true
+		}
+		return &constBoolNode{}, true // Bool() of non-boolean values is false
+	case *sqlparse.Literal:
+		switch n.Kind {
+		case sqlparse.LitBool:
+			return &constBoolNode{val: n.B}, true
+		case sqlparse.LitDate:
+			if _, err := ParseDate(n.S); err != nil {
+				return nil, false
+			}
+			return &constBoolNode{}, true
+		default:
+			return &constBoolNode{}, true
+		}
+	}
+	return nil, false
+}
+
+func stringLit(e sqlparse.Expr) (string, bool) {
+	if l, ok := e.(*sqlparse.Literal); ok && l.Kind == sqlparse.LitString {
+		return l.S, true
+	}
+	return "", false
+}
+
+// tryStrCmp handles string-column <op> string-literal. done reports
+// that this operand pairing is a string-column comparison (so the
+// caller must not fall through to numeric compilation); ok is whether
+// it compiled.
+func (vc *vecCompiler) tryStrCmp(colSide, litSide sqlparse.Expr, op int) (boolNode, bool, bool) {
+	cr, isCol := colSide.(*sqlparse.ColumnRef)
+	if !isCol {
+		return nil, false, false
+	}
+	c, resolved := vc.col(cr)
+	if !resolved || c.kind != KindString {
+		return nil, false, false
+	}
+	lit, isStr := stringLit(litSide)
+	if !isStr {
+		// string column vs non-string operand: heterogeneous tag
+		// comparison or per-row coercion; let the row engine do it.
+		return nil, false, true
+	}
+	table := make([]bool, len(c.dict))
+	for k, s := range c.dict {
+		table[k] = cmpMatch(op, strings.Compare(s, lit))
+	}
+	return &strTableNode{c: c, table: table}, true, true
+}
+
+func (vc *vecCompiler) compileCmp(n *sqlparse.BinaryExpr) (boolNode, bool) {
+	op, ok := cmpOpCode(n.Op)
+	if !ok {
+		return nil, false
+	}
+	if node, compiled, done := vc.tryStrCmp(n.Left, n.Right, op); done {
+		return node, compiled
+	}
+	if node, compiled, done := vc.tryStrCmp(n.Right, n.Left, flipCmp(op)); done {
+		return node, compiled
+	}
+	ln, lok := vc.compileNum(n.Left)
+	rn, rok := vc.compileNum(n.Right)
+	// compareCoerced parses an ISO string literal compared against a
+	// DATE; fold the parse to compile time. A failed parse degrades to
+	// a heterogeneous tag comparison in the row engine — decline.
+	if lok && !rok && ln.kind() == KindDate {
+		if s, isStr := stringLit(n.Right); isStr {
+			d, err := ParseDate(s)
+			if err != nil {
+				return nil, false
+			}
+			rn, rok = vc.constNode(d), true
+		}
+	}
+	if rok && !lok && rn.kind() == KindDate {
+		if s, isStr := stringLit(n.Left); isStr {
+			d, err := ParseDate(s)
+			if err != nil {
+				return nil, false
+			}
+			ln, lok = vc.constNode(d), true
+		}
+	}
+	if !lok || !rok {
+		return nil, false
+	}
+	return &numCmpNode{op: op, l: ln, r: rn}, true
+}
+
+func (vc *vecCompiler) compileLike(n *sqlparse.BinaryExpr) (boolNode, bool) {
+	cr, isCol := n.Left.(*sqlparse.ColumnRef)
+	if !isCol {
+		return nil, false
+	}
+	c, resolved := vc.col(cr)
+	if !resolved {
+		return nil, false
+	}
+	lit, isLit := n.Right.(*sqlparse.Literal)
+	if !isLit {
+		return nil, false
+	}
+	if lit.Kind == sqlparse.LitDate {
+		if _, err := ParseDate(lit.S); err != nil {
+			return nil, false
+		}
+	}
+	// Row semantics: LIKE is false unless both sides are strings
+	// (NULL rows included: their kind is not KindString).
+	if c.kind != KindString || lit.Kind != sqlparse.LitString {
+		return &constBoolNode{}, true
+	}
+	table := make([]bool, len(c.dict))
+	for k, s := range c.dict {
+		table[k] = matchLike(s, lit.S)
+	}
+	return &strTableNode{c: c, table: table}, true
+}
+
+func (vc *vecCompiler) compileBetween(n *sqlparse.BetweenExpr) (boolNode, bool) {
+	v, ok := vc.compileNum(n.Expr)
+	if !ok {
+		return nil, false
+	}
+	isDate := v.kind() == KindDate
+	bound := func(e sqlparse.Expr) (numNode, bool) {
+		if s, isStr := stringLit(e); isStr && isDate {
+			d, err := ParseDate(s)
+			if err != nil {
+				return nil, false
+			}
+			return vc.constNode(d), true
+		}
+		return vc.compileNum(e)
+	}
+	lo, ok := bound(n.Lo)
+	if !ok {
+		return nil, false
+	}
+	hi, ok := bound(n.Hi)
+	if !ok {
+		return nil, false
+	}
+	return &betweenNode{v: v, lo: lo, hi: hi, not: n.Not}, true
+}
+
+func (vc *vecCompiler) compileIn(n *sqlparse.InExpr) (boolNode, bool) {
+	// String column IN (literals...): dictionary truth table.
+	if cr, isCol := n.Expr.(*sqlparse.ColumnRef); isCol {
+		if c, resolved := vc.col(cr); resolved && c.kind == KindString {
+			set := make(map[string]bool, len(n.List))
+			for _, item := range n.List {
+				lit, isLit := item.(*sqlparse.Literal)
+				if !isLit {
+					return nil, false
+				}
+				switch lit.Kind {
+				case sqlparse.LitString:
+					set[lit.S] = true
+				case sqlparse.LitDate:
+					// compareCoerced would parse the column string per
+					// row against a DATE item; decline.
+					return nil, false
+				default:
+					// NULL items are skipped; other kinds never equal a
+					// string (tag comparison).
+				}
+			}
+			table := make([]bool, len(c.dict))
+			for k, s := range c.dict {
+				table[k] = set[s] != n.Not
+			}
+			return &strTableNode{c: c, table: table, whenNull: n.Not}, true
+		}
+	}
+	v, ok := vc.compileNum(n.Expr)
+	if !ok {
+		return nil, false
+	}
+	isDate := v.kind() == KindDate
+	vals := make([]float64, 0, len(n.List))
+	for _, item := range n.List {
+		lit, isLit := item.(*sqlparse.Literal)
+		if !isLit {
+			return nil, false
+		}
+		switch lit.Kind {
+		case sqlparse.LitNull:
+			// NULL items never match; skip.
+		case sqlparse.LitInt:
+			vals = append(vals, float64(lit.I))
+		case sqlparse.LitFloat:
+			vals = append(vals, lit.F)
+		case sqlparse.LitBool:
+			if lit.B {
+				vals = append(vals, 1)
+			} else {
+				vals = append(vals, 0)
+			}
+		case sqlparse.LitDate:
+			d, err := ParseDate(lit.S)
+			if err != nil {
+				return nil, false // row engine reports the parse error
+			}
+			vals = append(vals, float64(d.I))
+		case sqlparse.LitString:
+			if isDate {
+				if d, err := ParseDate(lit.S); err == nil {
+					vals = append(vals, float64(d.I))
+				}
+				// Unparseable string vs DATE: tag comparison, never
+				// equal; skip.
+			}
+			// String items never equal non-date numerics; skip.
+		}
+	}
+	return &inNumNode{v: v, vals: vals, not: n.Not}, true
+}

@@ -57,6 +57,15 @@ type Query struct {
 	// excludes the tuple (predicate failure or NULL). For Count, Value
 	// acts purely as the predicate (the value itself is ignored).
 	Value func(engine.Row) (v float64, ok bool)
+	// ValueIndex, when non-nil, declares that Value is exactly
+	// "row[*ValueIndex].AsFloat()" — a bare column read with no
+	// predicate. The scan then gathers the column in batches
+	// (engine.AppendColumnFloats) instead of calling Value per row,
+	// which amortizes closure dispatch and cancellation polling. The
+	// accumulation math and its order are identical, so estimates are
+	// bit-for-bit the same either way. Value may be nil when ValueIndex
+	// is set; if both are set they must agree.
+	ValueIndex *int
 	// Agg is the aggregate operator.
 	Agg Aggregate
 	// Confidence is the two-sided confidence level for Bound; 0 means

@@ -11,6 +11,11 @@ import (
 	"github.com/approxdb/congress/internal/sample"
 )
 
+// gatherChunk is the batch size of the columnar scan path: the
+// aggregate column is gathered this many rows at a time, with one
+// cancellation poll per chunk (matches engine's vectorized chunk size).
+const gatherChunk = 4096
+
 // GroupPartial is the mergeable per-group state of one estimation scan.
 // Every field is either additive (sums, variances, counts) or combines
 // by min/max (Lo/Hi), so partials computed over disjoint sets of strata
@@ -106,7 +111,7 @@ func Partials(st *sample.Stratified[engine.Row], q Query) ([]GroupPartial, error
 // on the aggregate or confidence level. q.Agg and q.Confidence are
 // ignored. Cancellation is observed every pollEvery sampled rows.
 func PartialsCtx(ctx context.Context, st *sample.Stratified[engine.Row], q Query) ([]GroupPartial, error) {
-	if q.Value == nil {
+	if q.Value == nil && q.ValueIndex == nil {
 		return nil, errors.New("estimate: Query.Value is required")
 	}
 	cells := make(map[string]*GroupPartial)
@@ -123,6 +128,12 @@ func PartialsCtx(ctx context.Context, st *sample.Stratified[engine.Row], q Query
 	}
 
 	scanned := 0 // rows visited across strata, for cancellation polling
+	// Reused gather scratch for the columnar (ValueIndex) path; nil and
+	// never allocated when every scan goes through q.Value.
+	var (
+		gvals []float64
+		goks  []bool
+	)
 	for _, sk := range st.Keys() {
 		s, ok := st.Get(sk)
 		if !ok || len(s.Items) == 0 {
@@ -150,17 +161,11 @@ func PartialsCtx(ctx context.Context, st *sample.Stratified[engine.Row], q Query
 			htCovTr    float64
 		)
 		sLo, sHi := math.Inf(1), math.Inf(-1)
-		for _, row := range s.Items {
-			if scanned&(pollEvery-1) == 0 {
-				if err := ctx.Err(); err != nil {
-					return nil, err
-				}
-			}
-			scanned++
-			v, ok := q.Value(row)
-			if !ok {
-				continue
-			}
+		// accumulate folds one passing value into the stratum state. Both
+		// scan paths below feed values through this single body in row
+		// order, so the float operation sequence — and therefore every
+		// estimate bit — is identical whichever path runs.
+		accumulate := func(v float64) {
 			n++
 			d := v - mean
 			mean += d / float64(n)
@@ -175,6 +180,42 @@ func PartialsCtx(ctx context.Context, st *sample.Stratified[engine.Row], q Query
 			}
 			if v > sHi {
 				sHi = v
+			}
+		}
+		if q.ValueIndex != nil {
+			// Columnar path: gather the aggregate column chunk by chunk
+			// with one cancellation poll per chunk instead of a closure
+			// call and poll check per row.
+			ci := *q.ValueIndex
+			items := s.Items
+			for lo := 0; lo < len(items); lo += gatherChunk {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+				hi := lo + gatherChunk
+				if hi > len(items) {
+					hi = len(items)
+				}
+				gvals, goks = engine.AppendColumnFloats(items[lo:hi], ci, gvals[:0], goks[:0])
+				for i, v := range gvals {
+					if goks[i] {
+						accumulate(v)
+					}
+				}
+			}
+		} else {
+			for _, row := range s.Items {
+				if scanned&(pollEvery-1) == 0 {
+					if err := ctx.Err(); err != nil {
+						return nil, err
+					}
+				}
+				scanned++
+				v, ok := q.Value(row)
+				if !ok {
+					continue
+				}
+				accumulate(v)
 			}
 		}
 		if n == 0 {

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sync/atomic"
 	"time"
+
+	"github.com/approxdb/congress/internal/engine"
 )
 
 // Telemetry aggregates lightweight operational counters for the
@@ -32,6 +34,8 @@ import (
 //	congress_cache_evictions_total     result-cache entries dropped by capacity bounds
 //	congress_cache_invalidations_total synopsis epoch bumps (insert/refresh/update)
 //	congress_cache_hit_rate            hits / (hits + misses), point-in-time
+//	congress_engine_vectorized_total   statements executed by the columnar engine path
+//	congress_engine_fallback_total     statements executed by the row-engine path
 //	persist_wal_records_total          records appended to the write-ahead log
 //	persist_wal_bytes_total            bytes appended to the write-ahead log
 //	persist_fsyncs_total               fsync calls issued by the WAL
@@ -237,6 +241,13 @@ type TelemetrySnapshot struct {
 	Answer               OpSnapshot
 	Estimate             OpSnapshot
 
+	// EngineVectorized / EngineFallback are process-wide (every
+	// warehouse in the process shares the engine's counters, unlike the
+	// per-instance fields above): statements executed by the columnar
+	// path vs the row engine.
+	EngineVectorized int64
+	EngineFallback   int64
+
 	WALRecords      int64
 	WALBytes        int64
 	Fsyncs          int64
@@ -262,7 +273,10 @@ func (t *Telemetry) Snapshot() TelemetrySnapshot {
 	if t == nil {
 		return TelemetrySnapshot{}
 	}
+	vec, fb := engine.ExecCounts()
 	return TelemetrySnapshot{
+		EngineVectorized:     vec,
+		EngineFallback:       fb,
 		RowsScanned:          t.rowsScanned.Load(),
 		StrataTouched:        t.strataTouched.Load(),
 		MaintainerInserts:    t.maintainerInserts.Load(),
@@ -308,6 +322,8 @@ func (s TelemetrySnapshot) String() string {
 	out += fmt.Sprintf("congress_cache_evictions_total %d\n", s.CacheEvictions)
 	out += fmt.Sprintf("congress_cache_invalidations_total %d\n", s.CacheInvalidations)
 	out += fmt.Sprintf("congress_cache_hit_rate %.4f\n", s.CacheHitRate())
+	out += fmt.Sprintf("congress_engine_vectorized_total %d\n", s.EngineVectorized)
+	out += fmt.Sprintf("congress_engine_fallback_total %d\n", s.EngineFallback)
 	out += fmt.Sprintf("persist_wal_records_total %d\n", s.WALRecords)
 	out += fmt.Sprintf("persist_wal_bytes_total %d\n", s.WALBytes)
 	out += fmt.Sprintf("persist_fsyncs_total %d\n", s.Fsyncs)

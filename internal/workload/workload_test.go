@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"github.com/approxdb/congress/internal/core"
+	"github.com/approxdb/congress/internal/engine"
 )
 
 // smallParams keeps experiment tests fast while preserving the paper's
@@ -199,8 +200,14 @@ func TestMaintenanceExperiment(t *testing.T) {
 
 // TestExperiment3And4Timings checks Table 3 / Figure 18 mechanics: all
 // four strategies produce positive timings and all are faster than the
-// exact query at small sample fractions.
+// exact query at small sample fractions. The comparison only holds
+// engine-for-engine: the exact query is a single-table aggregate that
+// the vectorized path accelerates, while the Normalized rewrites join
+// sample and aux relations on the row path, so the paper's claim is
+// checked with both on the row engine.
 func TestExperiment3And4Timings(t *testing.T) {
+	prev := engine.SetVectorized(false)
+	defer engine.SetVectorized(prev)
 	points, err := Experiment3(smallParams, []float64{5})
 	if err != nil {
 		t.Fatal(err)

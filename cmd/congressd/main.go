@@ -21,6 +21,16 @@
 //
 //	congressd serve -addr :8642 -shards 4 -rows 200000 -groups 1000
 //
+// With -follow the server is a read-only replication follower: it
+// bootstraps from the leader's newest shipped snapshot (or its own disk
+// after a restart), tails the leader's WAL, rejects writes with a 503
+// pointing at the leader, and reports lag on /healthz, /metrics, and
+// /v1/repl/status. A durable leader (-data-dir without -follow) serves
+// the /v1/repl shipping endpoints automatically:
+//
+//	congressd serve -addr :8643 -data-dir /var/lib/congressd-replica \
+//	    -follow http://leader:8642
+//
 // Loadgen mode drives a server with concurrent clients for a fixed
 // duration and reports p50/p95/p99 latency and error rates, writing a
 // machine-readable summary to BENCH_server.json:
@@ -35,6 +45,14 @@
 // ground truth, writing BENCH_shard.json:
 //
 //	congressd loadgen -self -shards 4 -clients 8 -duration 10s
+//
+// With -endpoints loadgen runs the replication read-scaling bench
+// instead: a baseline phase reading from the leader alone, then a
+// fan-out phase with the same mix round-robined across the endpoints,
+// sampling follower staleness throughout and writing BENCH_repl.json:
+//
+//	congressd loadgen -url http://leader:8642 \
+//	    -endpoints http://leader:8642,http://f1:8643,http://f2:8644
 package main
 
 import (
@@ -49,6 +67,7 @@ import (
 	"math/rand"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"sort"
 	"strings"
 	"sync"
@@ -57,6 +76,7 @@ import (
 
 	congress "github.com/approxdb/congress"
 	"github.com/approxdb/congress/internal/engine"
+	"github.com/approxdb/congress/internal/repl"
 	"github.com/approxdb/congress/internal/server"
 	"github.com/approxdb/congress/internal/tpcd"
 	"github.com/approxdb/congress/internal/workload"
@@ -267,6 +287,7 @@ func runServe(args []string, out io.Writer) error {
 	shutdownGrace := fs.Duration("shutdown-grace", 10*time.Second, "drain window for in-flight requests on SIGINT/SIGTERM")
 	logLevel := fs.String("log-level", "info", "debug|info|warn|error")
 	dataDir := fs.String("data-dir", "", "durable data directory: snapshot + WAL crash recovery (empty = in-memory only)")
+	follow := fs.String("follow", "", "replicate from this leader base URL (read-only follower mode; requires -data-dir, incompatible with -shards)")
 	fsyncFlag := fs.String("fsync", "always", "WAL durability under -data-dir: always|interval|none")
 	fsyncInterval := fs.Duration("fsync-interval", 50*time.Millisecond, "fsync period under -fsync=interval")
 	snapInterval := fs.Duration("snapshot-interval", 5*time.Minute, "background snapshot period (negative disables the timer)")
@@ -280,10 +301,24 @@ func runServe(args []string, out io.Writer) error {
 	}
 
 	var (
-		w  *congress.Warehouse
-		sw *congress.ShardedWarehouse
+		w        *congress.Warehouse
+		sw       *congress.ShardedWarehouse
+		leader   *repl.Leader
+		follower *repl.Follower
 	)
-	if *shards > 0 {
+	if *follow != "" {
+		if *dataDir == "" {
+			return errors.New("serve: -follow needs -data-dir for the shipped snapshot and WAL")
+		}
+		if *shards > 0 {
+			return errors.New("serve: -follow cannot be combined with -shards")
+		}
+		if w, follower, err = startFollower(*follow, *dataDir, log); err != nil {
+			return err
+		}
+		w.ConfigureCache(*wf.cacheEntries, *wf.cacheBytes)
+		defer follower.Close()
+	} else if *shards > 0 {
 		if *dataDir != "" {
 			return errors.New("serve: -shards is in-memory only and cannot be combined with -data-dir")
 		}
@@ -326,6 +361,7 @@ func runServe(args []string, out io.Writer) error {
 		} else {
 			log.Info("serving recovered warehouse", slog.Int("synopses", len(w.Synopses())))
 		}
+		leader = repl.NewLeader(w.PersistManager(), repl.LeaderOptions{Logger: log})
 	} else {
 		if w, err = buildWarehouse(wf, log); err != nil {
 			return err
@@ -334,6 +370,8 @@ func runServe(args []string, out io.Writer) error {
 	srv := server.New(server.Options{
 		Warehouse:      w,
 		Sharded:        sw,
+		ReplLeader:     leader,
+		Follower:       follower,
 		Logger:         log,
 		MaxConcurrent:  *maxConcurrent,
 		QueueDepth:     *queueDepth,
@@ -350,12 +388,28 @@ func runServe(args []string, out io.Writer) error {
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
-	<-ctx.Done()
+	var fatalErr error
+	if follower != nil {
+		// A terminal replication error (divergence, pruned history,
+		// corrupt local state) cannot heal in-process: exit non-zero so a
+		// supervisor restarts us and the bootstrap path re-syncs.
+		select {
+		case <-ctx.Done():
+		case ferr := <-follower.Fatal():
+			log.Error("replication failed; shutting down", slog.String("err", ferr.Error()))
+			fatalErr = fmt.Errorf("replication: %w", ferr)
+		}
+	} else {
+		<-ctx.Done()
+	}
 	stop()
 
 	drainCtx, cancel := context.WithTimeout(context.Background(), *shutdownGrace)
 	defer cancel()
 	err = srv.Shutdown(drainCtx)
+	if fatalErr != nil && err == nil {
+		err = fatalErr
+	}
 	// After the drain no more mutations arrive: flush the final snapshot
 	// and close the WAL so the next start replays nothing.
 	var closer interface{ Close() error } = w
@@ -369,6 +423,61 @@ func runServe(args []string, out io.Writer) error {
 		}
 	}
 	return err
+}
+
+// startFollower boots a read-only replica: a fresh in-memory warehouse
+// restored from local replica state when present, otherwise from a
+// snapshot shipped by the leader. If the first bootstrap fails the local
+// state is presumed unusable (corrupt, diverged, or already pruned on
+// the leader), so it is wiped and bootstrap retried once from scratch.
+func startFollower(leaderURL, dir string, log *slog.Logger) (*congress.Warehouse, *repl.Follower, error) {
+	boot := func() (*congress.Warehouse, *repl.Follower, error) {
+		w := congress.Open()
+		f, err := repl.NewFollower(repl.FollowerOptions{
+			Leader: leaderURL,
+			Dir:    dir,
+			Target: w,
+			Logger: log,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := f.Start(); err != nil {
+			return nil, nil, err
+		}
+		return w, f, nil
+	}
+	w, f, err := boot()
+	if err == nil {
+		return w, f, nil
+	}
+	log.Warn("follower bootstrap failed; wiping local replica state and retrying",
+		slog.String("dir", dir), slog.String("err", err.Error()))
+	if werr := wipeReplicaState(dir); werr != nil {
+		return nil, nil, fmt.Errorf("serve: bootstrap failed (%v) and wipe failed: %w", err, werr)
+	}
+	return boot()
+}
+
+// wipeReplicaState removes shipped snapshots and WAL segments from a
+// follower's data directory so bootstrap can restart from the leader.
+func wipeReplicaState(dir string) error {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return err
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if strings.HasPrefix(name, "snap-") || strings.HasPrefix(name, "wal-") {
+			if err := os.Remove(filepath.Join(dir, name)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
 }
 
 // ----- loadgen mode -----
@@ -413,6 +522,8 @@ func runLoadgen(args []string, out io.Writer) error {
 	outPath := fs.String("out", "BENCH_server.json", "summary JSON path (empty to skip)")
 	shards := fs.Int("shards", 0, "with -self: run the in-process server sharded across K warehouses (direct estimates replace the approximate-SQL mix)")
 	shardOut := fs.String("shard-out", "BENCH_shard.json", "with -self -shards: scatter-gather accuracy report path (empty to skip)")
+	endpoints := fs.String("endpoints", "", "comma-separated base URLs (leader + followers) to fan reads across: runs the replication read-scaling bench instead of the standard loadgen (-url must point at the leader)")
+	replOut := fs.String("repl-out", "BENCH_repl.json", "with -endpoints: replication bench report path (empty to skip)")
 	seed := fs.Int64("loadgen-seed", 42, "workload RNG seed")
 	wf := addWarehouseFlags(fs)
 	logLevel := fs.String("log-level", "warn", "debug|info|warn|error")
@@ -422,6 +533,23 @@ func runLoadgen(args []string, out io.Writer) error {
 	log, err := newLogger(*logLevel)
 	if err != nil {
 		return err
+	}
+
+	if *endpoints != "" {
+		if *url == "" {
+			return errors.New("loadgen: -endpoints needs -url pointing at the leader")
+		}
+		return runReplBench(out, replBenchConfig{
+			leader:    *url,
+			endpoints: splitCSV(*endpoints),
+			clients:   *clients,
+			duration:  *duration,
+			insertPct: *insertPct,
+			noCache:   *noCache,
+			timeoutMS: *timeoutMS,
+			seed:      *seed,
+			outPath:   *replOut,
+		})
 	}
 
 	base := *url

@@ -1,0 +1,374 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/approxdb/congress/internal/workload"
+	"github.com/approxdb/congress/pkg/client"
+)
+
+// Replication read-scaling bench (loadgen -endpoints). Two phases with
+// the same request mix: a baseline with every read aimed at the leader
+// alone, then a fan-out with reads round-robined across the endpoint
+// list (leader + followers). Writes always go to the leader — followers
+// reject them — so the WAL keeps moving and follower staleness is
+// observable; a sampler polls every endpoint's /v1/repl/status throughout.
+
+type replBenchConfig struct {
+	leader    string
+	endpoints []string
+	clients   int
+	duration  time.Duration
+	insertPct int
+	noCache   bool
+	timeoutMS int64
+	seed      int64
+	outPath   string
+}
+
+// replBenchReport is the BENCH_repl.json schema.
+type replBenchReport struct {
+	Leader    string   `json:"leader"`
+	Endpoints []string `json:"endpoints"`
+	Clients   int      `json:"clients"`
+	InsertPct int      `json:"insert_pct"`
+	NoCache   bool     `json:"no_cache"`
+	// HostCores is the bench host's CPU count. When every endpoint is a
+	// process on this same host, read scaling is capped by the cores the
+	// endpoints can actually claim — on a 1-core host fan-out cannot
+	// beat the baseline no matter how many followers join.
+	HostCores int `json:"host_cores"`
+	// Baseline reads hit only the leader; FanOut reads round-robin
+	// across Endpoints. ReadScaling is fan-out read throughput over
+	// baseline read throughput.
+	Baseline    replPhaseReport               `json:"baseline"`
+	FanOut      replPhaseReport               `json:"fanout"`
+	ReadScaling float64                       `json:"read_scaling"`
+	Staleness   map[string]replStalenessStats `json:"staleness,omitempty"`
+}
+
+// replPhaseReport summarizes one phase of the bench.
+type replPhaseReport struct {
+	Label       string                       `json:"label"`
+	Endpoints   []string                     `json:"endpoints"`
+	DurationSec float64                      `json:"duration_sec"`
+	Reads       int64                        `json:"reads"`
+	Writes      int64                        `json:"writes"`
+	Errors      int64                        `json:"errors"`
+	ReadRPS     float64                      `json:"read_rps"`
+	LatencyMS   latencySummary               `json:"read_latency_ms"`
+	PerEndpoint map[string]replEndpointStats `json:"per_endpoint"`
+}
+
+// replEndpointStats is one endpoint's share of a phase's reads.
+type replEndpointStats struct {
+	Reads     int64          `json:"reads"`
+	Errors    int64          `json:"errors"`
+	LatencyMS latencySummary `json:"latency_ms"`
+}
+
+// replStalenessStats summarizes the /v1/repl/status lag samples taken
+// from one follower across both phases.
+type replStalenessStats struct {
+	Samples          int     `json:"samples"`
+	CaughtUpFraction float64 `json:"caught_up_fraction"`
+	MeanLagRecords   float64 `json:"mean_lag_records"`
+	MaxLagRecords    int64   `json:"max_lag_records"`
+	MaxLagSeconds    float64 `json:"max_lag_seconds"`
+}
+
+func runReplBench(out io.Writer, cfg replBenchConfig) error {
+	leaderC := client.New(cfg.leader, client.WithRetry(4, 2*time.Second))
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := leaderC.Health(ctx); err != nil {
+		return fmt.Errorf("loadgen: leader %s not healthy: %w", cfg.leader, err)
+	}
+	for _, ep := range cfg.endpoints {
+		if err := client.New(ep).Health(ctx); err != nil {
+			return fmt.Errorf("loadgen: endpoint %s not healthy: %w", ep, err)
+		}
+	}
+
+	stale := newStalenessSampler(cfg.endpoints)
+	base, err := runReplPhase(cfg, "baseline", []string{cfg.leader}, leaderC, stale)
+	if err != nil {
+		return err
+	}
+	fan, err := runReplPhase(cfg, "fanout", cfg.endpoints, leaderC, stale)
+	if err != nil {
+		return err
+	}
+
+	rep := replBenchReport{
+		Leader:    cfg.leader,
+		Endpoints: cfg.endpoints,
+		Clients:   cfg.clients,
+		InsertPct: cfg.insertPct,
+		NoCache:   cfg.noCache,
+		HostCores: runtime.NumCPU(),
+		Baseline:  base,
+		FanOut:    fan,
+		Staleness: stale.summarize(),
+	}
+	if base.ReadRPS > 0 {
+		rep.ReadScaling = fan.ReadRPS / base.ReadRPS
+	}
+
+	fmt.Fprintf(out, "repl bench: baseline %.0f read/s on leader alone; fan-out %.0f read/s across %d endpoints (%.2fx)\n",
+		base.ReadRPS, fan.ReadRPS, len(cfg.endpoints), rep.ReadScaling)
+	for _, ep := range cfg.endpoints {
+		if st, ok := rep.Staleness[ep]; ok {
+			fmt.Fprintf(out, "staleness %s: caught up %.0f%% of %d samples, lag mean=%.1f max=%d records (max %.2fs behind)\n",
+				ep, 100*st.CaughtUpFraction, st.Samples, st.MeanLagRecords, st.MaxLagRecords, st.MaxLagSeconds)
+		}
+	}
+	if cfg.outPath != "" {
+		b, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(cfg.outPath, append(b, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote %s\n", cfg.outPath)
+	}
+	return nil
+}
+
+// runReplPhase drives cfg.clients goroutines for cfg.duration: writes to
+// the leader, reads failing over round-robin across readFrom.
+func runReplPhase(cfg replBenchConfig, label string, readFrom []string, leaderC *client.Client, stale *stalenessSampler) (replPhaseReport, error) {
+	me, err := client.NewMulti(readFrom, client.WithRetry(4, 2*time.Second))
+	if err != nil {
+		return replPhaseReport{}, err
+	}
+
+	type sample struct {
+		d        time.Duration
+		endpoint string
+		write    bool
+		err      error
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), cfg.duration)
+	defer cancel()
+
+	var sampWG sync.WaitGroup
+	sampWG.Add(1)
+	go func() {
+		defer sampWG.Done()
+		t := time.NewTicker(250 * time.Millisecond)
+		defer t.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-t.C:
+				stale.sample()
+			}
+		}
+	}()
+
+	var (
+		mu      sync.Mutex
+		samples []sample
+	)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for ci := 0; ci < cfg.clients; ci++ {
+		wg.Add(1)
+		go func(ci int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.seed + int64(ci)))
+			timed := make([]sample, 0, 1024)
+			for ctx.Err() == nil {
+				t0 := time.Now()
+				var s sample
+				if rng.Intn(100) < cfg.insertPct {
+					s.write, s.endpoint = true, cfg.leader
+					row := []any{
+						rng.Int63n(1 << 40), rng.Intn(3), rng.Intn(2),
+						fmt.Sprintf("1994-%02d-%02d", 1+rng.Intn(12), 1+rng.Intn(28)),
+						float64(1 + rng.Intn(50)), 100 * float64(1+rng.Intn(500)),
+					}
+					_, s.err = leaderC.Insert(ctx, client.InsertRequest{Table: "lineitem", Rows: [][]any{row}})
+				} else {
+					_, s.endpoint, s.err = me.Query(ctx, replReadRequest(rng, cfg))
+				}
+				s.d = time.Since(t0)
+				if ctx.Err() != nil && s.err != nil {
+					break // cut off by the phase deadline
+				}
+				timed = append(timed, s)
+			}
+			mu.Lock()
+			samples = append(samples, timed...)
+			mu.Unlock()
+		}(ci)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	cancel()
+	sampWG.Wait()
+
+	rep := replPhaseReport{
+		Label:       label,
+		Endpoints:   readFrom,
+		DurationSec: elapsed.Seconds(),
+		PerEndpoint: make(map[string]replEndpointStats, len(readFrom)),
+	}
+	perLats := make(map[string][]float64, len(readFrom))
+	var allLats []float64
+	for _, s := range samples {
+		if s.write {
+			rep.Writes++
+			if s.err != nil {
+				rep.Errors++
+			}
+			continue
+		}
+		rep.Reads++
+		es := rep.PerEndpoint[s.endpoint]
+		es.Reads++
+		if s.err != nil {
+			rep.Errors++
+			es.Errors++
+			rep.PerEndpoint[s.endpoint] = es
+			continue
+		}
+		rep.PerEndpoint[s.endpoint] = es
+		ms := float64(s.d) / float64(time.Millisecond)
+		allLats = append(allLats, ms)
+		perLats[s.endpoint] = append(perLats[s.endpoint], ms)
+	}
+	// A failed read that never reached any endpoint lands under "".
+	rep.LatencyMS = summarizeLatency(allLats)
+	for ep, es := range rep.PerEndpoint {
+		es.LatencyMS = summarizeLatency(perLats[ep])
+		rep.PerEndpoint[ep] = es
+	}
+	rep.ReadRPS = float64(rep.Reads) / elapsed.Seconds()
+	return rep, nil
+}
+
+// replReadRequest alternates the direct-estimate and approximate-SQL
+// read kinds, matching the standard loadgen mix minus inserts.
+func replReadRequest(rng *rand.Rand, cfg replBenchConfig) client.QueryRequest {
+	if rng.Intn(2) == 0 {
+		return client.QueryRequest{
+			Estimate: &client.EstimateRequest{
+				Table:   "lineitem",
+				GroupBy: []string{"l_returnflag", "l_linestatus"},
+				Agg:     "sum",
+				Column:  "l_quantity",
+			},
+			NoCache:   cfg.noCache,
+			TimeoutMS: cfg.timeoutMS,
+		}
+	}
+	return client.QueryRequest{SQL: workload.Qg2, NoCache: cfg.noCache, TimeoutMS: cfg.timeoutMS}
+}
+
+func summarizeLatency(lats []float64) latencySummary {
+	n := len(lats)
+	if n == 0 {
+		return latencySummary{}
+	}
+	sort.Float64s(lats)
+	var sum float64
+	for _, v := range lats {
+		sum += v
+	}
+	return latencySummary{
+		P50:  lats[n/2],
+		P95:  lats[min(n-1, n*95/100)],
+		P99:  lats[min(n-1, n*99/100)],
+		Mean: sum / float64(n),
+		Max:  lats[n-1],
+	}
+}
+
+// stalenessSampler polls every endpoint's /v1/repl/status and accumulates
+// follower lag statistics across both bench phases.
+type stalenessSampler struct {
+	clients map[string]*client.Client
+
+	mu    sync.Mutex
+	accum map[string]*staleAccum
+}
+
+type staleAccum struct {
+	samples   int
+	caughtUp  int
+	sumLag    float64
+	maxLagRec int64
+	maxLagSec float64
+}
+
+func newStalenessSampler(endpoints []string) *stalenessSampler {
+	s := &stalenessSampler{
+		clients: make(map[string]*client.Client, len(endpoints)),
+		accum:   make(map[string]*staleAccum, len(endpoints)),
+	}
+	for _, ep := range endpoints {
+		s.clients[ep] = client.New(ep)
+	}
+	return s
+}
+
+func (s *stalenessSampler) sample() {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	for ep, c := range s.clients {
+		st, err := c.ReplStatus(ctx)
+		if err != nil || st.Role != "follower" {
+			continue // leaders and standalone servers have no lag to report
+		}
+		s.mu.Lock()
+		a := s.accum[ep]
+		if a == nil {
+			a = &staleAccum{}
+			s.accum[ep] = a
+		}
+		a.samples++
+		if st.CaughtUp {
+			a.caughtUp++
+		}
+		a.sumLag += float64(st.LagRecords)
+		if st.LagRecords > a.maxLagRec {
+			a.maxLagRec = st.LagRecords
+		}
+		if st.LagSeconds > a.maxLagSec {
+			a.maxLagSec = st.LagSeconds
+		}
+		s.mu.Unlock()
+	}
+}
+
+func (s *stalenessSampler) summarize() map[string]replStalenessStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]replStalenessStats, len(s.accum))
+	for ep, a := range s.accum {
+		st := replStalenessStats{
+			Samples:       a.samples,
+			MaxLagRecords: a.maxLagRec,
+			MaxLagSeconds: a.maxLagSec,
+		}
+		if a.samples > 0 {
+			st.CaughtUpFraction = float64(a.caughtUp) / float64(a.samples)
+			st.MeanLagRecords = a.sumLag / float64(a.samples)
+		}
+		out[ep] = st
+	}
+	return out
+}

@@ -69,6 +69,10 @@ type Manager struct {
 	wal              *WAL
 	gen              uint64
 	insertsSinceSnap int64
+	// closedSegs caches the record count and intact length of rotated
+	// segments for Manifest/SegmentStatus; entries for segments that
+	// predate this Manager are filled lazily by scanning.
+	closedSegs map[uint64]SegmentInfo
 
 	snapMu sync.Mutex // serializes whole snapshots, not the cut
 
@@ -101,14 +105,15 @@ func Start(dir string, opts Options, export func() (*State, error)) (*Manager, e
 		return nil, err
 	}
 	m := &Manager{
-		dir:    dir,
-		opts:   opts,
-		tel:    opts.Telemetry,
-		export: export,
-		wal:    wal,
-		gen:    gen,
-		snapCh: make(chan struct{}, 1),
-		stop:   make(chan struct{}),
+		dir:        dir,
+		opts:       opts,
+		tel:        opts.Telemetry,
+		export:     export,
+		wal:        wal,
+		gen:        gen,
+		closedSegs: make(map[uint64]SegmentInfo),
+		snapCh:     make(chan struct{}, 1),
+		stop:       make(chan struct{}),
 	}
 	// The initial snapshot carries the recovered (or fresh) state and
 	// makes every older snapshot and segment prunable. The manager is
@@ -244,6 +249,9 @@ func (m *Manager) rotateAndSnapshotLocked() error {
 		return fmt.Errorf("persist: exporting state: %w", err)
 	}
 	oldWAL := m.wal
+	// Record the rotated segment's final shape while appends are still
+	// excluded: nothing can land in oldWAL once m.wal is swapped.
+	m.closedSegs[m.gen] = SegmentInfo{Gen: m.gen, Size: oldWAL.Size(), Records: int64(oldWAL.Seq())}
 	m.wal = newWAL
 	m.gen = newGen
 	m.insertsSinceSnap = 0
@@ -290,6 +298,9 @@ func (m *Manager) prune() {
 	for _, gen := range wals {
 		if gen < oldestKept {
 			os.Remove(WALPath(m.dir, gen))
+			m.mu.Lock()
+			delete(m.closedSegs, gen)
+			m.mu.Unlock()
 		}
 	}
 }
@@ -366,16 +377,26 @@ type Stats struct {
 	Generation       uint64
 	InsertsSinceSnap int64
 	Mode             SyncMode
+	// DurableOffset is the current segment's replication watermark in
+	// bytes (the length followers may safely ship).
+	DurableOffset int64
+	// RecordSeq is the number of records appended to the current
+	// segment.
+	RecordSeq int64
 }
 
 // Stats reports the manager's current generation and backlog.
 func (m *Manager) Stats() Stats {
 	m.mu.Lock()
-	defer m.mu.Unlock()
-	return Stats{
+	wal := m.wal
+	s := Stats{
 		Dir:              m.dir,
 		Generation:       m.gen,
 		InsertsSinceSnap: m.insertsSinceSnap,
 		Mode:             m.opts.Mode,
 	}
+	m.mu.Unlock()
+	s.DurableOffset = wal.Watermark()
+	s.RecordSeq = int64(wal.Seq())
+	return s
 }

@@ -1,0 +1,141 @@
+package persist
+
+import (
+	"fmt"
+)
+
+// Replication read hooks. The Manager already owns the generation
+// sequence that makes snapshot+segment shipping safe (the snapshot of
+// generation S covers exactly the records in segments < S); these
+// methods expose that sequence read-only so a replication service can
+// describe the directory (Manifest), bound live reads at the durable
+// watermark (SegmentStatus), and let followers walk closed segments to
+// their intact end.
+
+// SegmentInfo describes one WAL segment for replication: its intact
+// byte length (always a frame boundary) and record count. For the
+// current segment both track the durable watermark, not the raw file
+// size.
+type SegmentInfo struct {
+	Gen     uint64 `json:"gen"`
+	Size    int64  `json:"size"`
+	Records int64  `json:"records"`
+}
+
+// Manifest is the replication view of a data directory: every snapshot
+// generation on disk, every shippable WAL segment, and the live
+// segment's durable offset. A follower bootstraps from the newest
+// snapshot S and tails segments >= S in ascending generation order.
+type Manifest struct {
+	Snapshots      []uint64      `json:"snapshots"`
+	Segments       []SegmentInfo `json:"segments"`
+	CurrentGen     uint64        `json:"current_gen"`
+	CurrentOffset  int64         `json:"current_offset"`
+	CurrentRecords int64         `json:"current_records"`
+}
+
+// ListSegments returns the sorted generations of the WAL segments in a
+// directory; followers use it to resume from their own shipped files.
+func ListSegments(dir string) ([]uint64, error) { return listGens(dir, "wal-") }
+
+// ListSnapshots returns the sorted generations of the snapshots in a
+// directory.
+func ListSnapshots(dir string) ([]uint64, error) { return listGens(dir, "snap-") }
+
+// TotalRecords sums the record counts of every segment at or above gen;
+// followers use it against their own applied counts for exact lag.
+func (mf *Manifest) TotalRecords(fromGen uint64) int64 {
+	var n int64
+	for _, s := range mf.Segments {
+		if s.Gen >= fromGen {
+			n += s.Records
+		}
+	}
+	return n
+}
+
+// Manifest assembles the current replication manifest. The listing and
+// any closed-segment scans happen outside the mutation mutex, so a
+// rotation racing the call yields a slightly stale but still consistent
+// view (the next call observes the new generation).
+func (m *Manager) Manifest() (*Manifest, error) {
+	m.mu.Lock()
+	curGen, wal := m.gen, m.wal
+	m.mu.Unlock()
+	curOff := wal.Watermark()
+	curRecords := int64(wal.Seq())
+
+	snaps, err := listGens(m.dir, "snap-")
+	if err != nil {
+		return nil, err
+	}
+	wals, err := listGens(m.dir, "wal-")
+	if err != nil {
+		return nil, err
+	}
+	mf := &Manifest{
+		Snapshots:      snaps,
+		CurrentGen:     curGen,
+		CurrentOffset:  curOff,
+		CurrentRecords: curRecords,
+	}
+	for _, gen := range wals {
+		switch {
+		case gen == curGen:
+			mf.Segments = append(mf.Segments, SegmentInfo{Gen: gen, Size: curOff, Records: curRecords})
+		case gen > curGen:
+			// A rotation raced the listing; report the view as of curGen.
+		default:
+			si, err := m.closedSegment(gen)
+			if err != nil {
+				continue // pruned between the listing and the scan
+			}
+			mf.Segments = append(mf.Segments, si)
+		}
+	}
+	return mf, nil
+}
+
+// closedSegment returns the cached shape of a rotated segment, scanning
+// it once for segments that predate this Manager (a previous process's
+// leftovers, bounded by the retention policy).
+func (m *Manager) closedSegment(gen uint64) (SegmentInfo, error) {
+	m.mu.Lock()
+	si, ok := m.closedSegs[gen]
+	m.mu.Unlock()
+	if ok {
+		return si, nil
+	}
+	records, size, err := ScanWAL(WALPath(m.dir, gen))
+	if err != nil {
+		return SegmentInfo{}, err
+	}
+	si = SegmentInfo{Gen: gen, Size: size, Records: records}
+	m.mu.Lock()
+	m.closedSegs[gen] = si
+	m.mu.Unlock()
+	return si, nil
+}
+
+// SegmentStatus reports how far a replication read of segment gen may
+// safely go: the durable watermark for the live segment, the intact
+// length for a closed one. current reports whether gen is still being
+// appended to, and currentGen is the manager's generation at the time of
+// the call (a follower that has consumed a closed segment to its
+// watermark advances to the next generation).
+func (m *Manager) SegmentStatus(gen uint64) (watermark int64, current bool, currentGen uint64, err error) {
+	m.mu.Lock()
+	curGen, wal := m.gen, m.wal
+	m.mu.Unlock()
+	if gen == curGen {
+		return wal.Watermark(), true, curGen, nil
+	}
+	if gen > curGen {
+		return 0, false, curGen, fmt.Errorf("persist: segment %x is beyond the current generation %x", gen, curGen)
+	}
+	si, err := m.closedSegment(gen)
+	if err != nil {
+		return 0, false, curGen, err
+	}
+	return si.Size, false, curGen, nil
+}

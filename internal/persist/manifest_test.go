@@ -1,0 +1,156 @@
+package persist
+
+import (
+	"errors"
+	"os"
+	"testing"
+
+	"github.com/approxdb/congress/internal/engine"
+)
+
+// startTestManager starts a Manager over dir with background triggers
+// disabled, so generations only advance when the test asks.
+func startTestManager(t *testing.T, dir string) *Manager {
+	t.Helper()
+	m, err := Start(dir, Options{
+		Mode:             SyncAlways,
+		SnapshotInterval: -1,
+		SnapshotEvery:    -1,
+	}, func() (*State, error) { return &State{}, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func logInserts(t *testing.T, m *Manager, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		rec := &Record{Kind: RecInsert, Table: "t", Row: engine.Row{engine.NewInt(int64(i))}}
+		if err := m.Log(rec, func() error { return nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestManifestReflectsRotation(t *testing.T) {
+	dir := t.TempDir()
+	m := startTestManager(t, dir)
+	defer m.Close()
+	gen := m.Stats().Generation
+
+	logInserts(t, m, 5)
+	mf, err := m.Manifest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mf.CurrentGen != gen || mf.CurrentRecords != 5 {
+		t.Fatalf("manifest gen=%d records=%d, want gen=%d records=5", mf.CurrentGen, mf.CurrentRecords, gen)
+	}
+	if mf.CurrentOffset <= SegmentHeaderSize {
+		t.Fatalf("current offset %d not past the header", mf.CurrentOffset)
+	}
+	if len(mf.Snapshots) == 0 || mf.Snapshots[len(mf.Snapshots)-1] != gen {
+		t.Fatalf("snapshots %v missing start snapshot %d", mf.Snapshots, gen)
+	}
+
+	if err := m.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	logInserts(t, m, 3)
+	mf, err = m.Manifest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mf.CurrentGen != gen+1 || mf.CurrentRecords != 3 {
+		t.Fatalf("post-rotation gen=%d records=%d, want gen=%d records=3", mf.CurrentGen, mf.CurrentRecords, gen+1)
+	}
+	var closed *SegmentInfo
+	for i := range mf.Segments {
+		if mf.Segments[i].Gen == gen {
+			closed = &mf.Segments[i]
+		}
+	}
+	if closed == nil || closed.Records != 5 {
+		t.Fatalf("closed segment %d missing or wrong record count: %+v", gen, mf.Segments)
+	}
+	if got := mf.TotalRecords(gen); got != 8 {
+		t.Fatalf("TotalRecords(%d) = %d, want 8", gen, got)
+	}
+	if got := mf.TotalRecords(gen + 1); got != 3 {
+		t.Fatalf("TotalRecords(%d) = %d, want 3", gen+1, got)
+	}
+}
+
+func TestSegmentStatusLiveClosedFuturePruned(t *testing.T) {
+	dir := t.TempDir()
+	m := startTestManager(t, dir)
+	defer m.Close()
+	gen := m.Stats().Generation
+
+	logInserts(t, m, 4)
+	wm, current, curGen, err := m.SegmentStatus(gen)
+	if err != nil || !current || curGen != gen {
+		t.Fatalf("live status: wm=%d current=%v curGen=%d err=%v", wm, current, curGen, err)
+	}
+	if wm <= SegmentHeaderSize {
+		t.Fatalf("live watermark %d not past the header", wm)
+	}
+
+	if err := m.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	closedWM, current, curGen, err := m.SegmentStatus(gen)
+	if err != nil || current || curGen != gen+1 {
+		t.Fatalf("closed status: current=%v curGen=%d err=%v", current, curGen, err)
+	}
+	if closedWM != wm {
+		t.Fatalf("closed watermark %d != final live watermark %d", closedWM, wm)
+	}
+
+	if _, _, _, err := m.SegmentStatus(gen + 10); err == nil {
+		t.Fatal("future generation accepted")
+	}
+	// A generation below current with no file on disk reads as pruned.
+	if _, _, _, err := m.SegmentStatus(0); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("pruned segment error = %v, want os.ErrNotExist", err)
+	}
+}
+
+func TestScanWALExcludesTornTail(t *testing.T) {
+	path, offsets := writeTestWAL(t, 10)
+	records, size, err := ScanWAL(path)
+	if err != nil || records != 10 || size != offsets[10] {
+		t.Fatalf("clean scan: records=%d size=%d err=%v, want 10/%d", records, size, err, offsets[10])
+	}
+	// Tear the last frame: the scan reports the intact prefix without
+	// touching the file.
+	if err := os.Truncate(path, offsets[9]+3); err != nil {
+		t.Fatal(err)
+	}
+	records, size, err = ScanWAL(path)
+	if err != nil || records != 9 || size != offsets[9] {
+		t.Fatalf("torn scan: records=%d size=%d err=%v, want 9/%d", records, size, err, offsets[9])
+	}
+	if fi, _ := os.Stat(path); fi.Size() != offsets[9]+3 {
+		t.Fatalf("ScanWAL mutated the file to %d bytes", fi.Size())
+	}
+}
+
+func TestCreateSegmentFile(t *testing.T) {
+	path := t.TempDir() + "/wal-0001"
+	f, err := CreateSegmentFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	n, truncated, err := ReadWAL(path, func([]byte) error { return nil })
+	if err != nil || n != 0 || truncated != 0 {
+		t.Fatalf("fresh segment reads n=%d truncated=%d err=%v", n, truncated, err)
+	}
+	if _, err := CreateSegmentFile(path); err == nil {
+		t.Fatal("CreateSegmentFile overwrote an existing segment")
+	}
+}

@@ -31,6 +31,27 @@ const (
 	maxRecordBytes = 1 << 30
 )
 
+// SegmentHeaderSize is the byte length of the magic header every WAL
+// segment starts with; it is the smallest valid replication offset.
+const SegmentHeaderSize = int64(len(walMagic))
+
+// CreateSegmentFile creates an empty WAL segment file at path (which
+// must not exist) containing just the magic header, open for appends.
+// Replication followers use it to persist shipped segments without a
+// WAL's sync machinery — the caller owns framing and fsync policy.
+func CreateSegmentFile(path string) (*os.File, error) {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := f.Write([]byte(walMagic)); err != nil {
+		f.Close()
+		os.Remove(path)
+		return nil, err
+	}
+	return f, nil
+}
+
 // SyncMode selects the WAL durability policy.
 type SyncMode int
 
@@ -86,6 +107,8 @@ type WAL struct {
 	scratch   []byte
 	seq       uint64 // appends written so far
 	syncedSeq uint64 // appends known durable
+	size      int64  // bytes written so far (magic header included)
+	syncedLen int64  // bytes known durable; always a frame boundary
 	err       error  // first write/sync error; sticky
 	closed    bool
 
@@ -111,7 +134,8 @@ func CreateWAL(path string, mode SyncMode, interval time.Duration, tel *metrics.
 	if interval <= 0 {
 		interval = 50 * time.Millisecond
 	}
-	w := &WAL{mode: mode, interval: interval, tel: tel, f: f}
+	w := &WAL{mode: mode, interval: interval, tel: tel, f: f,
+		size: int64(len(walMagic)), syncedLen: int64(len(walMagic))}
 	w.syncReq = sync.NewCond(&w.mu)
 	w.syncAck = sync.NewCond(&w.mu)
 	switch mode {
@@ -150,11 +174,43 @@ func (w *WAL) Append(payload []byte) (uint64, error) {
 		return 0, w.err
 	}
 	w.seq++
+	w.size += int64(len(w.scratch))
 	w.tel.WALAppend(int64(len(w.scratch)))
 	if w.mode == SyncAlways {
 		w.syncReq.Signal()
 	}
 	return w.seq, nil
+}
+
+// Seq returns the number of records appended to this segment so far.
+func (w *WAL) Seq() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.seq
+}
+
+// Size returns the segment's byte length including the magic header —
+// always a frame boundary, because Append writes whole frames under the
+// mutex before advancing it.
+func (w *WAL) Size() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.size
+}
+
+// Watermark returns the replication-safe byte offset of this segment:
+// the durable (fsynced) length under SyncAlways and SyncInterval, or the
+// appended length under SyncNone (which never fsyncs, so "acknowledged"
+// is the only watermark there is — shipped records then share the mode's
+// machine-crash loss window with the leader's own acknowledgements).
+// The watermark is always a frame boundary.
+func (w *WAL) Watermark() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.mode == SyncNone {
+		return w.size
+	}
+	return w.syncedLen
 }
 
 // WaitDurable blocks until the record with the given sequence number is
@@ -193,6 +249,7 @@ func (w *WAL) groupCommitLoop() {
 			return
 		}
 		target := w.seq
+		targetLen := w.size
 		w.mu.Unlock()
 		err := w.f.Sync()
 		w.tel.Fsync()
@@ -200,8 +257,13 @@ func (w *WAL) groupCommitLoop() {
 		if err != nil && w.err == nil {
 			w.err = fmt.Errorf("persist: WAL fsync: %w", err)
 		}
-		if w.syncedSeq < target {
-			w.syncedSeq = target
+		if err == nil {
+			if w.syncedSeq < target {
+				w.syncedSeq = target
+			}
+			if w.syncedLen < targetLen {
+				w.syncedLen = targetLen
+			}
 		}
 		w.syncAck.Broadcast()
 	}
@@ -220,6 +282,7 @@ func (w *WAL) intervalLoop() {
 		}
 		dirty := w.seq > w.syncedSeq
 		target := w.seq
+		targetLen := w.size
 		w.mu.Unlock()
 		if !dirty {
 			continue
@@ -236,6 +299,9 @@ func (w *WAL) intervalLoop() {
 		w.mu.Lock()
 		if w.syncedSeq < target {
 			w.syncedSeq = target
+		}
+		if w.syncedLen < targetLen {
+			w.syncedLen = targetLen
 		}
 		w.mu.Unlock()
 	}
@@ -256,6 +322,7 @@ func (w *WAL) Sync() error {
 		return nil
 	}
 	target := w.seq
+	targetLen := w.size
 	f := w.f
 	w.mu.Unlock()
 	if err := f.Sync(); err != nil {
@@ -265,6 +332,9 @@ func (w *WAL) Sync() error {
 	w.mu.Lock()
 	if w.syncedSeq < target {
 		w.syncedSeq = target
+	}
+	if w.syncedLen < targetLen {
+		w.syncedLen = targetLen
 	}
 	w.syncAck.Broadcast()
 	w.mu.Unlock()
@@ -288,11 +358,46 @@ func (w *WAL) Close() error {
 		err = serr
 	} else if serr == nil {
 		w.tel.Fsync()
+		w.mu.Lock()
+		w.syncedLen = w.size
+		w.mu.Unlock()
 	}
 	if cerr := w.f.Close(); cerr != nil && err == nil {
 		err = cerr
 	}
 	return err
+}
+
+// ScanWAL walks a segment's frames without decoding or mutating it,
+// returning the number of intact records and the byte offset of the last
+// intact frame boundary (the segment's replication-safe length). Unlike
+// ReadWAL it never truncates: a torn tail is simply excluded from the
+// reported size. Replication uses it to describe closed segments.
+func ScanWAL(path string) (records int64, size int64, err error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return 0, 0, err
+	}
+	if len(raw) < len(walMagic) || string(raw[:len(walMagic)]) != walMagic {
+		return 0, 0, fmt.Errorf("persist: %s is not a WAL segment", path)
+	}
+	off := len(walMagic)
+	for {
+		if len(raw)-off < 8 {
+			break
+		}
+		n := binary.LittleEndian.Uint32(raw[off:])
+		crc := binary.LittleEndian.Uint32(raw[off+4:])
+		if n > maxRecordBytes || int(n) > len(raw)-off-8 {
+			break
+		}
+		if crc32.Checksum(raw[off+8:off+8+int(n)], castagnoli) != crc {
+			break
+		}
+		records++
+		off += 8 + int(n)
+	}
+	return records, int64(off), nil
 }
 
 // ReadWAL scans a segment, calling fn for each intact record payload in

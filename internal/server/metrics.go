@@ -36,7 +36,7 @@ type serverMetrics struct {
 
 // metricRoutes is the fixed label set; creating every histogram up front
 // keeps Observe lock-free.
-var metricRoutes = []string{"exact", "healthz", "insert", "metrics", "query", "synopses"}
+var metricRoutes = []string{"exact", "healthz", "insert", "metrics", "query", "repl", "repl_status", "snapshot", "synopses"}
 
 func newServerMetrics() *serverMetrics {
 	m := &serverMetrics{

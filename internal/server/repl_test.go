@@ -1,0 +1,210 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"math"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	congress "github.com/approxdb/congress"
+	"github.com/approxdb/congress/internal/repl"
+	"github.com/approxdb/congress/internal/tpcd"
+	"github.com/approxdb/congress/pkg/client"
+)
+
+// durableWarehouse builds a small persistent warehouse whose newest
+// snapshot (forced here) carries the table and synopsis, so a follower
+// can bootstrap from it.
+func durableWarehouse(t *testing.T, rows, groups int) *congress.Warehouse {
+	t.Helper()
+	w, _, err := congress.OpenDir(t.TempDir(), congress.PersistOptions{
+		SnapshotInterval: -1,
+		SnapshotEvery:    -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { w.Close() })
+	rel, err := tpcd.Generate(tpcd.Params{TableSize: rows, NumGroups: groups, GroupSkew: 0.86, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.AttachRelation(rel)
+	if err := w.BuildSynopsis(congress.SynopsisSpec{
+		Table:   "lineitem",
+		GroupBy: tpcd.GroupingAttrs,
+		Space:   rows / 10,
+		Seed:    1,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.TriggerSnapshot(); err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func estimateReq() client.QueryRequest {
+	return client.QueryRequest{
+		Estimate: &client.EstimateRequest{
+			Table:   "lineitem",
+			GroupBy: []string{"l_returnflag", "l_linestatus"},
+			Agg:     "sum",
+			Column:  "l_quantity",
+		},
+		NoCache: true,
+	}
+}
+
+func TestReplStatusStandalone(t *testing.T) {
+	w := testWarehouse(t, 2000, 20)
+	_, c := testServer(t, Options{Warehouse: w})
+	st, err := c.ReplStatus(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Role != "standalone" {
+		t.Fatalf("role = %q, want standalone", st.Role)
+	}
+}
+
+func TestReplLeaderFollowerEndToEnd(t *testing.T) {
+	ctx := context.Background()
+	w := durableWarehouse(t, 3000, 30)
+	leader := repl.NewLeader(w.PersistManager(), repl.LeaderOptions{Logger: quietLogger()})
+	_, lc := testServer(t, Options{Warehouse: w, ReplLeader: leader})
+
+	fw := congress.Open()
+	f, err := repl.NewFollower(repl.FollowerOptions{
+		Leader:     lc.BaseURL(),
+		Dir:        t.TempDir(),
+		Target:     fw,
+		WaitMS:     50,
+		MinBackoff: 5 * time.Millisecond,
+		MaxBackoff: 50 * time.Millisecond,
+		Logger:     quietLogger(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(f.Close)
+	_, fc := testServer(t, Options{Warehouse: fw, Follower: f})
+
+	// Roles on /v1/repl/status.
+	if st, err := lc.ReplStatus(ctx); err != nil || st.Role != "leader" {
+		t.Fatalf("leader status %+v err=%v", st, err)
+	}
+	if st, err := fc.ReplStatus(ctx); err != nil || st.Role != "follower" {
+		t.Fatalf("follower status %+v err=%v", st, err)
+	}
+
+	// Writes through the leader replicate; the follower reports caught up.
+	if _, err := lc.Insert(ctx, client.InsertRequest{
+		Table: "lineitem",
+		Rows:  [][]any{{int64(9_000_001), 1, 0, "1994-06-15", 7.0, 1200.0}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		st, err := fc.ReplStatus(ctx)
+		if err == nil && st.CaughtUp && st.LagRecords == 0 && st.RecordsApplied >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("follower never caught up: %+v err=%v", st, err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// With zero lag the follower's estimates match the leader's exactly.
+	lresp, err := lc.Query(ctx, estimateReq())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresp, err := fc.Query(ctx, estimateReq())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lresp.Groups) == 0 || len(lresp.Groups) != len(fresp.Groups) {
+		t.Fatalf("group counts differ: leader %d follower %d", len(lresp.Groups), len(fresp.Groups))
+	}
+	for i := range lresp.Groups {
+		if math.Abs(lresp.Groups[i].Value-fresp.Groups[i].Value) > 1e-9 {
+			t.Fatalf("group %v: leader %v follower %v", lresp.Groups[i].Group, lresp.Groups[i].Value, fresp.Groups[i].Value)
+		}
+	}
+
+	// Writes to the follower are rejected with 503 and a Leader hint.
+	body, _ := json.Marshal(client.InsertRequest{
+		Table: "lineitem",
+		Rows:  [][]any{{int64(9_000_002), 1, 0, "1994-06-15", 7.0, 1200.0}},
+	})
+	resp, err := http.Post(fc.BaseURL()+"/v1/insert", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("follower insert returned %d, want 503", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Leader"); got != lc.BaseURL() {
+		t.Fatalf("Leader header %q, want %q", got, lc.BaseURL())
+	}
+	if _, err := fc.Insert(ctx, client.InsertRequest{Table: "lineitem", Rows: [][]any{{int64(1), 1, 0, "1994-06-15", 1.0, 1.0}}}); err == nil {
+		t.Fatal("client insert on follower succeeded")
+	} else {
+		var ae *client.APIError
+		if !errors.As(err, &ae) || ae.Code != "read_only_follower" {
+			t.Fatalf("unexpected error: %v", err)
+		}
+	}
+
+	// Both sides expose repl_* and persist_* metrics.
+	for _, tc := range []struct {
+		c    *client.Client
+		want []string
+	}{
+		{lc, []string{`repl_role{role="leader"} 1`, "repl_follower_lag_records{", "persist_generation", "persist_wal_record_seq"}},
+		{fc, []string{`repl_role{role="follower"} 1`, "repl_follower_lag_records 0", "repl_segments_shipped_total", "repl_reconnects_total"}},
+	} {
+		resp, err := http.Get(tc.c.BaseURL() + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		for _, want := range tc.want {
+			if !strings.Contains(string(raw), want) {
+				t.Errorf("metrics from %s missing %q", tc.c.BaseURL(), want)
+			}
+		}
+	}
+
+	// /healthz reports the role and follower lag fields.
+	resp, err = http.Get(fc.BaseURL() + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hz map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&hz); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if hz["role"] != "follower" {
+		t.Fatalf("healthz role %v, want follower", hz["role"])
+	}
+	if _, ok := hz["lag_records"]; !ok {
+		t.Fatalf("healthz missing lag_records: %v", hz)
+	}
+}

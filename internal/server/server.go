@@ -11,8 +11,14 @@
 //	POST /v1/insert    feed rows to a table and its synopsis maintainer
 //	POST /v1/snapshot  write a durable snapshot now (persistent servers)
 //	GET  /v1/synopses  list registered synopses (+allocation tables)
+//	GET  /v1/repl/...  replication: status always; manifest/snapshot/wal
+//	                   shipping when the server is a leader
 //	GET  /metrics      congress_* telemetry + server_* histograms
-//	GET  /healthz      liveness probe
+//	GET  /healthz      liveness probe (+ replication role and lag)
+//
+// A server wired with Options.Follower serves reads only: /v1/insert
+// and /v1/snapshot answer 503 with a Leader header pointing writers at
+// the leader.
 package server
 
 import (
@@ -33,6 +39,7 @@ import (
 	"github.com/approxdb/congress/internal/aqua"
 	"github.com/approxdb/congress/internal/engine"
 	"github.com/approxdb/congress/internal/estimate"
+	"github.com/approxdb/congress/internal/repl"
 	"github.com/approxdb/congress/pkg/client"
 )
 
@@ -72,6 +79,15 @@ type Options struct {
 	MaxQueueWait time.Duration
 	// RetryAfter is the backoff hint attached to 429 responses. Default 1s.
 	RetryAfter time.Duration
+	// ReplLeader, when set, mounts the replication shipping API
+	// (/v1/repl/manifest, /v1/repl/snapshot/{gen}, /v1/repl/wal/{gen})
+	// so followers can tail this server's data directory.
+	ReplLeader *repl.Leader
+	// Follower, when set, marks this server a read-only replication
+	// follower: writes answer 503 with a Leader hint, and /healthz,
+	// /metrics, and /v1/repl/status report replication lag. Requires
+	// Warehouse (followers replay into a single warehouse).
+	Follower *repl.Follower
 }
 
 func (o *Options) withDefaults() {
@@ -128,6 +144,12 @@ func New(opts Options) *Server {
 	if (opts.Warehouse == nil) == (opts.Sharded == nil) {
 		panic("server: exactly one of Options.Warehouse and Options.Sharded is required")
 	}
+	if opts.Follower != nil && opts.Warehouse == nil {
+		panic("server: Options.Follower requires Options.Warehouse")
+	}
+	if opts.Follower != nil && opts.ReplLeader != nil {
+		panic("server: a server cannot be both replication leader and follower")
+	}
 	opts.withDefaults()
 	s := &Server{
 		w:    opts.Warehouse,
@@ -143,6 +165,12 @@ func New(opts Options) *Server {
 	s.mux.Handle("POST /v1/insert", s.instrument("insert", s.handleInsert))
 	s.mux.Handle("POST /v1/snapshot", s.instrument("snapshot", s.handleSnapshot))
 	s.mux.Handle("GET /v1/synopses", s.instrument("synopses", s.handleSynopses))
+	s.mux.Handle("GET /v1/repl/status", s.instrument("repl_status", s.handleReplStatus))
+	if opts.ReplLeader != nil {
+		s.mux.Handle("GET /v1/repl/manifest", s.instrument("repl", opts.ReplLeader.HandleManifest))
+		s.mux.Handle("GET /v1/repl/snapshot/{gen}", s.instrument("repl", opts.ReplLeader.HandleSnapshot))
+		s.mux.Handle("GET /v1/repl/wal/{gen}", s.instrument("repl", opts.ReplLeader.HandleWAL))
+	}
 	s.mux.Handle("GET /metrics", s.instrument("metrics", s.handleMetrics))
 	s.mux.Handle("GET /healthz", s.instrument("healthz", s.handleHealthz))
 	s.http = &http.Server{Handler: s.mux}
@@ -491,7 +519,23 @@ func (s *Server) handleExact(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// rejectOnFollower answers writes with 503 + a Leader hint on follower
+// servers. 503 (not 4xx) because the request is valid — this replica
+// just cannot take it; clients fail over or follow the hint.
+func (s *Server) rejectOnFollower(w http.ResponseWriter) bool {
+	if s.opts.Follower == nil {
+		return false
+	}
+	w.Header().Set("Leader", s.opts.Follower.Leader())
+	writeError(w, http.StatusServiceUnavailable, "read_only_follower",
+		"this congressd is a replication follower; send writes to the leader (see the Leader header)")
+	return true
+}
+
 func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
+	if s.rejectOnFollower(w) {
+		return
+	}
 	var req client.InsertRequest
 	if !decodeBody(w, r, &req) {
 		return
@@ -548,6 +592,9 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	if s.rejectOnFollower(w) {
+		return
+	}
 	_, cancel, ok := s.admitWithDeadline(w, r, 0)
 	if !ok {
 		return
@@ -617,6 +664,19 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if s.sw != nil {
 		s.sw.ShardTelemetry().Render(&sb)
 	}
+	if s.w != nil {
+		if ps, ok := s.w.PersistStats(); ok {
+			fmt.Fprintf(&sb, "persist_generation %d\n", ps.Generation)
+			fmt.Fprintf(&sb, "persist_wal_durable_offset %d\n", ps.DurableWALOffset)
+			fmt.Fprintf(&sb, "persist_wal_record_seq %d\n", ps.RecordSeq)
+		}
+	}
+	if s.opts.ReplLeader != nil {
+		s.opts.ReplLeader.RenderMetrics(&sb)
+	}
+	if s.opts.Follower != nil {
+		s.opts.Follower.RenderMetrics(&sb)
+	}
 	s.met.render(&sb, s.adm.depth())
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	w.WriteHeader(http.StatusOK)
@@ -624,7 +684,39 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	resp := map[string]any{"status": "ok", "role": s.replRole()}
+	if f := s.opts.Follower; f != nil {
+		st := f.Status()
+		resp["lag_records"] = st.LagRecords
+		resp["lag_seconds"] = st.LagSeconds
+		resp["caught_up"] = st.CaughtUp
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) replRole() string {
+	switch {
+	case s.opts.Follower != nil:
+		return "follower"
+	case s.opts.ReplLeader != nil:
+		return "leader"
+	default:
+		return "standalone"
+	}
+}
+
+// handleReplStatus reports the server's replication role and progress;
+// standalone servers answer too, so probes can discover topology
+// uniformly.
+func (s *Server) handleReplStatus(w http.ResponseWriter, r *http.Request) {
+	switch {
+	case s.opts.Follower != nil:
+		writeJSON(w, http.StatusOK, s.opts.Follower.Status())
+	case s.opts.ReplLeader != nil:
+		writeJSON(w, http.StatusOK, s.opts.ReplLeader.Status())
+	default:
+		writeJSON(w, http.StatusOK, map[string]string{"role": "standalone"})
+	}
 }
 
 // ----- helpers -----

@@ -186,6 +186,12 @@ type PersistStats struct {
 	InsertsSinceSnapshot int64
 	// Fsync is the active durability policy.
 	Fsync FsyncMode
+	// DurableWALOffset is the current segment's durable byte length —
+	// the replication watermark followers may safely ship to.
+	DurableWALOffset int64
+	// RecordSeq is the number of records appended to the current
+	// segment.
+	RecordSeq int64
 }
 
 // PersistStats reports the durability layer's state.
@@ -200,8 +206,29 @@ func (w *Warehouse) PersistStats() (PersistStats, bool) {
 		Generation:           s.Generation,
 		InsertsSinceSnapshot: s.InsertsSinceSnap,
 		Fsync:                s.Mode,
+		DurableWALOffset:     s.DurableOffset,
+		RecordSeq:            s.RecordSeq,
 	}, true
 }
+
+// PersistManager exposes the underlying persist manager (nil when
+// persistence is not enabled). Replication wraps it to serve the data
+// directory to followers; it is read-only with respect to warehouse
+// state.
+func (w *Warehouse) PersistManager() *persist.Manager { return w.manager() }
+
+// RestoreSnapshot rebuilds the warehouse from a persisted state through
+// the same path recovery uses. It is meant for an empty warehouse — a
+// replication follower bootstrapping from a shipped snapshot; restoring
+// over existing tables fails.
+func (w *Warehouse) RestoreSnapshot(st *persist.State) error { return w.restoreState(st) }
+
+// ApplyRecord replays one WAL record through the normal mutation paths
+// without logging it. Replication followers apply shipped records with
+// it, so maintainer feeds and epoch bumps behave exactly as on the
+// leader. The follower warehouse must not have persistence enabled —
+// its durability is the shipped files themselves.
+func (w *Warehouse) ApplyRecord(rec *persist.Record) error { return w.applyRecord(rec) }
 
 func (w *Warehouse) manager() *persist.Manager {
 	w.pmu.Lock()

@@ -16,6 +16,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"strconv"
 	"time"
@@ -25,6 +26,9 @@ import (
 type Client struct {
 	base string
 	hc   *http.Client
+
+	retryAttempts   int
+	retryMaxBackoff time.Duration
 }
 
 // Option customizes a Client.
@@ -34,6 +38,24 @@ type Option func(*Client)
 // transport, TLS, global timeout).
 func WithHTTPClient(hc *http.Client) Option {
 	return func(c *Client) { c.hc = hc }
+}
+
+// WithRetry retries requests shed with 429 up to attempts extra times,
+// honoring the server's Retry-After hint and otherwise backing off
+// exponentially with jitter, capped at maxBackoff (default 5s when
+// <= 0). Retries respect the request context, so a caller deadline
+// still bounds the total wait.
+func WithRetry(attempts int, maxBackoff time.Duration) Option {
+	return func(c *Client) {
+		if attempts < 0 {
+			attempts = 0
+		}
+		if maxBackoff <= 0 {
+			maxBackoff = 5 * time.Second
+		}
+		c.retryAttempts = attempts
+		c.retryMaxBackoff = maxBackoff
+	}
 }
 
 // New returns a client for the server at baseURL (e.g.
@@ -155,6 +177,19 @@ func (c *Client) Metrics(ctx context.Context) (string, error) {
 	return string(b), err
 }
 
+// ReplStatus fetches the server's replication state: role
+// (standalone/leader/follower) plus lag and shipping counters.
+func (c *Client) ReplStatus(ctx context.Context) (*ReplStatus, error) {
+	var out ReplStatus
+	if err := c.do(ctx, http.MethodGet, "/v1/repl/status", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// BaseURL returns the server base URL this client talks to.
+func (c *Client) BaseURL() string { return c.base }
+
 // Health probes /healthz; nil means the server is accepting requests.
 func (c *Client) Health(ctx context.Context) error {
 	resp, err := c.raw(ctx, http.MethodGet, "/healthz", nil)
@@ -183,22 +218,59 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 }
 
 func (c *Client) raw(ctx context.Context, method, path string, in any) (*http.Response, error) {
-	var body io.Reader
+	var payload []byte
 	if in != nil {
 		b, err := json.Marshal(in)
 		if err != nil {
 			return nil, err
 		}
-		body = bytes.NewReader(b)
+		payload = b
 	}
-	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
-	if err != nil {
-		return nil, err
+	backoff := 100 * time.Millisecond
+	for attempt := 0; ; attempt++ {
+		var body io.Reader
+		if in != nil {
+			body = bytes.NewReader(payload)
+		}
+		req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+		if err != nil {
+			return nil, err
+		}
+		if in != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		resp, err := c.hc.Do(req)
+		if err != nil {
+			return nil, err
+		}
+		if resp.StatusCode != http.StatusTooManyRequests || attempt >= c.retryAttempts {
+			return resp, nil
+		}
+		// Shed by admission control and retries remain: honor the
+		// server's Retry-After when it exceeds our own backoff, cap, add
+		// jitter so a burst of shed clients does not return in lockstep.
+		wait := backoff
+		if ra := resp.Header.Get("Retry-After"); ra != "" {
+			if secs, perr := strconv.Atoi(ra); perr == nil && time.Duration(secs)*time.Second > wait {
+				wait = time.Duration(secs) * time.Second
+			}
+		}
+		if wait > c.retryMaxBackoff {
+			wait = c.retryMaxBackoff
+		}
+		wait += time.Duration(rand.Int63n(int64(wait)/4 + 1))
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 64<<10))
+		resp.Body.Close()
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(wait):
+		}
+		backoff *= 2
+		if backoff > c.retryMaxBackoff {
+			backoff = c.retryMaxBackoff
+		}
 	}
-	if in != nil {
-		req.Header.Set("Content-Type", "application/json")
-	}
-	return c.hc.Do(req)
 }
 
 // decodeError turns a non-2xx response into an *APIError, tolerating

@@ -1,0 +1,90 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync/atomic"
+)
+
+// MultiEndpoint fans requests across several congressd servers —
+// typically a replication leader plus its read-scaling followers. Each
+// call picks the next endpoint round-robin; when that endpoint fails at
+// the transport layer or reports 503 (a follower rejecting what it
+// cannot serve), the call fails over to the remaining endpoints before
+// giving up. It is safe for concurrent use.
+type MultiEndpoint struct {
+	clients []*Client
+	next    atomic.Uint64
+}
+
+// NewMulti builds a round-robin client over the endpoint URLs; opts
+// apply to every underlying Client.
+func NewMulti(urls []string, opts ...Option) (*MultiEndpoint, error) {
+	if len(urls) == 0 {
+		return nil, fmt.Errorf("client: NewMulti needs at least one endpoint")
+	}
+	m := &MultiEndpoint{clients: make([]*Client, len(urls))}
+	for i, u := range urls {
+		m.clients[i] = New(u, opts...)
+	}
+	return m, nil
+}
+
+// Endpoints returns the configured base URLs in order.
+func (m *MultiEndpoint) Endpoints() []string {
+	out := make([]string, len(m.clients))
+	for i, c := range m.clients {
+		out[i] = c.base
+	}
+	return out
+}
+
+// Pick returns the next client round-robin (no failover) — for callers
+// that track per-endpoint outcomes themselves.
+func (m *MultiEndpoint) Pick() *Client {
+	return m.clients[m.next.Add(1)%uint64(len(m.clients))]
+}
+
+// failover reports whether an error warrants trying another endpoint:
+// transport failures (endpoint down) and 503 (a follower declining a
+// request only its leader can serve).
+func failover(err error) bool {
+	var ae *APIError
+	if errors.As(err, &ae) {
+		return ae.Status == http.StatusServiceUnavailable
+	}
+	return true // transport-level failure
+}
+
+// Query answers an approximate query, failing over across endpoints.
+// The returned string is the base URL of the endpoint that served it.
+func (m *MultiEndpoint) Query(ctx context.Context, req QueryRequest) (*QueryResponse, string, error) {
+	var lastErr error
+	start := m.next.Add(1)
+	for i := 0; i < len(m.clients); i++ {
+		c := m.clients[(start+uint64(i))%uint64(len(m.clients))]
+		resp, err := c.Query(ctx, req)
+		if err == nil {
+			return resp, c.base, nil
+		}
+		lastErr = err
+		if ctx.Err() != nil || !failover(err) {
+			break
+		}
+	}
+	return nil, "", lastErr
+}
+
+// ReplStatus fetches every endpoint's replication status, keyed by base
+// URL; endpoints that fail are omitted.
+func (m *MultiEndpoint) ReplStatus(ctx context.Context) map[string]*ReplStatus {
+	out := make(map[string]*ReplStatus, len(m.clients))
+	for _, c := range m.clients {
+		if st, err := c.ReplStatus(ctx); err == nil {
+			out[c.base] = st
+		}
+	}
+	return out
+}

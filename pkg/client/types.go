@@ -137,6 +137,37 @@ type SnapshotResponse struct {
 	Fsync string `json:"fsync"`
 }
 
+// ReplStatus is the body of GET /v1/repl/status. Role selects which
+// fields are meaningful: followers report lag against their leader,
+// leaders report shipping progress, standalone servers report only the
+// role.
+type ReplStatus struct {
+	// Role is "standalone", "leader", or "follower".
+	Role string `json:"role"`
+	// Leader is the leader base URL (followers only).
+	Leader string `json:"leader,omitempty"`
+	// Gen is the WAL generation currently being written (leader) or
+	// shipped (follower).
+	Gen uint64 `json:"gen,omitempty"`
+	// LagRecords/LagSeconds report follower staleness: records not yet
+	// applied and time since the follower was last fully caught up.
+	LagRecords int64   `json:"lag_records,omitempty"`
+	LagSeconds float64 `json:"lag_seconds,omitempty"`
+	// CaughtUp reports a follower with zero lag.
+	CaughtUp bool `json:"caught_up,omitempty"`
+	// Reconnects counts follower reconnect/backoff cycles.
+	Reconnects int64 `json:"reconnects,omitempty"`
+	// SegmentsShipped counts fully shipped WAL segments.
+	SegmentsShipped int64 `json:"segments_shipped,omitempty"`
+	// BytesShipped counts shipped WAL bytes.
+	BytesShipped int64 `json:"bytes_shipped,omitempty"`
+	// RecordsApplied counts records a follower has applied.
+	RecordsApplied int64 `json:"records_applied,omitempty"`
+	// Watermark/RecordSeq describe a leader's current segment.
+	Watermark int64 `json:"watermark,omitempty"`
+	RecordSeq int64 `json:"record_seq,omitempty"`
+}
+
 // ErrorBody is the JSON error envelope every non-2xx response carries.
 type ErrorBody struct {
 	// Error is the human-readable message.

@@ -1,0 +1,226 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"io"
+	"log/slog"
+	"os/exec"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	congress "github.com/approxdb/congress"
+	"github.com/approxdb/congress/pkg/client"
+)
+
+// referenceWarehouse builds a single unsharded warehouse through the
+// exact flag pipeline the serve processes use, so its estimates are the
+// ground truth a distributed deployment over the same flags must
+// reproduce.
+func referenceWarehouse(t *testing.T, args []string) *congress.Warehouse {
+	t.Helper()
+	fs := flag.NewFlagSet("reference", flag.ContinueOnError)
+	wf := addWarehouseFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		t.Fatal(err)
+	}
+	w := congress.Open()
+	quiet := slog.New(slog.NewTextHandler(io.Discard, nil))
+	if err := populateWarehouse(w, wf, quiet); err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+// e2eRelDiff is |a-b| scaled by the larger magnitude, floored at 1.
+func e2eRelDiff(a, b float64) float64 {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	m := 1.0
+	if a < 0 {
+		a = -a
+	}
+	if b < 0 {
+		b = -b
+	}
+	if a > m {
+		m = a
+	}
+	if b > m {
+		m = b
+	}
+	return d / m
+}
+
+// checkDistEstimates queries the coordinator for every grouping ×
+// aggregate combination and requires the answers — values, bounds, and
+// per-group sample counts — to match the single-warehouse reference to
+// floating-point noise.
+func checkDistEstimates(t *testing.T, c *client.Client, ref *congress.Warehouse, what string) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	groupings := [][]string{
+		{"l_returnflag"},
+		{"l_returnflag", "l_linestatus"},
+	}
+	for _, grouping := range groupings {
+		for agg, a := range map[string]congress.Aggregate{
+			"sum": congress.Sum, "count": congress.Count, "avg": congress.Avg,
+		} {
+			want, err := ref.Estimate("lineitem", grouping, a, "l_quantity", 0.95)
+			if err != nil {
+				t.Fatalf("%s: reference %s over %v: %v", what, agg, grouping, err)
+			}
+			resp, err := c.Query(ctx, client.QueryRequest{
+				Estimate: &client.EstimateRequest{
+					Table: "lineitem", GroupBy: grouping,
+					Agg: agg, Column: "l_quantity", Confidence: 0.95,
+				},
+				NoCache: true,
+			})
+			if err != nil {
+				t.Fatalf("%s: distributed %s over %v: %v", what, agg, grouping, err)
+			}
+			got := make(map[string]client.GroupEstimate, len(resp.Groups))
+			for _, g := range resp.Groups {
+				got[strings.Join(g.Group, congress.EstimateKeySep)] = g
+			}
+			if len(got) != len(want) {
+				t.Fatalf("%s: %s over %v: %d groups distributed vs %d reference",
+					what, agg, grouping, len(got), len(want))
+			}
+			for _, w := range want {
+				g, ok := got[w.Key]
+				if !ok {
+					t.Fatalf("%s: %s over %v: group %q missing from distributed answer",
+						what, agg, grouping, w.Key)
+				}
+				if e2eRelDiff(g.Value, w.Value) > 1e-9 {
+					t.Fatalf("%s: %s over %v group %q: value %v vs reference %v",
+						what, agg, grouping, w.Key, g.Value, w.Value)
+				}
+				if e2eRelDiff(g.Bound, w.Bound) > 1e-9 {
+					t.Fatalf("%s: %s over %v group %q: bound %v vs reference %v",
+						what, agg, grouping, w.Key, g.Bound, w.Bound)
+				}
+				if g.SampleN != w.SampleN {
+					t.Fatalf("%s: %s over %v group %q: sample_n %d vs reference %d",
+						what, agg, grouping, w.Key, g.SampleN, w.SampleN)
+				}
+			}
+		}
+	}
+}
+
+// TestDistShardClusterEndToEnd is the distributed sharding drill with
+// real processes: four shard congressd instances each serving a durable
+// partition of the same generated table, fronted by a coordinator
+// congressd. The coordinator's scatter-gather answers must match a
+// single-warehouse reference exactly; SIGKILLing one shard must surface
+// a typed shard_unavailable error (never a silently merged partial
+// answer); restarting the shard over the same data directory must
+// restore exact answers.
+func TestDistShardClusterEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process e2e test")
+	}
+	bin := buildCongressd(t)
+	const shards = 4
+	warehouseArgs := []string{"-rows", "3000", "-groups", "30", "-space-pct", "200", "-seed", "1"}
+
+	procs := make([]*exec.Cmd, shards)
+	urls := make([]string, shards)
+	shardArgs := make([][]string, shards)
+	for i := 0; i < shards; i++ {
+		dir := t.TempDir()
+		shardArgs[i] = append([]string{
+			"-shard-index", strconv.Itoa(i), "-shard-total", strconv.Itoa(shards),
+			"-data-dir", dir, "-fsync", "none",
+		}, warehouseArgs...)
+		cmd, addr, _ := startServeProc(t, bin, shardArgs[i]...)
+		procs[i] = cmd
+		urls[i] = "http://" + addr
+		t.Cleanup(func() { killProc(cmd) })
+	}
+	coord, coordAddr, _ := startServeProc(t, bin,
+		"-coordinator", "-shard-endpoints", strings.Join(urls, ","),
+		"-shard-retries", "1")
+	t.Cleanup(func() { killProc(coord) })
+	coordBase := "http://" + coordAddr
+	c := client.New(coordBase)
+
+	ref := referenceWarehouse(t, warehouseArgs)
+	checkDistEstimates(t, c, ref, "initial cluster")
+
+	// The shards each hold a strict partition: together they must serve
+	// exactly the reference row count, and none of them all of it.
+	var total int64
+	for _, u := range urls {
+		n := exactCount(t, client.New(u))
+		if n <= 0 || n >= 3000 {
+			t.Fatalf("shard row count %d not a strict partition of 3000", n)
+		}
+		total += n
+	}
+	if total != 3000 {
+		t.Fatalf("shards hold %d rows together, want 3000", total)
+	}
+
+	// Kill one shard mid-deployment: queries must fail with the typed
+	// shard_unavailable error naming the dead ordinal, not degrade into
+	// a partial merge.
+	killProc(procs[2])
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	_, err := c.Query(ctx, client.QueryRequest{
+		Estimate: &client.EstimateRequest{
+			Table: "lineitem", GroupBy: []string{"l_returnflag"},
+			Agg: "sum", Column: "l_quantity", Confidence: 0.95,
+		},
+		NoCache: true,
+	})
+	cancel()
+	var ae *client.APIError
+	if !errors.As(err, &ae) {
+		t.Fatalf("query with a dead shard: got %v, want APIError", err)
+	}
+	if ae.Code != "shard_unavailable" || ae.Status != 503 {
+		t.Fatalf("query with a dead shard: code=%q status=%d, want shard_unavailable/503", ae.Code, ae.Status)
+	}
+	if !strings.Contains(ae.Message, "shard 2") {
+		t.Fatalf("error does not name the dead shard: %q", ae.Message)
+	}
+	if m := fetchMetrics(t, coordBase); !strings.Contains(m, "congress_distshard_fanout_errors_total") {
+		t.Fatalf("coordinator metrics missing distshard fan-out series:\n%s", m)
+	}
+
+	// Restart the shard over its surviving data directory at the same
+	// address; once it recovers, the coordinator (whose membership still
+	// holds that endpoint) must serve exact answers again.
+	restartArgs := append([]string{"-addr", strings.TrimPrefix(urls[2], "http://")}, shardArgs[2]...)
+	cmd2, _, _ := startServeProc(t, bin, restartArgs...)
+	t.Cleanup(func() { killProc(cmd2) })
+	sc := client.New(urls[2])
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		hctx, hcancel := context.WithTimeout(context.Background(), time.Second)
+		err := sc.Health(hctx)
+		hcancel()
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("restarted shard never became healthy: %v", err)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	if n := exactCount(t, sc); n <= 0 || n >= 3000 {
+		t.Fatalf("restarted shard recovered %d rows, want its strict partition", n)
+	}
+	checkDistEstimates(t, c, ref, "after shard restart")
+}

@@ -16,10 +16,25 @@
 //
 // With -shards K the warehouse is partitioned by hash of the routing
 // key across K in-process shard warehouses and queries are answered by
-// scatter-gather estimation. Sharded mode is in-memory only, so it
-// cannot be combined with -data-dir:
+// scatter-gather estimation. In-process shards share one process and
+// hold no data directories of their own, so -shards cannot be combined
+// with -data-dir:
 //
 //	congressd serve -addr :8642 -shards 4 -rows 200000 -groups 1000
+//
+// Distributed sharding runs each shard as its own congressd process —
+// each with its own durable -data-dir if desired — and fronts them with
+// a coordinator. A shard process carves out its partition of the
+// generated table with -shard-index/-shard-total (all processes must
+// agree on -seed, -rows and the grouping so they partition one
+// logical relation); the coordinator routes inserts by the finest
+// grouping key and scatter-gathers estimates over HTTP via
+// /v1/estimate/partials:
+//
+//	congressd serve -addr :8701 -shard-index 0 -shard-total 2 -data-dir /var/lib/shard0
+//	congressd serve -addr :8702 -shard-index 1 -shard-total 2 -data-dir /var/lib/shard1
+//	congressd serve -addr :8642 -coordinator \
+//	    -shard-endpoints http://localhost:8701,http://localhost:8702
 //
 // With -follow the server is a read-only replication follower: it
 // bootstraps from the leader's newest shipped snapshot (or its own disk
@@ -45,6 +60,14 @@
 // ground truth, writing BENCH_shard.json:
 //
 //	congressd loadgen -self -shards 4 -clients 8 -duration 10s
+//
+// With -dist-shards K loadgen benchmarks a full distributed deployment
+// spun up in-process — K shard HTTP servers plus a coordinator —
+// against the in-process sharded estimator over the same data, scoring
+// accuracy against exact ground truth and comparing fan-out latency,
+// writing BENCH_distshard.json:
+//
+//	congressd loadgen -dist-shards 4 -rows 50000 -groups 200
 //
 // With -endpoints loadgen runs the replication read-scaling bench
 // instead: a baseline phase reading from the leader alone, then a
@@ -75,9 +98,11 @@ import (
 	"time"
 
 	congress "github.com/approxdb/congress"
+	"github.com/approxdb/congress/internal/core"
 	"github.com/approxdb/congress/internal/engine"
 	"github.com/approxdb/congress/internal/repl"
 	"github.com/approxdb/congress/internal/server"
+	"github.com/approxdb/congress/internal/shard"
 	"github.com/approxdb/congress/internal/tpcd"
 	"github.com/approxdb/congress/internal/workload"
 	"github.com/approxdb/congress/pkg/client"
@@ -118,6 +143,8 @@ type warehouseFlags struct {
 	groupCols    *string
 	cacheEntries *int
 	cacheBytes   *int64
+	shardIndex   *int
+	shardTotal   *int
 }
 
 func addWarehouseFlags(fs *flag.FlagSet) *warehouseFlags {
@@ -135,6 +162,8 @@ func addWarehouseFlags(fs *flag.FlagSet) *warehouseFlags {
 		groupCols:    fs.String("group-cols", "", "comma-separated grouping columns (default: TPC-D grouping attributes)"),
 		cacheEntries: fs.Int("cache-entries", 0, "result-cache entry bound (0 = default 4096, negative disables caching)"),
 		cacheBytes:   fs.Int64("cache-bytes", 0, "result-cache byte bound (0 = default 64 MiB, negative = unbounded)"),
+		shardIndex:   fs.Int("shard-index", -1, "serve only this shard's partition of the table (0-based; requires -shard-total; all shard processes must agree on -seed/-rows/grouping)"),
+		shardTotal:   fs.Int("shard-total", 0, "total shard count the partition is carved from (with -shard-index)"),
 	}
 }
 
@@ -171,9 +200,50 @@ func loadRelation(wf *warehouseFlags, log *slog.Logger) (*engine.Relation, error
 			return nil, err
 		}
 	}
+	if *wf.shardIndex >= 0 {
+		var err error
+		if rel, err = shardPartition(rel, wf); err != nil {
+			return nil, err
+		}
+	}
 	log.Info("table ready", slog.String("table", rel.Name),
 		slog.Int("rows", rel.NumRows()), slog.Duration("took", time.Since(start)))
 	return rel, nil
+}
+
+// shardPartition filters a loaded relation down to one shard's slice:
+// the rows whose finest grouping key routes to -shard-index under a
+// -shard-total-way hash router — exactly the partition a coordinator
+// with the same membership size sends this process. Every shard process
+// loading the same relation deterministically carves a disjoint slice,
+// so together they hold it exactly once.
+func shardPartition(rel *engine.Relation, wf *warehouseFlags) (*engine.Relation, error) {
+	if *wf.shardTotal <= *wf.shardIndex {
+		return nil, fmt.Errorf("serve: -shard-index %d needs -shard-total > it, got %d", *wf.shardIndex, *wf.shardTotal)
+	}
+	grouping := tpcd.GroupingAttrs
+	if *wf.groupCols != "" {
+		grouping = splitCSV(*wf.groupCols)
+	}
+	g, err := core.NewGrouping(rel.Schema, grouping)
+	if err != nil {
+		return nil, err
+	}
+	router, err := shard.NewRouter(*wf.shardTotal)
+	if err != nil {
+		return nil, err
+	}
+	var part []engine.Row
+	for _, row := range rel.Rows() {
+		if router.Route(g.Key(row)) == *wf.shardIndex {
+			part = append(part, row)
+		}
+	}
+	sliced := engine.NewRelation(rel.Name, rel.Schema)
+	if err := sliced.InsertAll(part); err != nil {
+		return nil, err
+	}
+	return sliced, nil
 }
 
 // synopsisSpecFor resolves the strategy/rewrite/grouping flags into the
@@ -277,6 +347,12 @@ func runServe(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("congressd serve", flag.ContinueOnError)
 	addr := fs.String("addr", ":8642", "listen address")
 	shards := fs.Int("shards", 0, "partition across K in-process shard warehouses with scatter-gather estimation (0 = unsharded; incompatible with -data-dir)")
+	coordinator := fs.Bool("coordinator", false, "serve as a distributed coordinator over shard congressd processes (needs -shard-endpoints or -shard-config)")
+	shardEndpoints := fs.String("shard-endpoints", "", "comma-separated shard base URLs in ordinal order (with -coordinator)")
+	shardConfig := fs.String("shard-config", "", `membership JSON file {"shards":["http://...",...]} (with -coordinator; alternative to -shard-endpoints)`)
+	shardWait := fs.Duration("shard-wait", 30*time.Second, "how long the coordinator waits for every shard to answer health probes before serving")
+	shardLegTimeout := fs.Duration("shard-leg-timeout", 10*time.Second, "per-shard fan-out attempt timeout on the coordinator")
+	shardRetries := fs.Int("shard-retries", 2, "extra attempts per transiently failing fan-out leg before the query fails shard_unavailable (negative = none)")
 	wf := addWarehouseFlags(fs)
 	maxConcurrent := fs.Int("max-concurrent", 0, "max requests executing at once (0 = 4×GOMAXPROCS)")
 	queueDepth := fs.Int("queue-depth", 0, "admission queue depth before shedding with 429 (0 = 4×max-concurrent)")
@@ -303,10 +379,58 @@ func runServe(args []string, out io.Writer) error {
 	var (
 		w        *congress.Warehouse
 		sw       *congress.ShardedWarehouse
+		co       *congress.Coordinator
 		leader   *repl.Leader
 		follower *repl.Follower
 	)
-	if *follow != "" {
+	if *coordinator {
+		switch {
+		case *shards > 0:
+			return errors.New("serve: -coordinator fronts shard processes; it cannot also hold in-process -shards")
+		case *dataDir != "":
+			return errors.New("serve: the coordinator holds no data; -data-dir belongs on the shard processes")
+		case *follow != "":
+			return errors.New("serve: -coordinator cannot be combined with -follow")
+		case *wf.shardIndex >= 0:
+			return errors.New("serve: -coordinator and -shard-index are different roles; run them as separate processes")
+		}
+		var endpoints []string
+		switch {
+		case *shardEndpoints != "" && *shardConfig != "":
+			return errors.New("serve: use one of -shard-endpoints and -shard-config, not both")
+		case *shardEndpoints != "":
+			endpoints = splitCSV(*shardEndpoints)
+		case *shardConfig != "":
+			mem, err := shard.LoadMembership(*shardConfig)
+			if err != nil {
+				return err
+			}
+			endpoints = mem.Endpoints
+		default:
+			return errors.New("serve: -coordinator needs -shard-endpoints or -shard-config")
+		}
+		co, err = congress.NewCoordinator(endpoints, congress.CoordinatorOptions{
+			LegTimeout: *shardLegTimeout,
+			Retries:    *shardRetries,
+		})
+		if err != nil {
+			return err
+		}
+		waitCtx, cancel := context.WithTimeout(context.Background(), *shardWait)
+		err = co.WaitHealthy(waitCtx, 250*time.Millisecond)
+		cancel()
+		if err != nil {
+			return fmt.Errorf("serve: shards not healthy: %w", err)
+		}
+		discCtx, cancel := context.WithTimeout(context.Background(), *shardWait)
+		err = co.Discover(discCtx)
+		cancel()
+		if err != nil {
+			return fmt.Errorf("serve: shard discovery: %w", err)
+		}
+		log.Info("coordinator ready", slog.Int("shards", co.NumShards()),
+			slog.String("endpoints", strings.Join(co.Endpoints(), ",")))
+	} else if *follow != "" {
 		if *dataDir == "" {
 			return errors.New("serve: -follow needs -data-dir for the shipped snapshot and WAL")
 		}
@@ -320,7 +444,7 @@ func runServe(args []string, out io.Writer) error {
 		defer follower.Close()
 	} else if *shards > 0 {
 		if *dataDir != "" {
-			return errors.New("serve: -shards is in-memory only and cannot be combined with -data-dir")
+			return errors.New("serve: -shards runs every shard inside this process and cannot be combined with -data-dir; for durable shards run one congressd per shard behind a -coordinator")
 		}
 		if sw, err = buildShardedWarehouse(wf, *shards, log); err != nil {
 			return err
@@ -370,6 +494,7 @@ func runServe(args []string, out io.Writer) error {
 	srv := server.New(server.Options{
 		Warehouse:      w,
 		Sharded:        sw,
+		Coordinator:    co,
 		ReplLeader:     leader,
 		Follower:       follower,
 		Logger:         log,
@@ -411,15 +536,21 @@ func runServe(args []string, out io.Writer) error {
 		err = fatalErr
 	}
 	// After the drain no more mutations arrive: flush the final snapshot
-	// and close the WAL so the next start replays nothing.
-	var closer interface{ Close() error } = w
-	if sw != nil {
+	// and close the WAL so the next start replays nothing. The coordinator
+	// holds no warehouse of its own, so there is nothing to close there.
+	var closer interface{ Close() error }
+	switch {
+	case sw != nil:
 		closer = sw
+	case w != nil:
+		closer = w
 	}
-	if cerr := closer.Close(); cerr != nil {
-		log.Error("closing warehouse", slog.String("err", cerr.Error()))
-		if err == nil {
-			err = cerr
+	if closer != nil {
+		if cerr := closer.Close(); cerr != nil {
+			log.Error("closing warehouse", slog.String("err", cerr.Error()))
+			if err == nil {
+				err = cerr
+			}
 		}
 	}
 	return err
@@ -524,6 +655,9 @@ func runLoadgen(args []string, out io.Writer) error {
 	shardOut := fs.String("shard-out", "BENCH_shard.json", "with -self -shards: scatter-gather accuracy report path (empty to skip)")
 	endpoints := fs.String("endpoints", "", "comma-separated base URLs (leader + followers) to fan reads across: runs the replication read-scaling bench instead of the standard loadgen (-url must point at the leader)")
 	replOut := fs.String("repl-out", "BENCH_repl.json", "with -endpoints: replication bench report path (empty to skip)")
+	distShards := fs.Int("dist-shards", 0, "run the distributed-vs-in-process sharding bench over K shard HTTP servers instead of the standard loadgen")
+	distIters := fs.Int("dist-iters", 50, "with -dist-shards: estimate iterations per latency summary")
+	distOut := fs.String("dist-out", "BENCH_distshard.json", "with -dist-shards: distributed sharding report path (empty to skip)")
 	seed := fs.Int64("loadgen-seed", 42, "workload RNG seed")
 	wf := addWarehouseFlags(fs)
 	logLevel := fs.String("log-level", "warn", "debug|info|warn|error")
@@ -533,6 +667,10 @@ func runLoadgen(args []string, out io.Writer) error {
 	log, err := newLogger(*logLevel)
 	if err != nil {
 		return err
+	}
+
+	if *distShards > 0 {
+		return runDistBench(out, wf, *distShards, *distIters, *distOut, log)
 	}
 
 	if *endpoints != "" {

@@ -52,6 +52,27 @@ func (k Kind) String() string {
 	}
 }
 
+// ParseKind is the inverse of Kind.String: it resolves the SQL-ish name
+// back to the kind. Distributed coordinators use it to reconstruct
+// shard schemas shipped over /v1/synopses.
+func ParseKind(s string) (Kind, error) {
+	switch s {
+	case "NULL":
+		return KindNull, nil
+	case "BOOLEAN":
+		return KindBool, nil
+	case "INTEGER":
+		return KindInt, nil
+	case "FLOAT":
+		return KindFloat, nil
+	case "VARCHAR":
+		return KindString, nil
+	case "DATE":
+		return KindDate, nil
+	}
+	return KindNull, fmt.Errorf("engine: unknown kind %q", s)
+}
+
 // Value is a dynamically typed SQL value. The zero Value is NULL.
 //
 // Values are small (no pointers beyond the string header) and passed by

@@ -110,6 +110,119 @@ func TestAvgBoundCoverageRatioEstimator(t *testing.T) {
 	}
 }
 
+// TestAvgZeroStratumBoundCoverage is the empirical check behind the AVG
+// zero-stratum fix, exercising the predicate-empty-shard layout that
+// distributed scatter-gather produces: stratum A (one shard) is fully
+// enumerated with values spanning [0, 100]; stratum B (another shard) is
+// a large population sampled at only k = 5 rows, where just 10% of rows
+// pass the predicate — with high values, so B's passers drag the true
+// group AVG upward. In ~59% of trials the whole B sample misses the
+// passers and the group's partial records B only as a zero-contribution
+// stratum. The pre-fix Avg branch added no widening for that record —
+// and with A enumerated (sf = 1) every variance term is exactly zero, so
+// the reported half-width was 0 around an estimate that is provably
+// biased low. The fixed bound widens by the Hoeffding fallback scaled by
+// ZeroScaled/ScaledCount and must restore nominal-ish coverage.
+func TestAvgZeroStratumBoundCoverage(t *testing.T) {
+	const (
+		enumN  = 2000   // stratum A: fully enumerated, always passes
+		bPop   = 20_000 // stratum B population
+		bDraw  = 5      // sampled rows → sf = 4000
+		trials = 400
+		conf   = 0.90
+	)
+	// Stratum B: rows with id%10 == 0 pass, values in [90, 100] — inside
+	// A's observed range, as the Hoeffding fallback requires.
+	bPasses := func(i int) bool { return i%10 == 0 }
+	bVal := func(i int) float64 { return 90 + float64(i%11) }
+
+	var trueSum, trueCnt float64
+	enumItems := make([]engine.Row, enumN)
+	for i := range enumItems {
+		v := float64(i % 101) // spans [0, 100]
+		trueSum += v
+		trueCnt++
+		enumItems[i] = engine.Row{engine.NewInt(0), engine.NewInt(int64(i))}
+	}
+	for i := 0; i < bPop; i++ {
+		if bPasses(i) {
+			trueSum += bVal(i)
+			trueCnt++
+		}
+	}
+	trueAvg := trueSum / trueCnt
+
+	q := Query{
+		Value: func(row engine.Row) (float64, bool) {
+			tag, i := int(row[0].I), int(row[1].I)
+			if tag == 0 {
+				return float64(i % 101), true
+			}
+			return bVal(i), bPasses(i)
+		},
+	}
+	z := ZScore(conf)
+	rng := rand.New(rand.NewSource(99))
+	coveredNew, coveredOld, zeroTrials := 0, 0, 0
+	for trial := 0; trial < trials; trial++ {
+		idx := sample.SampleWithoutReplacement(bPop, bDraw, rng)
+		items := make([]engine.Row, len(idx))
+		for j, i := range idx {
+			items[j] = engine.Row{engine.NewInt(1), engine.NewInt(int64(i))}
+		}
+		st := sample.NewStratified[engine.Row]()
+		st.Put(&sample.Stratum[engine.Row]{Key: "a", Population: enumN, Items: enumItems})
+		st.Put(&sample.Stratum[engine.Row]{Key: "b", Population: bPop, Items: items})
+
+		parts, err := Partials(st, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ests, err := Finalize(parts, Avg, conf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ests) != 1 {
+			t.Fatalf("trial %d: %d groups", trial, len(ests))
+		}
+		est := ests[0]
+		if math.Abs(est.Value-trueAvg) <= est.Bound {
+			coveredNew++
+		}
+		// The pre-fix bound, reconstructed from the same partials: ratio
+		// variance + sparse term, no zero-stratum widening.
+		p := parts[0]
+		if p.ZeroScaled > 0 {
+			zeroTrials++
+		}
+		r := p.ScaledSum / p.ScaledCount
+		varR := p.HTSumVar - 2*r*p.HTSumCountCov + r*r*p.CountVar
+		if varR < 0 {
+			varR = 0
+		}
+		oldBound := z * math.Sqrt(varR) / p.ScaledCount
+		if p.SparseN > 0 {
+			oldBound += fallbackHalfWidth(p.SparseN, p.Lo, p.Hi, conf) * (p.SparseCount / p.ScaledCount)
+		}
+		if math.Abs(est.Value-trueAvg) <= oldBound {
+			coveredOld++
+		}
+	}
+	newRate := float64(coveredNew) / trials
+	oldRate := float64(coveredOld) / trials
+	t.Logf("AVG zero-stratum coverage at %.0f%% nominal: fixed %.3f, pre-fix %.3f (%d/%d predicate-empty trials)",
+		conf*100, newRate, oldRate, zeroTrials, trials)
+	if zeroTrials < trials/3 {
+		t.Fatalf("layout produced only %d/%d predicate-empty trials — test has lost its teeth", zeroTrials, trials)
+	}
+	if newRate < 0.88 {
+		t.Errorf("zero-stratum AVG bound covers %.3f < 0.88 (nominal %.2f)", newRate, conf)
+	}
+	if oldRate > 0.70 {
+		t.Errorf("pre-fix AVG bound covers %.3f — expected clear under-coverage (the bug this guards)", oldRate)
+	}
+}
+
 // TestSparseStratumBoundCoverage is the empirical check behind the
 // sparse-stratum fix. A group is fed by a fully enumerated stratum
 // (sf = 1, exact, many rows) plus one sparse stratum: a single sampled

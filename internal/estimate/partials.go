@@ -316,7 +316,10 @@ func MergePartials(parts ...[]GroupPartial) []GroupPartial {
 //     accounts for the variance of the estimated denominator and its
 //     covariance with the numerator — algebraically Σ sf(sf−1)(v−R)²,
 //     guaranteed non-negative — plus the sparse fallback weighted by the
-//     sparse strata's share of the scaled count.
+//     sparse strata's share of the scaled count, plus the zero-stratum
+//     fallback weighted by the zero strata's unsampled mass relative to
+//     the observed scaled count: a group that is predicate-empty on one
+//     shard must report a wider AVG than one that is not.
 func Finalize(partials []GroupPartial, agg Aggregate, confidence float64) ([]GroupEstimate, error) {
 	conf := confidence
 	if conf == 0 {
@@ -367,6 +370,15 @@ func Finalize(partials []GroupPartial, agg Aggregate, confidence float64) ([]Gro
 			ge.Bound = z * math.Sqrt(varR) / c.ScaledCount
 			if c.SparseN > 0 {
 				ge.Bound += fallbackHalfWidth(c.SparseN, c.Lo, c.Hi, conf) * (c.SparseCount / c.ScaledCount)
+			}
+			if c.ZeroScaled > 0 {
+				// Zero-contribution strata hold ZeroScaled population rows
+				// whose passing values — if any exist — were never observed.
+				// Shifting the ratio by that unseen mass moves the AVG by at
+				// most halfWidth·(ZeroScaled/ScaledCount); without this term
+				// a predicate-empty shard reported the same AVG half-width
+				// as a fully observed group.
+				ge.Bound += fallbackHalfWidth(c.ZeroN, c.Lo, c.Hi, conf) * (c.ZeroScaled / c.ScaledCount)
 			}
 		default:
 			return nil, fmt.Errorf("estimate: unknown aggregate %v", agg)

@@ -1,0 +1,128 @@
+package estimate
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+)
+
+// GroupPartial is the wire format of distributed scatter-gather: shard
+// processes serve their partials as JSON and the coordinator merges
+// them. encoding/json rejects non-finite float64 values, but an empty
+// partial legitimately holds Lo = +Inf, Hi = −Inf (the min/max merge
+// identity), so every float field travels as a wireFloat: finite values
+// encode as ordinary JSON numbers, non-finite ones as the strings
+// "+Inf", "-Inf" and "NaN". The codec round-trips bit-exactly — the
+// coordinator's merged state must be indistinguishable from an
+// in-process merge.
+
+// wireFloat is a float64 whose JSON encoding survives non-finite values.
+type wireFloat float64
+
+// MarshalJSON encodes finite values as numbers and ±Inf/NaN as strings.
+func (f wireFloat) MarshalJSON() ([]byte, error) {
+	v := float64(f)
+	switch {
+	case math.IsInf(v, 1):
+		return []byte(`"+Inf"`), nil
+	case math.IsInf(v, -1):
+		return []byte(`"-Inf"`), nil
+	case math.IsNaN(v):
+		return []byte(`"NaN"`), nil
+	}
+	return json.Marshal(v)
+}
+
+// UnmarshalJSON accepts both encodings produced by MarshalJSON.
+func (f *wireFloat) UnmarshalJSON(b []byte) error {
+	if len(b) > 0 && b[0] == '"' {
+		var s string
+		if err := json.Unmarshal(b, &s); err != nil {
+			return err
+		}
+		switch s {
+		case "+Inf", "Inf":
+			*f = wireFloat(math.Inf(1))
+		case "-Inf":
+			*f = wireFloat(math.Inf(-1))
+		case "NaN":
+			*f = wireFloat(math.NaN())
+		default:
+			return fmt.Errorf("estimate: bad non-finite float literal %q", s)
+		}
+		return nil
+	}
+	var v float64
+	if err := json.Unmarshal(b, &v); err != nil {
+		return err
+	}
+	*f = wireFloat(v)
+	return nil
+}
+
+// wirePartial mirrors GroupPartial field for field with wire-safe
+// floats and stable JSON names. Keep in sync with GroupPartial.
+type wirePartial struct {
+	Key           string    `json:"key"`
+	N             int       `json:"n"`
+	ScaledSum     wireFloat `json:"scaled_sum"`
+	ScaledCount   wireFloat `json:"scaled_count"`
+	SumVar        wireFloat `json:"sum_var"`
+	CountVar      wireFloat `json:"count_var"`
+	HTSumVar      wireFloat `json:"ht_sum_var"`
+	HTSumCountCov wireFloat `json:"ht_sum_count_cov"`
+	Lo            wireFloat `json:"lo"`
+	Hi            wireFloat `json:"hi"`
+	SparseN       int       `json:"sparse_n,omitempty"`
+	SparseCount   wireFloat `json:"sparse_count"`
+	ZeroN         int       `json:"zero_n,omitempty"`
+	ZeroScaled    wireFloat `json:"zero_scaled"`
+}
+
+// MarshalJSON encodes the partial with non-finite-safe floats.
+func (p GroupPartial) MarshalJSON() ([]byte, error) {
+	return json.Marshal(wirePartial{
+		Key:           p.Key,
+		N:             p.N,
+		ScaledSum:     wireFloat(p.ScaledSum),
+		ScaledCount:   wireFloat(p.ScaledCount),
+		SumVar:        wireFloat(p.SumVar),
+		CountVar:      wireFloat(p.CountVar),
+		HTSumVar:      wireFloat(p.HTSumVar),
+		HTSumCountCov: wireFloat(p.HTSumCountCov),
+		Lo:            wireFloat(p.Lo),
+		Hi:            wireFloat(p.Hi),
+		SparseN:       p.SparseN,
+		SparseCount:   wireFloat(p.SparseCount),
+		ZeroN:         p.ZeroN,
+		ZeroScaled:    wireFloat(p.ZeroScaled),
+	})
+}
+
+// UnmarshalJSON is the inverse of MarshalJSON. Absent fields decode as
+// their zero value except Lo/Hi, which default to the empty-partial
+// identity (+Inf, −Inf) so a truncated record cannot silently shrink a
+// merged range.
+func (p *GroupPartial) UnmarshalJSON(b []byte) error {
+	w := wirePartial{Lo: wireFloat(math.Inf(1)), Hi: wireFloat(math.Inf(-1))}
+	if err := json.Unmarshal(b, &w); err != nil {
+		return err
+	}
+	*p = GroupPartial{
+		Key:           w.Key,
+		N:             w.N,
+		ScaledSum:     float64(w.ScaledSum),
+		ScaledCount:   float64(w.ScaledCount),
+		SumVar:        float64(w.SumVar),
+		CountVar:      float64(w.CountVar),
+		HTSumVar:      float64(w.HTSumVar),
+		HTSumCountCov: float64(w.HTSumCountCov),
+		Lo:            float64(w.Lo),
+		Hi:            float64(w.Hi),
+		SparseN:       w.SparseN,
+		SparseCount:   float64(w.SparseCount),
+		ZeroN:         w.ZeroN,
+		ZeroScaled:    float64(w.ZeroScaled),
+	}
+	return nil
+}

@@ -1,0 +1,166 @@
+package estimate
+
+import (
+	"encoding/json"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// bitsEqual compares floats by bit pattern so NaN == NaN and ±Inf are
+// distinguished — the round-trip guarantee is bit-exactness, not mere
+// numeric equality.
+func bitsEqual(a, b float64) bool {
+	return math.Float64bits(a) == math.Float64bits(b)
+}
+
+func partialsBitEqual(t *testing.T, a, b GroupPartial) {
+	t.Helper()
+	if a.Key != b.Key || a.N != b.N || a.SparseN != b.SparseN || a.ZeroN != b.ZeroN {
+		t.Fatalf("int/string fields diverged:\n  a=%+v\n  b=%+v", a, b)
+	}
+	pairs := [][2]float64{
+		{a.ScaledSum, b.ScaledSum}, {a.ScaledCount, b.ScaledCount},
+		{a.SumVar, b.SumVar}, {a.CountVar, b.CountVar},
+		{a.HTSumVar, b.HTSumVar}, {a.HTSumCountCov, b.HTSumCountCov},
+		{a.Lo, b.Lo}, {a.Hi, b.Hi},
+		{a.SparseCount, b.SparseCount}, {a.ZeroScaled, b.ZeroScaled},
+	}
+	for i, p := range pairs {
+		if !bitsEqual(p[0], p[1]) {
+			t.Fatalf("float field %d diverged: %v (%016x) != %v (%016x)\n  a=%+v\n  b=%+v",
+				i, p[0], math.Float64bits(p[0]), p[1], math.Float64bits(p[1]), a, b)
+		}
+	}
+}
+
+// TestPartialWireRoundTripRandom is the round-trip property test: random
+// finite partials — including denormals, negative zero and extreme
+// magnitudes — survive JSON encode/decode bit-exactly.
+func TestPartialWireRoundTripRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260808))
+	randFloat := func() float64 {
+		switch rng.Intn(6) {
+		case 0:
+			return 0
+		case 1:
+			return math.Copysign(0, -1)
+		case 2:
+			return rng.NormFloat64() * 1e12
+		case 3:
+			return rng.NormFloat64() * 1e-12
+		case 4:
+			return math.MaxFloat64 * rng.Float64()
+		default:
+			return rng.NormFloat64()
+		}
+	}
+	for trial := 0; trial < 500; trial++ {
+		in := GroupPartial{
+			Key:           "g" + string(rune('a'+rng.Intn(26))),
+			N:             rng.Intn(1 << 20),
+			ScaledSum:     randFloat(),
+			ScaledCount:   randFloat(),
+			SumVar:        randFloat(),
+			CountVar:      randFloat(),
+			HTSumVar:      randFloat(),
+			HTSumCountCov: randFloat(),
+			Lo:            randFloat(),
+			Hi:            randFloat(),
+			SparseN:       rng.Intn(16),
+			SparseCount:   randFloat(),
+			ZeroN:         rng.Intn(16),
+			ZeroScaled:    randFloat(),
+		}
+		b, err := json.Marshal(in)
+		if err != nil {
+			t.Fatalf("trial %d: marshal: %v", trial, err)
+		}
+		var out GroupPartial
+		if err := json.Unmarshal(b, &out); err != nil {
+			t.Fatalf("trial %d: unmarshal %s: %v", trial, b, err)
+		}
+		partialsBitEqual(t, in, out)
+	}
+}
+
+// TestPartialWireNonFinite pins the part encoding/json cannot do alone:
+// the empty partial's (+Inf, −Inf) range — and NaN — must survive the
+// wire, since zero-contribution groups are exactly what distributed
+// merges must not lose.
+func TestPartialWireNonFinite(t *testing.T) {
+	in := emptyPartial("ghost")
+	in.ZeroN = 7
+	in.ZeroScaled = 1234.5
+	b, err := json.Marshal(in)
+	if err != nil {
+		t.Fatalf("marshal empty partial: %v", err)
+	}
+	var out GroupPartial
+	if err := json.Unmarshal(b, &out); err != nil {
+		t.Fatalf("unmarshal %s: %v", b, err)
+	}
+	partialsBitEqual(t, in, out)
+
+	nan := GroupPartial{Key: "n", Lo: math.NaN(), Hi: math.Inf(1), ScaledSum: math.Inf(-1)}
+	b, err = json.Marshal(nan)
+	if err != nil {
+		t.Fatalf("marshal NaN partial: %v", err)
+	}
+	var out2 GroupPartial
+	if err := json.Unmarshal(b, &out2); err != nil {
+		t.Fatalf("unmarshal %s: %v", b, err)
+	}
+	partialsBitEqual(t, nan, out2)
+}
+
+// TestPartialWireDefaults: a record with Lo/Hi absent decodes to the
+// min/max merge identity, not 0/0 — zeros would silently clamp a merged
+// range to include 0.
+func TestPartialWireDefaults(t *testing.T) {
+	var p GroupPartial
+	if err := json.Unmarshal([]byte(`{"key":"g","n":3}`), &p); err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(p.Lo, 1) || !math.IsInf(p.Hi, -1) {
+		t.Fatalf("absent Lo/Hi decoded as (%v, %v), want (+Inf, -Inf)", p.Lo, p.Hi)
+	}
+	if err := json.Unmarshal([]byte(`{"key":"g","lo":"bogus"}`), &p); err == nil {
+		t.Fatal("bad non-finite literal accepted")
+	}
+}
+
+// TestPartialWireMergeEquivalence: decoding shipped partials and merging
+// them gives bit-identical results to merging the originals — the
+// distributed coordinator's core invariant.
+func TestPartialWireMergeEquivalence(t *testing.T) {
+	shardA := []GroupPartial{
+		{Key: "g1", N: 10, ScaledSum: 123.456, ScaledCount: 20, SumVar: 1.5, Lo: 1, Hi: 9},
+		emptyPartial("g2"),
+	}
+	shardA[1].ZeroN = 4
+	shardA[1].ZeroScaled = 400
+	shardB := []GroupPartial{
+		{Key: "g2", N: 5, ScaledSum: 50, ScaledCount: 5, Lo: 9.5, Hi: 10.5, HTSumVar: 2.25},
+	}
+
+	ship := func(parts []GroupPartial) []GroupPartial {
+		b, err := json.Marshal(parts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out []GroupPartial
+		if err := json.Unmarshal(b, &out); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	local := MergePartials(shardA, shardB)
+	remote := MergePartials(ship(shardA), ship(shardB))
+	if len(local) != len(remote) {
+		t.Fatalf("merge lengths diverged: %d != %d", len(local), len(remote))
+	}
+	for i := range local {
+		partialsBitEqual(t, local[i], remote[i])
+	}
+}

@@ -9,6 +9,8 @@
 //	POST /v1/query     approximate answer (SQL rewrite or direct estimate)
 //	POST /v1/exact     exact answer against the base tables
 //	POST /v1/insert    feed rows to a table and its synopsis maintainer
+//	POST /v1/estimate/partials  mergeable per-group partials (the
+//	                   distributed scatter-gather leg)
 //	POST /v1/snapshot  write a durable snapshot now (persistent servers)
 //	GET  /v1/synopses  list registered synopses (+allocation tables)
 //	GET  /v1/repl/...  replication: status always; manifest/snapshot/wal
@@ -50,10 +52,17 @@ type Options struct {
 	// Sharded must be set.
 	Warehouse *congress.Warehouse
 	// Sharded serves a sharded warehouse instead: estimates scatter-
-	// gather across the shards. The SQL paths (/v1/exact and sql-form
-	// /v1/query) are not available in sharded mode, and /v1/snapshot
-	// reports not_persistent (sharded warehouses are in-memory).
+	// gather across in-process shards. The SQL paths (/v1/exact and
+	// sql-form /v1/query) are not available in sharded mode, and
+	// /v1/snapshot reports not_persistent (the in-process shards hold no
+	// data directories of their own).
 	Sharded *congress.ShardedWarehouse
+	// Coordinator serves a distributed deployment: each shard is its own
+	// congressd process and estimates scatter-gather over HTTP via
+	// /v1/estimate/partials. Like sharded mode, the SQL paths are
+	// unavailable; snapshots belong to the individual shard processes.
+	// Exactly one of Warehouse, Sharded and Coordinator must be set.
+	Coordinator *congress.Coordinator
 	// Logger receives structured request and lifecycle logs; defaults to
 	// slog.Default().
 	Logger *slog.Logger
@@ -120,8 +129,9 @@ func (o *Options) withDefaults() {
 // Server serves one warehouse over HTTP. Create with New, start with
 // Start (or mount Handler on your own listener), stop with Shutdown.
 type Server struct {
-	w    *congress.Warehouse        // nil in sharded mode
-	sw   *congress.ShardedWarehouse // nil in single-warehouse mode
+	w    *congress.Warehouse        // nil in sharded/coordinator modes
+	sw   *congress.ShardedWarehouse // nil except in in-process sharded mode
+	co   *congress.Coordinator      // nil except in distributed mode
 	opts Options
 	log  *slog.Logger
 	adm  *admission
@@ -138,11 +148,17 @@ type Server struct {
 }
 
 // New builds a Server over the warehouse. It panics unless exactly one
-// of opts.Warehouse and opts.Sharded is set (a programming error, not a
-// runtime condition).
+// of opts.Warehouse, opts.Sharded and opts.Coordinator is set (a
+// programming error, not a runtime condition).
 func New(opts Options) *Server {
-	if (opts.Warehouse == nil) == (opts.Sharded == nil) {
-		panic("server: exactly one of Options.Warehouse and Options.Sharded is required")
+	backends := 0
+	for _, set := range []bool{opts.Warehouse != nil, opts.Sharded != nil, opts.Coordinator != nil} {
+		if set {
+			backends++
+		}
+	}
+	if backends != 1 {
+		panic("server: exactly one of Options.Warehouse, Options.Sharded and Options.Coordinator is required")
 	}
 	if opts.Follower != nil && opts.Warehouse == nil {
 		panic("server: Options.Follower requires Options.Warehouse")
@@ -154,6 +170,7 @@ func New(opts Options) *Server {
 	s := &Server{
 		w:    opts.Warehouse,
 		sw:   opts.Sharded,
+		co:   opts.Coordinator,
 		opts: opts,
 		log:  opts.Logger,
 		adm:  newAdmission(opts.MaxConcurrent, opts.QueueDepth),
@@ -163,6 +180,7 @@ func New(opts Options) *Server {
 	s.mux.Handle("POST /v1/query", s.instrument("query", s.handleQuery))
 	s.mux.Handle("POST /v1/exact", s.instrument("exact", s.handleExact))
 	s.mux.Handle("POST /v1/insert", s.instrument("insert", s.handleInsert))
+	s.mux.Handle("POST /v1/estimate/partials", s.instrument("partials", s.handlePartials))
 	s.mux.Handle("POST /v1/snapshot", s.instrument("snapshot", s.handleSnapshot))
 	s.mux.Handle("GET /v1/synopses", s.instrument("synopses", s.handleSynopses))
 	s.mux.Handle("GET /v1/repl/status", s.instrument("repl_status", s.handleReplStatus))
@@ -356,58 +374,102 @@ func (s *Server) admitWithDeadline(w http.ResponseWriter, r *http.Request, timeo
 
 // ----- backend dispatch -----
 //
-// The server fronts either a single warehouse or a sharded one. The
-// direct-estimation, insert, synopsis and metrics paths work against
-// both through these helpers; the SQL paths are single-warehouse only
-// (a sharded warehouse holds no merged base relations to execute
-// against).
+// The server fronts a single warehouse, an in-process sharded one, or a
+// distributed coordinator. The direct-estimation, partials, insert,
+// synopsis and metrics paths work against all three through these
+// helpers; the SQL paths are single-warehouse only (neither sharded
+// backend holds merged base relations to execute against).
 
-// tableHandle is the insert surface both backends' table handles share.
+// tableHandle is the insert surface every backend's table handle shares.
 type tableHandle interface {
 	Columns() []engine.Column
 	Insert(vals ...congress.Value) error
 }
 
+// batchTableHandle is the optional bulk-insert surface: the coordinator
+// implements it to route a whole request's rows with one HTTP insert
+// per shard instead of one per row.
+type batchTableHandle interface {
+	InsertBatch(ctx context.Context, rows []congress.Row) (int, error)
+}
+
 func (s *Server) lookupTable(name string) (tableHandle, error) {
-	if s.sw != nil {
+	switch {
+	case s.co != nil:
+		return s.co.Table(name)
+	case s.sw != nil:
 		return s.sw.Table(name)
+	default:
+		return s.w.Table(name)
 	}
-	return s.w.Table(name)
 }
 
 func (s *Server) estimateQuery(ctx context.Context, e *client.EstimateRequest, agg estimate.Aggregate, noCache bool) ([]estimate.GroupEstimate, congress.CacheStatus, error) {
-	if s.sw != nil {
+	switch {
+	case s.co != nil:
+		return s.co.EstimateQuery(ctx, e.Table, e.GroupBy, agg, e.Column, e.Confidence, noCache)
+	case s.sw != nil:
 		return s.sw.EstimateQuery(ctx, e.Table, e.GroupBy, agg, e.Column, e.Confidence, noCache)
+	default:
+		return s.w.EstimateQuery(ctx, e.Table, e.GroupBy, agg, e.Column, e.Confidence, noCache)
 	}
-	return s.w.EstimateQuery(ctx, e.Table, e.GroupBy, agg, e.Column, e.Confidence, noCache)
+}
+
+func (s *Server) estimatePartials(ctx context.Context, table string, groupBy []string, aggCol string) ([]estimate.GroupPartial, error) {
+	switch {
+	case s.co != nil:
+		return s.co.EstimatePartialsCtx(ctx, table, groupBy, aggCol)
+	case s.sw != nil:
+		return s.sw.EstimatePartialsCtx(ctx, table, groupBy, aggCol)
+	default:
+		return s.w.EstimatePartialsCtx(ctx, table, groupBy, aggCol)
+	}
 }
 
 func (s *Server) refreshSynopsis(table string) error {
-	if s.sw != nil {
+	switch {
+	case s.co != nil:
+		return s.co.RefreshSynopsis(table)
+	case s.sw != nil:
 		return s.sw.RefreshSynopsis(table)
+	default:
+		return s.w.RefreshSynopsis(table)
 	}
-	return s.w.RefreshSynopsis(table)
 }
 
 func (s *Server) synopses() []congress.SynopsisInfo {
-	if s.sw != nil {
+	switch {
+	case s.co != nil:
+		return s.co.Synopses()
+	case s.sw != nil:
 		return s.sw.Synopses()
+	default:
+		return s.w.Synopses()
 	}
-	return s.w.Synopses()
 }
 
 func (s *Server) allocationTable(table string) ([]congress.AllocationRow, error) {
-	if s.sw != nil {
+	switch {
+	case s.co != nil:
+		return s.co.AllocationTable(table)
+	case s.sw != nil:
 		return s.sw.AllocationTable(table)
+	default:
+		return s.w.AllocationTable(table)
 	}
-	return s.w.AllocationTable(table)
 }
 
 func (s *Server) warehouseMetrics() congress.MetricsSnapshot {
-	if s.sw != nil {
+	switch {
+	case s.co != nil:
+		// The coordinator holds no warehouse of its own; engine telemetry
+		// lives on the shard processes.
+		return congress.MetricsSnapshot{}
+	case s.sw != nil:
 		return s.sw.Metrics()
+	default:
+		return s.w.Metrics()
 	}
-	return s.w.Metrics()
 }
 
 // ----- handlers -----
@@ -456,7 +518,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 	} else {
-		if s.sw != nil {
+		if s.w == nil {
 			writeError(w, http.StatusBadRequest, "bad_query",
 				"sharded mode answers estimate requests only; SQL queries need a single warehouse")
 			return
@@ -493,7 +555,7 @@ func (s *Server) handleExact(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad_query", "sql is required")
 		return
 	}
-	if s.sw != nil {
+	if s.w == nil {
 		writeError(w, http.StatusBadRequest, "bad_query",
 			"sharded mode has no merged base tables; /v1/exact needs a single warehouse")
 		return
@@ -540,11 +602,13 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 	if !decodeBody(w, r, &req) {
 		return
 	}
-	if req.Table == "" || len(req.Rows) == 0 {
+	// Empty rows with refresh=true is a pure refresh request — the form a
+	// coordinator fans out to re-materialize every shard's sample.
+	if req.Table == "" || (len(req.Rows) == 0 && !req.Refresh) {
 		writeError(w, http.StatusBadRequest, "bad_request", "table and rows are required")
 		return
 	}
-	_, cancel, ok := s.admitWithDeadline(w, r, 0)
+	ctx, cancel, ok := s.admitWithDeadline(w, r, 0)
 	if !ok {
 		return
 	}
@@ -557,28 +621,57 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 	}
 	cols := tbl.Columns()
 	inserted := 0
-	for _, raw := range req.Rows {
-		if len(raw) != len(cols) {
-			writeError(w, http.StatusBadRequest, "bad_request",
-				fmt.Sprintf("row %d has %d values, table %q has %d columns (%d rows inserted before failure)",
-					inserted, len(raw), req.Table, len(cols), inserted))
-			return
-		}
-		row := make([]congress.Value, len(raw))
-		for i, rv := range raw {
-			v, err := jsonToValue(rv, cols[i])
-			if err != nil {
+	if bt, isBatch := tbl.(batchTableHandle); isBatch {
+		rows := make([]congress.Row, len(req.Rows))
+		for ri, raw := range req.Rows {
+			if len(raw) != len(cols) {
 				writeError(w, http.StatusBadRequest, "bad_request",
-					fmt.Sprintf("row %d column %q: %v (%d rows inserted before failure)", inserted, cols[i].Name, err, inserted))
+					fmt.Sprintf("row %d has %d values, table %q has %d columns (0 rows inserted before failure)",
+						ri, len(raw), req.Table, len(cols)))
 				return
 			}
-			row[i] = v
+			row := make(congress.Row, len(raw))
+			for i, rv := range raw {
+				v, err := jsonToValue(rv, cols[i])
+				if err != nil {
+					writeError(w, http.StatusBadRequest, "bad_request",
+						fmt.Sprintf("row %d column %q: %v (0 rows inserted before failure)", ri, cols[i].Name, err))
+					return
+				}
+				row[i] = v
+			}
+			rows[ri] = row
 		}
-		if err := tbl.Insert(row...); err != nil {
-			writeError(w, http.StatusBadRequest, "bad_request", err.Error())
+		n, err := bt.InsertBatch(ctx, rows)
+		if err != nil {
+			s.writeMappedError(w, err, http.StatusBadRequest, "bad_request")
 			return
 		}
-		inserted++
+		inserted = n
+	} else {
+		for _, raw := range req.Rows {
+			if len(raw) != len(cols) {
+				writeError(w, http.StatusBadRequest, "bad_request",
+					fmt.Sprintf("row %d has %d values, table %q has %d columns (%d rows inserted before failure)",
+						inserted, len(raw), req.Table, len(cols), inserted))
+				return
+			}
+			row := make([]congress.Value, len(raw))
+			for i, rv := range raw {
+				v, err := jsonToValue(rv, cols[i])
+				if err != nil {
+					writeError(w, http.StatusBadRequest, "bad_request",
+						fmt.Sprintf("row %d column %q: %v (%d rows inserted before failure)", inserted, cols[i].Name, err, inserted))
+					return
+				}
+				row[i] = v
+			}
+			if err := tbl.Insert(row...); err != nil {
+				writeError(w, http.StatusBadRequest, "bad_request", err.Error())
+				return
+			}
+			inserted++
+		}
 	}
 	resp := client.InsertResponse{Inserted: inserted}
 	if req.Refresh {
@@ -591,6 +684,41 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// handlePartials serves the distributed scatter-gather leg: one
+// estimation scan returning the mergeable per-group sufficient
+// statistics, no confidence interval (the coordinator takes it once
+// after merging). Served in every mode — a coordinator can itself be a
+// leg of a higher-tier coordinator — and on followers too (read-only).
+func (s *Server) handlePartials(w http.ResponseWriter, r *http.Request) {
+	var req client.PartialsRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if req.Table == "" || req.Column == "" {
+		writeError(w, http.StatusBadRequest, "bad_query", "table and column are required")
+		return
+	}
+	ctx, cancel, ok := s.admitWithDeadline(w, r, req.TimeoutMS)
+	if !ok {
+		return
+	}
+	defer cancel()
+	if s.onExecute != nil {
+		s.onExecute()
+	}
+
+	start := time.Now()
+	parts, err := s.estimatePartials(ctx, req.Table, req.GroupBy, req.Column)
+	if err != nil {
+		s.writeMappedError(w, err, http.StatusBadRequest, "bad_query")
+		return
+	}
+	writeJSON(w, http.StatusOK, client.PartialsResponse{
+		Partials:  parts,
+		ElapsedMS: float64(time.Since(start)) / float64(time.Millisecond),
+	})
+}
+
 func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	if s.rejectOnFollower(w) {
 		return
@@ -601,9 +729,14 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	}
 	defer cancel()
 
+	if s.co != nil {
+		writeError(w, http.StatusConflict, "not_persistent",
+			"the coordinator holds no data of its own; snapshot each shard congressd (they own the data directories)")
+		return
+	}
 	if s.sw != nil {
 		writeError(w, http.StatusConflict, "not_persistent",
-			"sharded warehouses are in-memory; snapshots need a single warehouse with -data-dir")
+			"in-process sharded warehouses hold no data directory; snapshots need a single warehouse with -data-dir")
 		return
 	}
 	if _, enabled := s.w.PersistStats(); !enabled {
@@ -638,6 +771,15 @@ func (s *Server) handleSynopses(w http.ResponseWriter, r *http.Request) {
 			PendingInserts: si.PendingInserts,
 			Shards:         si.Shards,
 		}
+		// Ship the table schema so a distributed coordinator can discover
+		// it and verify every shard agrees before serving.
+		if tbl, err := s.lookupTable(si.Table); err == nil {
+			cols := tbl.Columns()
+			ci.Columns = make([]client.ColumnSpec, len(cols))
+			for i, c := range cols {
+				ci.Columns[i] = client.ColumnSpec{Name: c.Name, Kind: c.Kind.String()}
+			}
+		}
 		if withAlloc {
 			rows, err := s.allocationTable(si.Table)
 			if err == nil {
@@ -660,9 +802,14 @@ func (s *Server) handleSynopses(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	var sb strings.Builder
-	sb.WriteString(s.warehouseMetrics().String())
+	if s.co == nil {
+		sb.WriteString(s.warehouseMetrics().String())
+	}
 	if s.sw != nil {
 		s.sw.ShardTelemetry().Render(&sb)
+	}
+	if s.co != nil {
+		s.co.ShardTelemetry().RenderAs(&sb, "congress_distshard")
 	}
 	if s.w != nil {
 		if ps, ok := s.w.PersistStats(); ok {
@@ -700,6 +847,8 @@ func (s *Server) replRole() string {
 		return "follower"
 	case s.opts.ReplLeader != nil:
 		return "leader"
+	case s.co != nil:
+		return "coordinator"
 	default:
 		return "standalone"
 	}
@@ -753,6 +902,8 @@ func (s *Server) writeMappedError(w http.ResponseWriter, err error, fallback int
 		status, code = http.StatusNotFound, "unknown_table"
 	case errors.Is(err, aqua.ErrBadQuery):
 		status, code = http.StatusBadRequest, "bad_query"
+	case errors.Is(err, congress.ErrShardUnavailable):
+		status, code = http.StatusServiceUnavailable, "shard_unavailable"
 	}
 	writeError(w, status, code, err.Error())
 }

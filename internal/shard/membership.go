@@ -1,0 +1,115 @@
+package shard
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+)
+
+// Membership is the static shard topology of a distributed deployment:
+// an ordered list of shard endpoints whose index IS the shard ordinal
+// the Router maps keys to. Order therefore matters — every coordinator
+// must load the same list in the same order, or the same group key
+// routes to different processes. Today membership comes from a flag or
+// a JSON config file; dynamic membership/rebalancing is a ROADMAP item.
+type Membership struct {
+	// Endpoints holds one base URL per shard, index == shard ordinal.
+	Endpoints []string
+}
+
+// membershipFile is the on-disk JSON shape: {"shards": ["http://...", ...]}.
+type membershipFile struct {
+	Shards []string `json:"shards"`
+}
+
+// NewMembership validates an endpoint list: non-empty, no blank or
+// duplicate entries (a duplicate would double-count one process's
+// partials in every merge).
+func NewMembership(endpoints []string) (*Membership, error) {
+	if len(endpoints) == 0 {
+		return nil, fmt.Errorf("shard: membership needs at least one endpoint")
+	}
+	seen := make(map[string]int, len(endpoints))
+	cleaned := make([]string, 0, len(endpoints))
+	for i, e := range endpoints {
+		e = strings.TrimRight(strings.TrimSpace(e), "/")
+		if e == "" {
+			return nil, fmt.Errorf("shard: membership endpoint %d is empty", i)
+		}
+		if j, dup := seen[e]; dup {
+			return nil, fmt.Errorf("shard: endpoint %q appears as both shard %d and shard %d", e, j, i)
+		}
+		seen[e] = i
+		cleaned = append(cleaned, e)
+	}
+	return &Membership{Endpoints: cleaned}, nil
+}
+
+// LoadMembership reads a JSON membership file ({"shards": [...]}).
+func LoadMembership(path string) (*Membership, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("shard: read membership: %w", err)
+	}
+	var f membershipFile
+	if err := json.Unmarshal(b, &f); err != nil {
+		return nil, fmt.Errorf("shard: parse membership %s: %w", path, err)
+	}
+	m, err := NewMembership(f.Shards)
+	if err != nil {
+		return nil, fmt.Errorf("shard: %s: %w", path, err)
+	}
+	return m, nil
+}
+
+// WaitHealthy polls every endpoint with probe until all report healthy
+// or ctx expires. Probes run in parallel; an endpoint that has passed
+// once is not probed again. On timeout the error names every endpoint
+// still failing, with its last probe error.
+func (m *Membership) WaitHealthy(ctx context.Context, interval time.Duration, probe func(ctx context.Context, endpoint string) error) error {
+	if interval <= 0 {
+		interval = 250 * time.Millisecond
+	}
+	pending := make(map[int]error, len(m.Endpoints))
+	for i := range m.Endpoints {
+		pending[i] = fmt.Errorf("not yet probed")
+	}
+	for {
+		type result struct {
+			i   int
+			err error
+		}
+		results := make(chan result, len(pending))
+		for i := range pending {
+			go func(i int) {
+				results <- result{i, probe(ctx, m.Endpoints[i])}
+			}(i)
+		}
+		for range len(pending) {
+			r := <-results
+			if r.err == nil {
+				delete(pending, r.i)
+			} else {
+				pending[r.i] = r.err
+			}
+		}
+		if len(pending) == 0 {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			var sb strings.Builder
+			for i, err := range pending {
+				if sb.Len() > 0 {
+					sb.WriteString("; ")
+				}
+				fmt.Fprintf(&sb, "shard %d (%s): %v", i, m.Endpoints[i], err)
+			}
+			return fmt.Errorf("shard: %d/%d shards unhealthy after wait: %s", len(pending), len(m.Endpoints), sb.String())
+		case <-time.After(interval):
+		}
+	}
+}

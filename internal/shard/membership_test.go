@@ -1,0 +1,87 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestMembershipValidation(t *testing.T) {
+	if _, err := NewMembership(nil); err == nil {
+		t.Error("empty membership accepted")
+	}
+	if _, err := NewMembership([]string{"http://a:1", "  "}); err == nil {
+		t.Error("blank endpoint accepted")
+	}
+	if _, err := NewMembership([]string{"http://a:1", "http://a:1/"}); err == nil {
+		t.Error("duplicate endpoint accepted (would double-count partials)")
+	}
+	m, err := NewMembership([]string{" http://a:1/ ", "http://b:2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Endpoints[0] != "http://a:1" || m.Endpoints[1] != "http://b:2" {
+		t.Errorf("endpoints not normalized: %v", m.Endpoints)
+	}
+}
+
+func TestLoadMembership(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "shards.json")
+	if err := os.WriteFile(path, []byte(`{"shards":["http://s0:8640","http://s1:8641"]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m, err := LoadMembership(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Endpoints) != 2 || m.Endpoints[1] != "http://s1:8641" {
+		t.Errorf("loaded %v", m.Endpoints)
+	}
+	if _, err := LoadMembership(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+	bad := filepath.Join(dir, "bad.json")
+	os.WriteFile(bad, []byte(`{"shards":[]}`), 0o644)
+	if _, err := LoadMembership(bad); err == nil {
+		t.Error("empty shard list accepted")
+	}
+}
+
+func TestMembershipWaitHealthy(t *testing.T) {
+	m, _ := NewMembership([]string{"http://s0", "http://s1"})
+	// s1 becomes healthy only on its third probe.
+	var s1probes atomic.Int32
+	probe := func(ctx context.Context, endpoint string) error {
+		if endpoint == "http://s1" && s1probes.Add(1) < 3 {
+			return errors.New("still booting")
+		}
+		return nil
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := m.WaitHealthy(ctx, time.Millisecond, probe); err != nil {
+		t.Fatalf("WaitHealthy: %v", err)
+	}
+	if n := s1probes.Load(); n != 3 {
+		t.Errorf("s1 probed %d times, want 3 (healthy endpoints must not be re-probed)", n)
+	}
+
+	// Timeout path: the error names the still-failing endpoint.
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel2()
+	err := m.WaitHealthy(ctx2, 5*time.Millisecond, func(ctx context.Context, endpoint string) error {
+		if endpoint == "http://s0" {
+			return errors.New("disk on fire")
+		}
+		return nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "http://s0") || !strings.Contains(err.Error(), "disk on fire") {
+		t.Errorf("timeout error must name the failing endpoint and cause, got: %v", err)
+	}
+}

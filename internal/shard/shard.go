@@ -73,8 +73,12 @@ func mix64(z uint64) uint64 {
 // deterministic regardless of which leg finishes first. The derived
 // context is canceled as soon as any leg fails, so the remaining legs
 // stop promptly. The reported error prefers the first (lowest-ordinal)
-// non-cancellation failure: a leg canceled because a sibling failed
-// should not mask the root cause.
+// failure that is neither context.Canceled nor context.DeadlineExceeded:
+// those are secondary symptoms — a leg canceled because a sibling
+// failed, or cut off because the parent deadline fired while a sibling's
+// real failure was propagating — and must not mask the root cause. When
+// every failed leg reports only cancellation or deadline expiry, the
+// lowest-ordinal one is returned as-is.
 func Fanout[T any](ctx context.Context, n int, fn func(ctx context.Context, shard int) (T, error)) ([]T, error) {
 	fctx, cancel := context.WithCancel(ctx)
 	defer cancel()
@@ -95,18 +99,21 @@ func Fanout[T any](ctx context.Context, n int, fn func(ctx context.Context, shar
 		}(i)
 	}
 	wg.Wait()
-	var first error
+	var first, fallback error
 	for _, err := range errs {
 		if err == nil {
 			continue
 		}
-		if first == nil {
-			first = err
+		if fallback == nil {
+			fallback = err
 		}
-		if !errors.Is(err, context.Canceled) {
+		if !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
 			first = err
 			break
 		}
+	}
+	if first == nil {
+		first = fallback
 	}
 	if first != nil {
 		return nil, first
@@ -115,16 +122,19 @@ func Fanout[T any](ctx context.Context, n int, fn func(ctx context.Context, shar
 }
 
 // Telemetry tracks the coordinator's per-shard counters, rendered on
-// /metrics as:
+// /metrics under a configurable prefix (congress_shard for in-process
+// sharding, congress_distshard for the multi-process coordinator):
 //
-//	congress_shard_count                       configured shard count
-//	congress_shard_inserts_total{shard}        rows routed to each shard
-//	congress_shard_fanout_errors_total{shard}  failed fan-out legs per shard
-//	congress_shard_fanout_seconds{shard,...}   per-shard fan-out leg latency
-//	                                           histogram + quantiles
+//	<prefix>_count                       configured shard count
+//	<prefix>_inserts_total{shard}        rows routed to each shard
+//	<prefix>_fanout_errors_total{shard}  failed fan-out legs per shard
+//	<prefix>_fanout_retries_total{shard} transient-failure retries per shard
+//	<prefix>_fanout_seconds{shard,...}   per-shard fan-out leg latency
+//	                                     histogram + quantiles
 type Telemetry struct {
 	inserts []atomic.Int64
 	errors  []atomic.Int64
+	retries []atomic.Int64
 	fanout  []*metrics.Histogram
 }
 
@@ -133,6 +143,7 @@ func NewTelemetry(n int) *Telemetry {
 	t := &Telemetry{
 		inserts: make([]atomic.Int64, n),
 		errors:  make([]atomic.Int64, n),
+		retries: make([]atomic.Int64, n),
 		fanout:  make([]*metrics.Histogram, n),
 	}
 	for i := range t.fanout {
@@ -170,6 +181,13 @@ func (t *Telemetry) FanoutError(shard int) {
 	}
 }
 
+// AddRetry records one transient-failure retry against a shard.
+func (t *Telemetry) AddRetry(shard int) {
+	if t != nil && shard >= 0 && shard < len(t.retries) {
+		t.retries[shard].Add(1)
+	}
+}
+
 // Inserts reads one shard's routed-row counter.
 func (t *Telemetry) Inserts(shard int) int64 {
 	if t == nil || shard < 0 || shard >= len(t.inserts) {
@@ -181,19 +199,28 @@ func (t *Telemetry) Inserts(shard int) int64 {
 // Render writes the congress_shard_* exposition block; deterministic
 // for a fixed state (shards ascend, histogram rendering is sorted).
 func (t *Telemetry) Render(sb *strings.Builder) {
+	t.RenderAs(sb, "congress_shard")
+}
+
+// RenderAs writes the exposition block under the given metric prefix.
+// Zero-count fan-out histograms render as explicit zero series rather
+// than being skipped, so per-shard latency series are present from the
+// first scrape and never appear/disappear between scrapes.
+func (t *Telemetry) RenderAs(sb *strings.Builder, prefix string) {
 	if t == nil {
 		return
 	}
-	fmt.Fprintf(sb, "congress_shard_count %d\n", len(t.fanout))
+	fmt.Fprintf(sb, "%s_count %d\n", prefix, len(t.fanout))
 	for i := range t.inserts {
-		fmt.Fprintf(sb, "congress_shard_inserts_total{shard=%q} %d\n", strconv.Itoa(i), t.inserts[i].Load())
+		fmt.Fprintf(sb, "%s_inserts_total{shard=%q} %d\n", prefix, strconv.Itoa(i), t.inserts[i].Load())
 	}
 	for i := range t.errors {
-		fmt.Fprintf(sb, "congress_shard_fanout_errors_total{shard=%q} %d\n", strconv.Itoa(i), t.errors[i].Load())
+		fmt.Fprintf(sb, "%s_fanout_errors_total{shard=%q} %d\n", prefix, strconv.Itoa(i), t.errors[i].Load())
+	}
+	for i := range t.retries {
+		fmt.Fprintf(sb, "%s_fanout_retries_total{shard=%q} %d\n", prefix, strconv.Itoa(i), t.retries[i].Load())
 	}
 	for i, h := range t.fanout {
-		if snap := h.Snapshot(); snap.Count > 0 {
-			snap.Render(sb, "congress_shard_fanout_seconds", "shard", strconv.Itoa(i))
-		}
+		h.Snapshot().Render(sb, prefix+"_fanout_seconds", "shard", strconv.Itoa(i))
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -137,8 +138,13 @@ func TestTelemetryRender(t *testing.T) {
 			t.Errorf("exposition missing %q:\n%s", want, out)
 		}
 	}
-	if strings.Contains(out, `congress_shard_fanout_seconds_count{shard="0"}`) {
-		t.Error("unobserved shard-0 histogram should not render")
+	// Unobserved histograms render as explicit zero series — scrape
+	// targets must see every per-shard series from the first scrape.
+	if !strings.Contains(out, `congress_shard_fanout_seconds_count{shard="0"} 0`) {
+		t.Errorf("unobserved shard-0 histogram must render an explicit zero series:\n%s", out)
+	}
+	if !strings.Contains(out, `congress_shard_fanout_retries_total{shard="0"} 0`) {
+		t.Errorf("retry counters must render even at zero:\n%s", out)
 	}
 	// Out-of-range and nil receivers must be inert.
 	tel.AddInserts(9, 1)
@@ -149,4 +155,139 @@ func TestTelemetryRender(t *testing.T) {
 	if nilTel.Shards() != 0 || nilTel.Inserts(0) != 0 {
 		t.Error("nil telemetry must read as zero")
 	}
+}
+
+// TestFanoutDeadlineDoesNotMaskRealError is the regression test for the
+// root-cause-masking fix: when the parent deadline fires while a
+// higher-ordinal leg's real failure is still propagating, the
+// lower-ordinal leg's context.DeadlineExceeded must not win error
+// selection. Against the pre-fix loop — which broke on the first
+// non-Canceled error — this test fails with err = DeadlineExceeded.
+func TestFanoutDeadlineDoesNotMaskRealError(t *testing.T) {
+	boom := errors.New("shard 1 exploded")
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	leg0done := make(chan struct{})
+	_, err := Fanout(ctx, 2, func(ctx context.Context, shard int) (int, error) {
+		if shard == 0 {
+			// Returns DeadlineExceeded the moment the parent deadline
+			// fires, then releases leg 1.
+			<-ctx.Done()
+			defer close(leg0done)
+			return 0, ctx.Err()
+		}
+		// Leg 1 reports the real failure strictly after leg 0 has already
+		// recorded its deadline error, so ordinal selection alone would
+		// pick leg 0.
+		<-leg0done
+		return 0, boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the shard-1 failure (deadline expiry must not mask it)", err)
+	}
+}
+
+// TestFanoutAllDeadline: when deadline expiry is the only failure, it is
+// still returned — the exclusion applies only while a real error exists.
+func TestFanoutAllDeadline(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	_, err := Fanout(ctx, 3, func(ctx context.Context, shard int) (int, error) {
+		<-ctx.Done()
+		return 0, ctx.Err()
+	})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+// TestTelemetryRenderConcurrent hammers every counter from concurrent
+// observers while Render runs — the race detector polices the atomics —
+// then verifies that once writers quiesce, repeated renders are
+// byte-identical (determinism) and reflect the exact totals written.
+func TestTelemetryRenderConcurrent(t *testing.T) {
+	tel := NewTelemetry(4)
+	const (
+		writers = 8
+		perW    = 500
+	)
+	var wg, scraperWG sync.WaitGroup
+	stop := make(chan struct{})
+	scraperWG.Add(1)
+	go func() { // concurrent scraper
+		defer scraperWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			var sb strings.Builder
+			tel.RenderAs(&sb, "congress_distshard")
+			if !strings.Contains(sb.String(), "congress_distshard_count 4\n") {
+				t.Error("mid-flight render lost the shard count")
+				return
+			}
+		}
+	}()
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perW; i++ {
+				s := (w + i) % 4
+				tel.AddInserts(s, 2)
+				tel.ObserveFanout(s, time.Duration(i)*time.Microsecond)
+				tel.FanoutError(s)
+				tel.AddRetry(s)
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	scraperWG.Wait()
+
+	var a, b strings.Builder
+	tel.RenderAs(&a, "congress_distshard")
+	tel.RenderAs(&b, "congress_distshard")
+	if a.String() != b.String() {
+		t.Error("renders of a quiesced state differ")
+	}
+	out := a.String()
+	var inserts int64
+	for s := 0; s < 4; s++ {
+		inserts += tel.Inserts(s)
+	}
+	errs := int64(writers * perW)
+	retries := int64(writers * perW)
+	obs := int64(writers * perW)
+	if inserts != int64(writers*perW*2) {
+		t.Errorf("inserts total %d, want %d", inserts, writers*perW*2)
+	}
+	var seenErr, seenRetry, seenObs int64
+	for s := 0; s < 4; s++ {
+		seenErr += expositionValue(t, out, fmt.Sprintf(`congress_distshard_fanout_errors_total{shard="%d"}`, s))
+		seenRetry += expositionValue(t, out, fmt.Sprintf(`congress_distshard_fanout_retries_total{shard="%d"}`, s))
+		seenObs += expositionValue(t, out, fmt.Sprintf(`congress_distshard_fanout_seconds_count{shard="%d"}`, s))
+	}
+	if seenErr != errs || seenRetry != retries || seenObs != obs {
+		t.Errorf("rendered totals errors=%d retries=%d observations=%d, want %d each", seenErr, seenRetry, seenObs, errs)
+	}
+}
+
+// expositionValue extracts the integer value of the series whose
+// rendered line starts with prefix.
+func expositionValue(t *testing.T, exposition, prefix string) int64 {
+	t.Helper()
+	for _, line := range strings.Split(exposition, "\n") {
+		if strings.HasPrefix(line, prefix+" ") {
+			var v int64
+			if _, err := fmt.Sscanf(strings.TrimPrefix(line, prefix+" "), "%d", &v); err != nil {
+				t.Fatalf("parse %q: %v", line, err)
+			}
+			return v
+		}
+	}
+	t.Fatalf("series %q not rendered:\n%s", prefix, exposition)
+	return 0
 }

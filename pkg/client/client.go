@@ -138,6 +138,18 @@ func (c *Client) Insert(ctx context.Context, req InsertRequest) (*InsertResponse
 	return &out, nil
 }
 
+// Partials runs one estimation scan and returns the mergeable
+// per-group sufficient statistics — the distributed scatter-gather leg.
+// Coordinators merge partials from every shard with
+// estimate.MergePartials before taking confidence intervals once.
+func (c *Client) Partials(ctx context.Context, req PartialsRequest) (*PartialsResponse, error) {
+	var out PartialsResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/estimate/partials", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
 // Synopses lists the registered synopses; withAllocation includes each
 // synopsis's full allocation table.
 func (c *Client) Synopses(ctx context.Context, withAllocation bool) ([]SynopsisInfo, error) {

@@ -6,14 +6,15 @@ import (
 	"fmt"
 	"net/http"
 	"sync/atomic"
+	"time"
 )
 
 // MultiEndpoint fans requests across several congressd servers —
 // typically a replication leader plus its read-scaling followers. Each
 // call picks the next endpoint round-robin; when that endpoint fails at
-// the transport layer or reports 503 (a follower rejecting what it
-// cannot serve), the call fails over to the remaining endpoints before
-// giving up. It is safe for concurrent use.
+// the transport layer, reports 503 (a follower rejecting what it cannot
+// serve), or sheds with 429, the call fails over to the remaining
+// endpoints before giving up. It is safe for concurrent use.
 type MultiEndpoint struct {
 	clients []*Client
 	next    atomic.Uint64
@@ -48,18 +49,30 @@ func (m *MultiEndpoint) Pick() *Client {
 }
 
 // failover reports whether an error warrants trying another endpoint:
-// transport failures (endpoint down) and 503 (a follower declining a
-// request only its leader can serve).
+// transport failures (endpoint down), 503 (a follower declining a
+// request only its leader can serve), and 429 (admission control
+// shedding — a briefly saturated endpoint must not fail a fan-out read
+// when a sibling has spare capacity).
 func failover(err error) bool {
 	var ae *APIError
 	if errors.As(err, &ae) {
-		return ae.Status == http.StatusServiceUnavailable
+		return ae.Status == http.StatusServiceUnavailable ||
+			ae.Status == http.StatusTooManyRequests
 	}
 	return true // transport-level failure
 }
 
+// shedWaitCap bounds how long a 429's Retry-After hint delays the
+// failover hop. The hint is sized for retrying the same endpoint; the
+// next endpoint is an independent server, so we honor only a token
+// pause (shedding often means the whole fleet is briefly hot) and move
+// on rather than serializing the full backoff.
+const shedWaitCap = 250 * time.Millisecond
+
 // Query answers an approximate query, failing over across endpoints.
 // The returned string is the base URL of the endpoint that served it.
+// 429 responses honor a short, capped slice of the server's Retry-After
+// hint before hopping to the next endpoint.
 func (m *MultiEndpoint) Query(ctx context.Context, req QueryRequest) (*QueryResponse, string, error) {
 	var lastErr error
 	start := m.next.Add(1)
@@ -72,6 +85,19 @@ func (m *MultiEndpoint) Query(ctx context.Context, req QueryRequest) (*QueryResp
 		lastErr = err
 		if ctx.Err() != nil || !failover(err) {
 			break
+		}
+		var ae *APIError
+		if i < len(m.clients)-1 && errors.As(err, &ae) &&
+			ae.Status == http.StatusTooManyRequests && ae.RetryAfter > 0 {
+			wait := ae.RetryAfter
+			if wait > shedWaitCap {
+				wait = shedWaitCap
+			}
+			select {
+			case <-ctx.Done():
+				return nil, "", lastErr
+			case <-time.After(wait):
+			}
 		}
 	}
 	return nil, "", lastErr

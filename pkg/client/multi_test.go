@@ -1,0 +1,87 @@
+package client
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestMultiEndpointFailsOverOn429 is the regression test for 429
+// shedding: a briefly saturated endpoint answers 429 with a Retry-After
+// hint, and MultiEndpoint.Query must hop to the next endpoint instead
+// of failing the read — honoring only a short, capped slice of the
+// hint. Against the pre-fix failover() (429 treated as terminal) this
+// test fails with an overloaded error.
+func TestMultiEndpointFailsOverOn429(t *testing.T) {
+	var shedHits, okHits atomic.Int32
+	shedding := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		shedHits.Add(1)
+		w.Header().Set("Retry-After", "30") // far beyond the hop cap
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusTooManyRequests)
+		w.Write([]byte(`{"error":"server overloaded","code":"overloaded"}`))
+	}))
+	defer shedding.Close()
+	healthy := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		okHits.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{"groups":[{"group":["g"],"value":1,"bound":0.1,"sample_n":5}],"elapsed_ms":1}`))
+	}))
+	defer healthy.Close()
+
+	// Round-robin starts at index 1 (next.Add(1) on the first call), so
+	// the shedding endpoint goes there to be tried first.
+	m, err := NewMulti([]string{healthy.URL, shedding.URL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	begin := time.Now()
+	resp, served, err := m.Query(ctx, QueryRequest{Estimate: &EstimateRequest{Table: "t", Agg: "sum", Column: "v"}})
+	elapsed := time.Since(begin)
+	if err != nil {
+		t.Fatalf("Query failed instead of failing over on 429: %v", err)
+	}
+	if served != healthy.URL {
+		t.Errorf("served by %s, want the healthy endpoint %s", served, healthy.URL)
+	}
+	if shedHits.Load() != 1 || okHits.Load() != 1 {
+		t.Errorf("hits: shedding=%d healthy=%d, want 1 and 1", shedHits.Load(), okHits.Load())
+	}
+	if len(resp.Groups) != 1 || resp.Groups[0].Value != 1 {
+		t.Errorf("unexpected response: %+v", resp)
+	}
+	// The 30s Retry-After must be capped to the short hop pause, not
+	// honored in full.
+	if elapsed > 5*time.Second {
+		t.Errorf("failover waited %v — Retry-After was not capped", elapsed)
+	}
+}
+
+// TestMultiEndpointAllShedding: when every endpoint sheds, the caller
+// gets the overloaded APIError back rather than a hang.
+func TestMultiEndpointAllShedding(t *testing.T) {
+	shed := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusTooManyRequests)
+		w.Write([]byte(`{"error":"server overloaded","code":"overloaded"}`))
+	})
+	a, b := httptest.NewServer(shed), httptest.NewServer(shed)
+	defer a.Close()
+	defer b.Close()
+	m, err := NewMulti([]string{a.URL, b.URL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	_, _, qerr := m.Query(ctx, QueryRequest{SQL: "select count(*) from t"})
+	if !IsOverloaded(qerr) {
+		t.Fatalf("err = %v, want the 429 APIError after exhausting endpoints", qerr)
+	}
+}

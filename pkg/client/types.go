@@ -3,6 +3,8 @@ package client
 // Wire types for the congressd HTTP/JSON API. The server
 // (internal/server) imports this package so the two sides cannot drift.
 
+import "github.com/approxdb/congress/internal/estimate"
+
 // QueryRequest is the body of POST /v1/query. Exactly one of SQL or
 // Estimate must be set: SQL answers via synopsis rewriting, Estimate via
 // the direct stratified estimator with confidence bounds.
@@ -47,6 +49,33 @@ type EstimateRequest struct {
 	// Confidence is the two-sided confidence level for the reported
 	// bounds; 0 means the Aqua default of 0.90.
 	Confidence float64 `json:"confidence,omitempty"`
+}
+
+// PartialsRequest is the body of POST /v1/estimate/partials: one
+// estimation scan returning the mergeable per-group sufficient
+// statistics instead of finalized estimates. This is the distributed
+// scatter-gather leg — a coordinator fans it out to every shard and
+// merges the partials before taking confidence intervals exactly once.
+type PartialsRequest struct {
+	// Table is the base table (must have a synopsis).
+	Table string `json:"table"`
+	// GroupBy is the output grouping (a subset of the synopsis's
+	// grouping columns); empty means no group-by.
+	GroupBy []string `json:"group_by,omitempty"`
+	// Column is the aggregated column. Partials are aggregate- and
+	// confidence-independent: one scan serves SUM, COUNT and AVG.
+	Column string `json:"column"`
+	// TimeoutMS caps this request's execution time like
+	// QueryRequest.TimeoutMS.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// PartialsResponse is the body returned by /v1/estimate/partials. The
+// records are estimate.GroupPartial in its wire encoding (non-finite
+// floats travel as the strings "+Inf"/"-Inf"/"NaN").
+type PartialsResponse struct {
+	Partials  []estimate.GroupPartial `json:"partials"`
+	ElapsedMS float64                 `json:"elapsed_ms"`
 }
 
 // ExactRequest is the body of POST /v1/exact.
@@ -109,6 +138,19 @@ type SynopsisInfo struct {
 	PendingInserts int64           `json:"pending_inserts"`
 	Shards         int             `json:"shards,omitempty"`
 	Allocation     []AllocationRow `json:"allocation,omitempty"`
+	// Columns is the table schema in column order — a distributed
+	// coordinator discovers shard schemas from it and verifies every
+	// shard agrees before serving.
+	Columns []ColumnSpec `json:"columns,omitempty"`
+}
+
+// ColumnSpec is one column of a table schema as reported by
+// /v1/synopses.
+type ColumnSpec struct {
+	Name string `json:"name"`
+	// Kind is the engine value kind: NULL, BOOLEAN, INTEGER, FLOAT,
+	// VARCHAR or DATE.
+	Kind string `json:"kind"`
 }
 
 // AllocationRow is one line of a synopsis's Figure 5-style allocation
@@ -174,6 +216,6 @@ type ErrorBody struct {
 	Error string `json:"error"`
 	// Code is a stable machine-readable cause: bad_query, no_synopsis,
 	// unknown_table, deadline_exceeded, canceled, overloaded,
-	// not_persistent, internal.
+	// not_persistent, shard_unavailable, internal.
 	Code string `json:"code"`
 }

@@ -2,12 +2,10 @@ package congress
 
 import (
 	"context"
-	"errors"
 	"fmt"
 	"sort"
 	"strings"
 	"sync"
-	"time"
 
 	"github.com/approxdb/congress/internal/core"
 	"github.com/approxdb/congress/internal/engine"
@@ -39,8 +37,11 @@ type StratifiedSample = sample.Stratified[Row]
 // shard — but the variance decomposition then differs from the
 // unsharded build.
 //
-// Sharded warehouses are in-memory only: persistence belongs to the
-// individual Warehouse and is not exposed here.
+// A ShardedWarehouse keeps its shards in this process; durability
+// belongs to the individual Warehouse and is not exposed through this
+// handle. For shards that live in their own processes with their own
+// data directories, see Coordinator, which speaks the same
+// scatter-gather protocol over HTTP.
 type ShardedWarehouse struct {
 	router *shard.Router
 	tel    *shard.Telemetry
@@ -89,8 +90,9 @@ func (sw *ShardedWarehouse) ConfigureCache(maxEntries int, maxBytes int64) {
 	}
 }
 
-// Close closes every shard. Sharded warehouses are in-memory, so this
-// is a formality that keeps the lifecycle symmetric with Warehouse.
+// Close closes every shard. In-process shards hold no durable state,
+// so this is a formality that keeps the lifecycle symmetric with
+// Warehouse.
 func (sw *ShardedWarehouse) Close() error {
 	var first error
 	for _, w := range sw.shards {
@@ -344,29 +346,32 @@ func (sw *ShardedWarehouse) Estimate(table string, grouping []string, agg estima
 // Fan-out legs observe ctx: the first failing shard cancels its
 // siblings, and per-shard leg latency lands in ShardTelemetry.
 func (sw *ShardedWarehouse) EstimateCtx(ctx context.Context, table string, grouping []string, agg estimate.Aggregate, aggCol string, confidence float64) ([]estimate.GroupEstimate, error) {
-	if !sw.hasSynopsis(table) {
-		return nil, fmt.Errorf("%w %q", ErrNoSynopsis, table)
-	}
-	parts, err := shard.Fanout(ctx, len(sw.shards), func(ctx context.Context, i int) ([]estimate.GroupPartial, error) {
-		start := time.Now()
-		p, err := sw.shards[i].EstimatePartialsCtx(ctx, table, grouping, aggCol)
-		if err != nil {
-			if errors.Is(err, ErrNoSynopsis) {
-				// This shard was empty at build time: it holds no rows of
-				// the table, so it contributes nothing to any group.
-				return nil, nil
-			}
-			sw.tel.FanoutError(i)
-			return nil, err
-		}
-		sw.tel.ObserveFanout(i, time.Since(start))
-		return p, nil
-	})
+	merged, err := sw.EstimatePartialsCtx(ctx, table, grouping, aggCol)
 	if err != nil {
 		return nil, err
 	}
-	merged := estimate.MergePartials(parts...)
 	return estimate.Finalize(merged, agg, confidence)
+}
+
+// EstimatePartialsCtx scatter-gathers the partials scan across the
+// shards and merges, without taking confidence intervals — the same
+// contract as Warehouse.EstimatePartialsCtx, so an in-process sharded
+// warehouse can itself serve /v1/estimate/partials as one leg of a
+// larger distributed deployment. Shards that were empty at build time
+// (no synopsis) contribute nothing.
+func (sw *ShardedWarehouse) EstimatePartialsCtx(ctx context.Context, table string, grouping []string, aggCol string) ([]estimate.GroupPartial, error) {
+	if !sw.hasSynopsis(table) {
+		return nil, fmt.Errorf("%w %q", ErrNoSynopsis, table)
+	}
+	backends := make([]ShardBackend, len(sw.shards))
+	for i, w := range sw.shards {
+		backends[i] = localShard{w}
+	}
+	parts, _, err := scatterPartials(ctx, sw.tel, backends, table, grouping, aggCol)
+	if err != nil {
+		return nil, err
+	}
+	return estimate.MergePartials(parts...), nil
 }
 
 // EstimateQuery matches the Warehouse signature so congressd can serve

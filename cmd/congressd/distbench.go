@@ -76,7 +76,9 @@ func runDistBench(out io.Writer, wf *warehouseFlags, shards, iters int, outPath 
 	aggCol := "l_quantity"
 
 	exactW := congress.Open()
-	exactW.AttachRelation(rel)
+	if _, err := exactW.AttachRelation(rel); err != nil {
+		return err
+	}
 	res, err := exactW.Query(fmt.Sprintf(
 		"select %s, sum(%s), count(*), avg(%s) from %s group by %s",
 		groupBy[0], aggCol, aggCol, rel.Name, groupBy[0]))
@@ -215,7 +217,9 @@ func startDistCluster(rel *engine.Relation, spec congress.SynopsisSpec, shards i
 			return nil, srvs, err
 		}
 		pw := congress.Open()
-		pw.AttachRelation(prel)
+		if _, err := pw.AttachRelation(prel); err != nil {
+			return nil, srvs, err
+		}
 		if err := pw.BuildSynopsis(spec); err != nil {
 			return nil, srvs, fmt.Errorf("shard %d synopsis: %w", i, err)
 		}

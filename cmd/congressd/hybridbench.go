@@ -1,0 +1,271 @@
+package main
+
+// The `loadgen -hybrid` bench: hybrid exact+sample estimation accuracy
+// as a function of datacube coverage. It partitions one generated
+// relation across K in-process warehouses (routing by the synopsis
+// grouping key, like ShardedWarehouse), then for each coverage fraction
+// j/K gathers partials with the hybrid path enabled on j warehouses and
+// forced to pure-sample (NoHybrid) on the rest, merges, and finalizes.
+// Coverage 0 is the pure-sample baseline; coverage 1 must come back
+// with exactly zero-width intervals. The bench fails (nonzero exit) if
+// any group's hybrid half-width exceeds its pure-sample half-width, so
+// CI pins the "hybrid is never worse" contract alongside the numbers it
+// publishes in BENCH_hybrid.json.
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"math"
+	"os"
+
+	"encoding/json"
+
+	congress "github.com/approxdb/congress"
+	"github.com/approxdb/congress/internal/core"
+	"github.com/approxdb/congress/internal/engine"
+	"github.com/approxdb/congress/internal/estimate"
+	"github.com/approxdb/congress/internal/shard"
+)
+
+// hybridBenchReport is the BENCH_hybrid.json schema: interval width and
+// accuracy per coverage fraction, judged against exact SQL ground truth
+// over the same generated data.
+type hybridBenchReport struct {
+	Shards     int                  `json:"shards"`
+	Rows       int                  `json:"rows"`
+	Groups     int                  `json:"groups"`
+	SpacePct   float64              `json:"space_pct"`
+	Confidence float64              `json:"confidence"`
+	GroupBy    []string             `json:"group_by"`
+	AggColumn  string               `json:"agg_column"`
+	Coverage   []hybridCoveragePoint `json:"coverage"`
+}
+
+// hybridCoveragePoint is one coverage fraction: j of the K warehouses
+// answered from their exact datacubes, the rest from their samples.
+type hybridCoveragePoint struct {
+	CoveredShards int                         `json:"covered_shards"`
+	Fraction      float64                     `json:"fraction"`
+	Aggregates    map[string]hybridAggSummary `json:"aggregates"`
+}
+
+// hybridAggSummary reports one aggregate's interval widths at a
+// coverage point, plus accuracy against exact ground truth.
+type hybridAggSummary struct {
+	MeanHalfWidth float64 `json:"mean_half_width"`
+	MaxHalfWidth  float64 `json:"max_half_width"`
+	// WidthVsSample is the mean per-group ratio of this coverage
+	// point's half-width to the pure-sample half-width, over groups
+	// whose baseline width is positive (1.0 at coverage 0, 0.0 at full
+	// coverage).
+	WidthVsSample   float64 `json:"width_vs_sample"`
+	ZeroWidthGroups int     `json:"zero_width_groups"`
+	MeanRelErr      float64 `json:"mean_rel_err"`
+	MaxRelErr       float64 `json:"max_rel_err"`
+	BoundCoverage   float64 `json:"bound_coverage"`
+}
+
+// runHybridBench drives the coverage sweep and writes outPath.
+func runHybridBench(out io.Writer, wf *warehouseFlags, outPath string, log *slog.Logger) error {
+	if *wf.loadCSV != "" {
+		return fmt.Errorf("loadgen: -hybrid needs a generated table with known ground truth")
+	}
+	rep, err := hybridAccuracyBench(wf, log)
+	if err != nil {
+		return err
+	}
+	for _, cp := range rep.Coverage {
+		for _, agg := range []string{"sum", "count", "avg"} {
+			s := cp.Aggregates[agg]
+			fmt.Fprintf(out, "hybrid coverage %.2f %s: half-width mean=%.3f max=%.3f (%.0f%% of pure-sample), zero-width %d/%d, rel-err mean=%.4f\n",
+				cp.Fraction, agg, s.MeanHalfWidth, s.MaxHalfWidth, 100*s.WidthVsSample,
+				s.ZeroWidthGroups, rep.Groups, s.MeanRelErr)
+		}
+	}
+	if outPath != "" {
+		b, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(outPath, append(b, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote %s\n", outPath)
+	}
+	return nil
+}
+
+// hybridAccuracyBench builds the K-way partitioned warehouses and runs
+// the coverage sweep, enforcing the width contract as it goes.
+func hybridAccuracyBench(wf *warehouseFlags, log *slog.Logger) (*hybridBenchReport, error) {
+	const shards = 4
+	rel, err := loadRelation(wf, log)
+	if err != nil {
+		return nil, err
+	}
+	spec, err := synopsisSpecFor(wf, rel)
+	if err != nil {
+		return nil, err
+	}
+	const conf = 0.95
+	groupBy := spec.GroupBy[:1]
+	aggCol := "l_quantity"
+
+	// Exact ground truth over the whole relation.
+	exactW := congress.Open()
+	if _, err := exactW.AttachRelation(rel); err != nil {
+		return nil, err
+	}
+	res, err := exactW.Query(fmt.Sprintf(
+		"select %s, sum(%s), count(*), avg(%s) from %s group by %s",
+		groupBy[0], aggCol, aggCol, rel.Name, groupBy[0]))
+	if err != nil {
+		return nil, err
+	}
+	truth := make(map[string][3]float64, len(res.Rows)) // group → sum, count, avg
+	for _, r := range res.Rows {
+		s, _ := r[1].AsFloat()
+		c, _ := r[2].AsFloat()
+		a, _ := r[3].AsFloat()
+		truth[r[0].String()] = [3]float64{s, c, a}
+	}
+
+	// Partition rows across K warehouses by the synopsis grouping key —
+	// the same routing ShardedWarehouse uses — so each warehouse's
+	// strata partition the stratum set.
+	g, err := core.NewGrouping(rel.Schema, spec.GroupBy)
+	if err != nil {
+		return nil, err
+	}
+	router, err := shard.NewRouter(shards)
+	if err != nil {
+		return nil, err
+	}
+	parts := make([][]engine.Row, shards)
+	for _, row := range rel.Rows() {
+		i := router.Route(g.Key(row))
+		parts[i] = append(parts[i], row)
+	}
+	ws := make([]*congress.Warehouse, shards)
+	for i := range ws {
+		prel := engine.NewRelation(rel.Name, rel.Schema)
+		if err := prel.InsertAll(parts[i]); err != nil {
+			return nil, err
+		}
+		ws[i] = congress.Open()
+		if _, err := ws[i].AttachRelation(prel); err != nil {
+			return nil, err
+		}
+		ss := spec
+		ss.Space = spec.Space * len(parts[i]) / rel.NumRows()
+		if ss.Space < 1 {
+			ss.Space = 1
+		}
+		ss.Seed = spec.Seed + int64(i)*0x9E37
+		if ss.Seed == 0 {
+			ss.Seed = 1
+		}
+		if err := ws[i].BuildSynopsis(ss); err != nil {
+			return nil, fmt.Errorf("partition %d: %w", i, err)
+		}
+	}
+
+	ctx := context.Background()
+	aggs := []struct {
+		name string
+		agg  congress.Aggregate
+	}{{"sum", congress.Sum}, {"count", congress.Count}, {"avg", congress.Avg}}
+
+	rep := &hybridBenchReport{
+		Shards: shards, Rows: rel.NumRows(), Groups: len(truth),
+		SpacePct: *wf.spacePct, Confidence: conf,
+		GroupBy: groupBy, AggColumn: aggCol,
+	}
+	// baseline[agg][group] is the pure-sample half-width (coverage 0).
+	baseline := make(map[string]map[string]float64, len(aggs))
+	for covered := 0; covered <= shards; covered++ {
+		lists := make([][]congress.GroupPartial, shards)
+		for i := range ws {
+			lists[i], err = ws[i].EstimatePartialsOpts(ctx, rel.Name, groupBy, aggCol,
+				congress.PartialsOptions{NoHybrid: i >= covered})
+			if err != nil {
+				return nil, fmt.Errorf("coverage %d partition %d: %w", covered, i, err)
+			}
+		}
+		merged := estimate.MergePartials(lists...)
+		cp := hybridCoveragePoint{
+			CoveredShards: covered,
+			Fraction:      float64(covered) / float64(shards),
+			Aggregates:    make(map[string]hybridAggSummary, len(aggs)),
+		}
+		for ai, a := range aggs {
+			ests, err := estimate.Finalize(merged, a.agg, conf)
+			if err != nil {
+				return nil, err
+			}
+			acc, err := scoreEstimates(ests, truth, ai)
+			if err != nil {
+				return nil, fmt.Errorf("coverage %d %s: %w", covered, a.name, err)
+			}
+			s := hybridAggSummary{
+				MeanRelErr: acc.MeanRelErr, MaxRelErr: acc.MaxRelErr, BoundCoverage: acc.Coverage,
+			}
+			ratioSum, ratioN := 0.0, 0
+			for _, e := range ests {
+				s.MeanHalfWidth += e.Bound
+				if e.Bound > s.MaxHalfWidth {
+					s.MaxHalfWidth = e.Bound
+				}
+				if e.Bound == 0 {
+					s.ZeroWidthGroups++
+				}
+				base, haveBase := baseline[a.name][e.Key]
+				switch {
+				case covered == 0:
+					// Becomes the baseline below.
+				case !haveBase:
+					return nil, fmt.Errorf("coverage %d %s: group %q absent from pure-sample baseline", covered, a.name, e.Key)
+				case e.Bound > base+1e-9*math.Max(1, base):
+					return nil, fmt.Errorf("hybrid wider than pure-sample: coverage %d/%d %s group %q half-width %v > %v",
+						covered, shards, a.name, e.Key, e.Bound, base)
+				default:
+					if base > 0 {
+						ratioSum += e.Bound / base
+						ratioN++
+					}
+				}
+				if covered == shards && e.Bound != 0 {
+					return nil, fmt.Errorf("full coverage %s group %q half-width %v, want exactly 0", a.name, e.Key, e.Bound)
+				}
+			}
+			if n := len(ests); n > 0 {
+				s.MeanHalfWidth /= float64(n)
+			}
+			if covered == 0 {
+				baseline[a.name] = make(map[string]float64, len(ests))
+				for _, e := range ests {
+					baseline[a.name][e.Key] = e.Bound
+				}
+				s.WidthVsSample = 1
+			} else if ratioN > 0 {
+				s.WidthVsSample = ratioSum / float64(ratioN)
+			}
+			cp.Aggregates[a.name] = s
+		}
+		rep.Coverage = append(rep.Coverage, cp)
+	}
+	// The point of the hybrid path: with any coverage at all, covered
+	// popular groupings must come back strictly narrower, not merely
+	// no-wider.
+	for _, a := range aggs {
+		last := rep.Coverage[shards].Aggregates[a.name]
+		base := rep.Coverage[0].Aggregates[a.name]
+		if base.MeanHalfWidth > 0 && !(last.MeanHalfWidth < base.MeanHalfWidth) {
+			return nil, fmt.Errorf("%s: full-coverage mean half-width %v not narrower than pure-sample %v",
+				a.name, last.MeanHalfWidth, base.MeanHalfWidth)
+		}
+	}
+	return rep, nil
+}

@@ -283,7 +283,9 @@ func populateWarehouse(w *congress.Warehouse, wf *warehouseFlags, log *slog.Logg
 	if err != nil {
 		return err
 	}
-	w.AttachRelation(rel)
+	if _, err := w.AttachRelation(rel); err != nil {
+		return err
+	}
 	start := time.Now()
 	if err := w.BuildSynopsis(spec); err != nil {
 		return err
@@ -658,6 +660,8 @@ func runLoadgen(args []string, out io.Writer) error {
 	distShards := fs.Int("dist-shards", 0, "run the distributed-vs-in-process sharding bench over K shard HTTP servers instead of the standard loadgen")
 	distIters := fs.Int("dist-iters", 50, "with -dist-shards: estimate iterations per latency summary")
 	distOut := fs.String("dist-out", "BENCH_distshard.json", "with -dist-shards: distributed sharding report path (empty to skip)")
+	hybrid := fs.Bool("hybrid", false, "run the hybrid exact+sample coverage bench instead of the standard loadgen")
+	hybridOut := fs.String("hybrid-out", "BENCH_hybrid.json", "with -hybrid: hybrid coverage report path (empty to skip)")
 	seed := fs.Int64("loadgen-seed", 42, "workload RNG seed")
 	wf := addWarehouseFlags(fs)
 	logLevel := fs.String("log-level", "warn", "debug|info|warn|error")
@@ -671,6 +675,10 @@ func runLoadgen(args []string, out io.Writer) error {
 
 	if *distShards > 0 {
 		return runDistBench(out, wf, *distShards, *distIters, *distOut, log)
+	}
+
+	if *hybrid {
+		return runHybridBench(out, wf, *hybridOut, log)
 	}
 
 	if *endpoints != "" {
@@ -923,7 +931,9 @@ func shardAccuracyBench(wf *warehouseFlags, shards int, log *slog.Logger) (*shar
 	aggCol := "l_quantity"
 
 	exactW := congress.Open()
-	exactW.AttachRelation(rel)
+	if _, err := exactW.AttachRelation(rel); err != nil {
+		return nil, err
+	}
 	res, err := exactW.Query(fmt.Sprintf(
 		"select %s, sum(%s), count(*), avg(%s) from %s group by %s",
 		groupBy[0], aggCol, aggCol, rel.Name, groupBy[0]))
@@ -939,7 +949,9 @@ func shardAccuracyBench(wf *warehouseFlags, shards int, log *slog.Logger) (*shar
 	}
 
 	unW := congress.Open()
-	unW.AttachRelation(rel)
+	if _, err := unW.AttachRelation(rel); err != nil {
+		return nil, err
+	}
 	if err := unW.BuildSynopsis(spec); err != nil {
 		return nil, err
 	}

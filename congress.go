@@ -207,6 +207,11 @@ type ApproxOptions struct {
 	// NoCache answers from the sample directly, skipping the result
 	// cache for this call (the answer is not stored either).
 	NoCache bool
+	// NoHybrid disables the hybrid exact-aggregate path for this call:
+	// the estimate comes from the congressional sample alone even when
+	// the synopsis's datacube prefixes cover the query. Useful for
+	// benchmarking the pure-sample bound and for differential tests.
+	NoHybrid bool
 }
 
 // Table is a handle to a base relation.
@@ -239,23 +244,29 @@ func (w *Warehouse) CreateTable(name string, cols ...engine.Column) (*Table, err
 
 // AttachRelation registers an existing engine relation (one produced by
 // the tpcd generator or engine.ReadCSV) as a warehouse table, avoiding a
-// row-by-row copy through CreateTable/Insert. Bulk attachment is not
-// write-ahead logged; on a persistent warehouse a background snapshot
-// is requested instead, and the attachment is durable once that (or
-// TriggerSnapshot, or a clean Close) completes.
-func (w *Warehouse) AttachRelation(rel *engine.Relation) *Table {
-	// Held shared for the same reason as logged: an attachment racing
-	// EnablePersistence must land either before the initial snapshot's
-	// export or after the manager is published.
-	w.pbar.RLock()
-	w.cat.Register(rel)
-	w.noteBaseTable(rel.Name)
-	mgr := w.manager()
-	w.pbar.RUnlock()
-	if mgr != nil {
+// row-by-row copy through CreateTable/Insert. On a persistent warehouse
+// the attachment is write-ahead logged (schema plus rows), so WAL
+// replay — and live replication followers tailing the log — see it
+// immediately instead of one snapshot rotation late; a background
+// snapshot is additionally requested so the log compacts soon after.
+func (w *Warehouse) AttachRelation(rel *engine.Relation) (*Table, error) {
+	err := w.logged(&persist.Record{
+		Kind:  persist.RecAttachRelation,
+		Table: rel.Name,
+		Cols:  append([]engine.Column(nil), rel.Schema.Cols...),
+		Rows:  rel.Rows(),
+	}, func() error {
+		w.cat.Register(rel)
+		w.noteBaseTable(rel.Name)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if mgr := w.manager(); mgr != nil {
 		mgr.RequestSnapshot()
 	}
-	return &Table{w: w, rel: rel}
+	return &Table{w: w, rel: rel}, nil
 }
 
 // Table returns a handle to an existing table. The error wraps
@@ -419,16 +430,17 @@ type JoinSpec struct {
 // cardinality — the join-synopsis observation of the paper's Section 2)
 // and builds a synopsis over it. spec.Table is ignored; the synopsis
 // covers join.Name, and GroupBy columns may come from any joined table.
-// Join synopses are not replayed from the WAL (the joined relation is
-// materialized data, not a logged mutation); on a persistent warehouse
-// the joined relation is registered as base data and a snapshot is
-// forced so both it and its synopsis are durable immediately.
+// On a persistent warehouse the build is write-ahead logged (the join is
+// deterministic given the joined tables' replay-position contents, so
+// replay reproduces it), and a snapshot is additionally forced so the
+// materialized relation compacts out of the log immediately.
 func (w *Warehouse) BuildJoinSynopsis(join JoinSpec, spec SynopsisSpec) error {
-	_, err := w.aq.CreateJoinSynopsis(aqua.JoinSpec{
+	js := aqua.JoinSpec{
 		Name: join.Name,
 		Fact: join.Fact,
 		Dims: join.Dims,
-	}, aqua.Config{
+	}
+	cfg := aqua.Config{
 		GroupCols:        spec.GroupBy,
 		Strategy:         spec.Strategy,
 		Space:            spec.Space,
@@ -439,11 +451,22 @@ func (w *Warehouse) BuildJoinSynopsis(join JoinSpec, spec SynopsisSpec) error {
 		Recency:          spec.Recency,
 		BuildWorkers:     spec.BuildWorkers,
 		Seed:             spec.Seed,
+	}
+	err := w.logged(&persist.Record{
+		Kind:     persist.RecBuildJoinSynopsis,
+		Table:    join.Name,
+		Join:     &js,
+		Synopsis: &cfg,
+	}, func() error {
+		if _, err := w.aq.CreateJoinSynopsis(js, cfg); err != nil {
+			return err
+		}
+		w.noteBaseTable(join.Name)
+		return nil
 	})
 	if err != nil {
 		return err
 	}
-	w.noteBaseTable(join.Name)
 	if mgr := w.manager(); mgr != nil {
 		return mgr.Snapshot()
 	}
@@ -555,9 +578,18 @@ func (w *Warehouse) EstimateCtx(ctx context.Context, table string, grouping []st
 // cache for this call. The returned slice may be shared with concurrent
 // callers and must be treated as read-only.
 func (w *Warehouse) EstimateQuery(ctx context.Context, table string, grouping []string, agg estimate.Aggregate, aggCol string, confidence float64, noCache bool) ([]estimate.GroupEstimate, CacheStatus, error) {
+	return w.EstimateQueryOpts(ctx, table, grouping, agg, aggCol, confidence, ApproxOptions{NoCache: noCache})
+}
+
+// EstimateQueryOpts is EstimateQuery with the full option set: NoCache
+// skips the result cache and NoHybrid forces the pure-sample estimator
+// even when the synopsis's exact datacube covers the request. Hybrid and
+// pure-sample answers cache under distinct keys, so toggling NoHybrid
+// never serves the other mode's result.
+func (w *Warehouse) EstimateQueryOpts(ctx context.Context, table string, grouping []string, agg estimate.Aggregate, aggCol string, confidence float64, opts ApproxOptions) ([]estimate.GroupEstimate, CacheStatus, error) {
 	rc := w.aq.ResultCache()
-	if rc == nil || noCache {
-		ests, err := w.estimateUncached(ctx, table, grouping, agg, aggCol, confidence)
+	if rc == nil || opts.NoCache {
+		ests, err := w.estimateUncached(ctx, table, grouping, agg, aggCol, confidence, opts.NoHybrid)
 		return ests, CacheBypass, err
 	}
 	syn, ok := w.aq.Synopsis(table)
@@ -567,10 +599,10 @@ func (w *Warehouse) EstimateQuery(ctx context.Context, table string, grouping []
 	// Load the epoch before the sample scan (same ordering contract as
 	// the SQL result cache: fresher data under an old key is harmless,
 	// stale data under a new key is impossible).
-	key := fmt.Sprintf("e\x00%d\x00%d\x00%s\x00%d\x00%s\x00%g",
-		syn.ID(), syn.Epoch(), joinParts(grouping), int(agg), strings.ToLower(aggCol), confidence)
+	key := fmt.Sprintf("e\x00%d\x00%d\x00%s\x00%d\x00%s\x00%g\x00%t",
+		syn.ID(), syn.Epoch(), joinParts(grouping), int(agg), strings.ToLower(aggCol), confidence, opts.NoHybrid)
 	v, hit, err := rc.Do(ctx, key, func() (any, int64, error) {
-		ests, err := w.estimateUncached(ctx, table, grouping, agg, aggCol, confidence)
+		ests, err := w.estimateUncached(ctx, table, grouping, agg, aggCol, confidence, opts.NoHybrid)
 		if err != nil {
 			return nil, 0, err
 		}
@@ -590,11 +622,26 @@ func (w *Warehouse) EstimateQuery(ctx context.Context, table string, grouping []
 	return v.([]estimate.GroupEstimate), status, nil
 }
 
-func (w *Warehouse) estimateUncached(ctx context.Context, table string, grouping []string, agg estimate.Aggregate, aggCol string, confidence float64) ([]estimate.GroupEstimate, error) {
+func (w *Warehouse) estimateUncached(ctx context.Context, table string, grouping []string, agg estimate.Aggregate, aggCol string, confidence float64, noHybrid bool) ([]estimate.GroupEstimate, error) {
 	start := time.Now()
-	syn, q, err := w.estimatePlan(table, grouping, aggCol)
+	syn, q, cols, ci, err := w.estimatePlan(table, grouping, aggCol)
 	if err != nil {
 		return nil, err
+	}
+	// Hybrid path: when the synopsis's exact datacube covers this
+	// (grouping, aggregate column) pair and is synchronized with the
+	// base data, answer from the exact prefixes — every group comes back
+	// with a zero-width interval and no sample scan at all.
+	if !noHybrid {
+		if parts, ok := syn.ExactPartials(cols, ci); ok {
+			w.aq.Telemetry().HybridExact()
+			ests, ferr := estimate.Finalize(parts, agg, confidence)
+			if ferr == nil {
+				w.aq.Telemetry().ObserveEstimate(time.Since(start))
+			}
+			return ests, ferr
+		}
+		w.aq.Telemetry().HybridFallback()
 	}
 	q.Agg = agg
 	q.Confidence = confidence
@@ -608,27 +655,28 @@ func (w *Warehouse) estimateUncached(ctx context.Context, table string, grouping
 // estimatePlan resolves a direct-estimation request against the
 // warehouse: the table's synopsis plus an estimate.Query whose closures
 // read the grouping ordinals and aggregate column resolved once, up
-// front. Agg and Confidence are left zero for the caller to fill (a
-// partials scan ignores them entirely).
-func (w *Warehouse) estimatePlan(table string, grouping []string, aggCol string) (*aqua.Synopsis, estimate.Query, error) {
+// front, and those resolved ordinals themselves (the hybrid path hands
+// them to Synopsis.ExactPartials). Agg and Confidence are left zero for
+// the caller to fill (a partials scan ignores them entirely).
+func (w *Warehouse) estimatePlan(table string, grouping []string, aggCol string) (*aqua.Synopsis, estimate.Query, []int, int, error) {
 	syn, ok := w.aq.Synopsis(table)
 	if !ok {
-		return nil, estimate.Query{}, fmt.Errorf("%w %q", ErrNoSynopsis, table)
+		return nil, estimate.Query{}, nil, -1, fmt.Errorf("%w %q", ErrNoSynopsis, table)
 	}
 	rel, ok := w.cat.Lookup(table)
 	if !ok {
-		return nil, estimate.Query{}, fmt.Errorf("congress: synopsis for %q exists but its base relation is gone from the catalog", table)
+		return nil, estimate.Query{}, nil, -1, fmt.Errorf("congress: synopsis for %q exists but its base relation is gone from the catalog", table)
 	}
 	// Validate the grouping columns against the schema up front, and
 	// resolve their ordinals once — not per sampled row.
 	g, err := core.NewGrouping(rel.Schema, grouping)
 	if err != nil {
-		return nil, estimate.Query{}, fmt.Errorf("%w: %v", ErrBadQuery, err)
+		return nil, estimate.Query{}, nil, -1, fmt.Errorf("%w: %v", ErrBadQuery, err)
 	}
 	cols := g.Columns()
 	ci := rel.Schema.Index(aggCol)
 	if ci < 0 {
-		return nil, estimate.Query{}, fmt.Errorf("%w: unknown aggregate column %q", ErrBadQuery, aggCol)
+		return nil, estimate.Query{}, nil, -1, fmt.Errorf("%w: unknown aggregate column %q", ErrBadQuery, aggCol)
 	}
 	return syn, estimate.Query{
 		GroupKey: func(row Row) string {
@@ -644,7 +692,7 @@ func (w *Warehouse) estimatePlan(table string, grouping []string, aggCol string)
 		// The value closure above is a bare column read, so the scan may
 		// gather the column in batches instead of calling it per row.
 		ValueIndex: &ci,
-	}, nil
+	}, cols, ci, nil
 }
 
 // GroupPartial re-exports the mergeable per-group estimation state a
@@ -661,10 +709,36 @@ type GroupPartial = estimate.GroupPartial
 // and confidence-independent. Error classification matches EstimateCtx
 // (ErrBadQuery, ErrNoSynopsis).
 func (w *Warehouse) EstimatePartialsCtx(ctx context.Context, table string, grouping []string, aggCol string) ([]GroupPartial, error) {
+	return w.EstimatePartialsOpts(ctx, table, grouping, aggCol, PartialsOptions{})
+}
+
+// PartialsOptions tunes one EstimatePartialsOpts call.
+type PartialsOptions struct {
+	// NoHybrid forces the partials to come from the sample scan even
+	// when the shard's exact datacube covers the request (see
+	// ApproxOptions.NoHybrid).
+	NoHybrid bool
+}
+
+// EstimatePartialsOpts is EstimatePartialsCtx with options. With hybrid
+// answering enabled (the default), a shard whose exact datacube covers
+// the request returns exact partials — ExactSum/ExactCount populated,
+// zero sampled mass — and skips its sample scan; the coordinator's
+// MergePartials then composes exact shards with sampled shards so only
+// the residual (uncovered) mass contributes interval width.
+func (w *Warehouse) EstimatePartialsOpts(ctx context.Context, table string, grouping []string, aggCol string, opts PartialsOptions) ([]GroupPartial, error) {
 	start := time.Now()
-	syn, q, err := w.estimatePlan(table, grouping, aggCol)
+	syn, q, cols, ci, err := w.estimatePlan(table, grouping, aggCol)
 	if err != nil {
 		return nil, err
+	}
+	if !opts.NoHybrid {
+		if parts, ok := syn.ExactPartials(cols, ci); ok {
+			w.aq.Telemetry().HybridExact()
+			w.aq.Telemetry().ObserveEstimate(time.Since(start))
+			return parts, nil
+		}
+		w.aq.Telemetry().HybridFallback()
 	}
 	parts, err := estimate.PartialsCtx(ctx, syn.Sample(), q)
 	if err == nil {

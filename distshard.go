@@ -14,6 +14,7 @@ import (
 	"github.com/approxdb/congress/internal/core"
 	"github.com/approxdb/congress/internal/engine"
 	"github.com/approxdb/congress/internal/estimate"
+	"github.com/approxdb/congress/internal/metrics"
 	"github.com/approxdb/congress/internal/shard"
 	"github.com/approxdb/congress/pkg/client"
 )
@@ -45,14 +46,14 @@ var ErrShardUnavailable = errors.New("congress: shard unavailable")
 // it, which is what lets ShardedWarehouse and Coordinator share the
 // fan-out/merge machinery.
 type ShardBackend interface {
-	EstimatePartials(ctx context.Context, table string, grouping []string, aggCol string) ([]GroupPartial, error)
+	EstimatePartials(ctx context.Context, table string, grouping []string, aggCol string, opts PartialsOptions) ([]GroupPartial, error)
 }
 
 // localShard adapts an in-process *Warehouse to ShardBackend.
 type localShard struct{ w *Warehouse }
 
-func (s localShard) EstimatePartials(ctx context.Context, table string, grouping []string, aggCol string) ([]GroupPartial, error) {
-	return s.w.EstimatePartialsCtx(ctx, table, grouping, aggCol)
+func (s localShard) EstimatePartials(ctx context.Context, table string, grouping []string, aggCol string, opts PartialsOptions) ([]GroupPartial, error) {
+	return s.w.EstimatePartialsOpts(ctx, table, grouping, aggCol, opts)
 }
 
 // scatterPartials fans the partials scan across every backend with
@@ -61,11 +62,11 @@ func (s localShard) EstimatePartials(ctx context.Context, table string, grouping
 // shard held no rows of the table at build time); emptyLegs counts them
 // so callers can distinguish "some shards skipped" from "no shard has
 // this synopsis at all".
-func scatterPartials(ctx context.Context, tel *shard.Telemetry, backends []ShardBackend, table string, grouping []string, aggCol string) (parts [][]estimate.GroupPartial, emptyLegs int, err error) {
+func scatterPartials(ctx context.Context, tel *shard.Telemetry, backends []ShardBackend, table string, grouping []string, aggCol string, opts PartialsOptions) (parts [][]estimate.GroupPartial, emptyLegs int, err error) {
 	var empty atomic.Int32
 	parts, err = shard.Fanout(ctx, len(backends), func(ctx context.Context, i int) ([]estimate.GroupPartial, error) {
 		start := time.Now()
-		p, err := backends[i].EstimatePartials(ctx, table, grouping, aggCol)
+		p, err := backends[i].EstimatePartials(ctx, table, grouping, aggCol, opts)
 		if err != nil {
 			if errors.Is(err, ErrNoSynopsis) {
 				empty.Add(1)
@@ -162,11 +163,12 @@ func mapShardError(err error) (mapped error, terminal bool) {
 // honoring the shard's Retry-After hint when it sheds. Terminal API
 // errors map onto the typed sentinels; exhausted retries wrap
 // ErrShardUnavailable with the shard ordinal and endpoint.
-func (rs *RemoteShard) EstimatePartials(ctx context.Context, table string, grouping []string, aggCol string) ([]GroupPartial, error) {
+func (rs *RemoteShard) EstimatePartials(ctx context.Context, table string, grouping []string, aggCol string, opts PartialsOptions) ([]GroupPartial, error) {
 	req := client.PartialsRequest{
 		Table:     table,
 		GroupBy:   grouping,
 		Column:    aggCol,
+		NoHybrid:  opts.NoHybrid,
 		TimeoutMS: rs.legTimeout.Milliseconds(),
 	}
 	backoff := 50 * time.Millisecond
@@ -230,6 +232,7 @@ type coordTable struct {
 type Coordinator struct {
 	router   *shard.Router
 	tel      *shard.Telemetry
+	mtel     *metrics.Telemetry // coordinator-level engine counters (hybrid composition)
 	mem      *shard.Membership
 	shards   []*RemoteShard
 	backends []ShardBackend // the shards, as scatter legs
@@ -256,6 +259,7 @@ func NewCoordinator(endpoints []string, opts CoordinatorOptions) (*Coordinator, 
 	co := &Coordinator{
 		router: router,
 		tel:    shard.NewTelemetry(len(mem.Endpoints)),
+		mtel:   metrics.NewTelemetry(),
 		mem:    mem,
 		opts:   opts,
 		tables: make(map[string]*coordTable),
@@ -518,14 +522,25 @@ func (co *Coordinator) wrapShardErr(i int, err error) error {
 // coordinator can itself serve /v1/estimate/partials to a higher-tier
 // coordinator (fan-out trees).
 func (co *Coordinator) EstimatePartialsCtx(ctx context.Context, table string, grouping []string, aggCol string) ([]GroupPartial, error) {
-	parts, emptyLegs, err := scatterPartials(ctx, co.tel, co.backends, table, grouping, aggCol)
+	return co.EstimatePartialsOpts(ctx, table, grouping, aggCol, PartialsOptions{})
+}
+
+// EstimatePartialsOpts is EstimatePartialsCtx with options; NoHybrid is
+// forwarded to every shard process, so the whole fan-out answers either
+// hybrid (each covered shard exactly) or pure-sample.
+func (co *Coordinator) EstimatePartialsOpts(ctx context.Context, table string, grouping []string, aggCol string, opts PartialsOptions) ([]GroupPartial, error) {
+	parts, emptyLegs, err := scatterPartials(ctx, co.tel, co.backends, table, grouping, aggCol, opts)
 	if err != nil {
 		return nil, err
 	}
 	if emptyLegs == len(co.backends) {
 		return nil, fmt.Errorf("%w %q", ErrNoSynopsis, table)
 	}
-	return estimate.MergePartials(parts...), nil
+	merged := estimate.MergePartials(parts...)
+	if !opts.NoHybrid && hasResidualMix(merged) {
+		co.mtel.HybridResidual()
+	}
+	return merged, nil
 }
 
 // EstimateCtx answers a group-by estimate across the shard processes:
@@ -542,9 +557,45 @@ func (co *Coordinator) EstimateCtx(ctx context.Context, table string, grouping [
 // any backend. Distributed estimates always bypass the result cache,
 // exactly like in-process sharded ones: the merged answer spans every
 // shard's data epoch at once.
-func (co *Coordinator) EstimateQuery(ctx context.Context, table string, grouping []string, agg Aggregate, aggCol string, confidence float64, _ bool) ([]GroupEstimate, CacheStatus, error) {
-	ests, err := co.EstimateCtx(ctx, table, grouping, agg, aggCol, confidence)
+func (co *Coordinator) EstimateQuery(ctx context.Context, table string, grouping []string, agg Aggregate, aggCol string, confidence float64, noCache bool) ([]GroupEstimate, CacheStatus, error) {
+	return co.EstimateQueryOpts(ctx, table, grouping, agg, aggCol, confidence, ApproxOptions{NoCache: noCache})
+}
+
+// EstimateQueryOpts is EstimateQuery with the full option set; only
+// NoHybrid is meaningful here (distributed estimates always bypass the
+// result cache).
+func (co *Coordinator) EstimateQueryOpts(ctx context.Context, table string, grouping []string, agg Aggregate, aggCol string, confidence float64, opts ApproxOptions) ([]GroupEstimate, CacheStatus, error) {
+	merged, err := co.EstimatePartialsOpts(ctx, table, grouping, aggCol, PartialsOptions{NoHybrid: opts.NoHybrid})
+	if err != nil {
+		return nil, CacheBypass, err
+	}
+	ests, err := estimate.Finalize(merged, agg, confidence)
 	return ests, CacheBypass, err
+}
+
+// Metrics reports the coordinator's own engine counters (today: the
+// hybrid composition counter). Shard-process engine telemetry lives on
+// the shards' own /metrics endpoints.
+func (co *Coordinator) Metrics() MetricsSnapshot { return co.mtel.Snapshot() }
+
+// hasResidualMix reports whether merged partials compose exact mass
+// (covered shards answered from their datacubes) with sampled mass
+// (uncovered shards answered from their samples) — the hybrid residual
+// case a coordinator counts once per query.
+func hasResidualMix(parts []estimate.GroupPartial) bool {
+	exact, sampled := false, false
+	for _, p := range parts {
+		if p.ExactCount > 0 || p.ExactSum != 0 {
+			exact = true
+		}
+		if p.N > 0 {
+			sampled = true
+		}
+		if exact && sampled {
+			return true
+		}
+	}
+	return false
 }
 
 // RefreshSynopsis re-materializes the table's sample on every shard

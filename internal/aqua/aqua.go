@@ -146,6 +146,20 @@ type Synopsis struct {
 
 	maintainer core.Maintainer
 
+	// exact is the hybrid estimator's exact-aggregate cube (see
+	// hybrid.go): SUM/COUNT prefixes over G for every numeric base
+	// column, fed under mu by the same insert stream as the maintainer.
+	// The pointer is fixed at creation/restore (nil when unavailable);
+	// contents are guarded by mu. exactEpoch is the synopsis epoch the
+	// cube was last proven synchronized at — ExactPartials answers only
+	// while exactEpoch == epoch. The ordinal maps are immutable after
+	// creation.
+	exact            *datacube.Cube
+	exactEpoch       atomic.Uint64
+	exactMeasureIdx  []int          // schema ordinals of tracked measures
+	exactMeasureName map[int]string // schema ordinal -> measure name
+	exactGroupPos    map[int]int    // schema ordinal -> position in G
+
 	// Relations registered in the catalog, one layout per rewrite
 	// family. Names are fixed at creation.
 	integratedName string // base columns + sf
@@ -266,9 +280,17 @@ func (a *Aqua) CreateSynopsis(cfg Config) (*Synopsis, error) {
 	if err != nil {
 		return nil, err
 	}
+	// The exact cube shares the seeding pass below, so the hybrid
+	// estimator is live from creation. A build failure (cannot happen for
+	// a schema that passed NewGrouping, but defensive) just disables
+	// hybrid answering; the sample path is unaffected.
+	if exact, ords, byOrd, groupPos, cerr := newExactCube(rel.Schema, g.Attrs); cerr == nil {
+		s.exact, s.exactMeasureIdx, s.exactMeasureName, s.exactGroupPos = exact, ords, byOrd, groupPos
+	}
 	rows := rel.Rows()
 	for _, row := range rows {
 		s.maintainer.Insert(row)
+		s.feedExactLocked(row)
 	}
 
 	// Two construction scans (cube + materialize) plus the maintainer
@@ -542,10 +564,19 @@ func (s *Synopsis) Maintainer() core.Maintainer { return s.maintainer }
 func (s *Synopsis) Insert(row engine.Row) {
 	s.mu.Lock()
 	s.maintainer.Insert(row)
+	s.feedExactLocked(row)
+	hasExact := s.exact != nil
 	s.pending++
 	s.mu.Unlock()
 	s.tel.MaintainerInsert()
-	s.bumpEpoch()
+	e := s.bumpEpoch()
+	if hasExact {
+		// The insert fed both the base relation (caller) and the cube, so
+		// the cube is synchronized at the epoch this insert produced. Any
+		// interleaved non-insert mutation bumps the epoch past e and wins:
+		// syncExactEpoch never advances past the freshest proven point.
+		s.syncExactEpoch(e)
+	}
 }
 
 // Epoch returns the synopsis's current data version. Every maintainer
@@ -556,17 +587,23 @@ func (s *Synopsis) Epoch() uint64 { return s.epoch.Load() }
 // ID returns the process-unique synopsis id (part of cache keys).
 func (s *Synopsis) ID() uint64 { return s.id }
 
-// bumpEpoch advances the data version. It must run only after the data
-// change is visible (e.g. after Refresh has registered the new sample
-// relations): a reader that observes the new epoch is then guaranteed to
-// also observe the new data, so a cached entry keyed by epoch E can
-// never hold data older than version E. The converse race — a reader
-// that loaded epoch E just before the bump caches version E+1 data under
-// key E — only ever stores *fresher* data than the key implies, which is
-// harmless.
-func (s *Synopsis) bumpEpoch() {
-	s.epoch.Add(1)
+// bumpEpoch advances the data version and returns the new epoch. It
+// must run only after the data change is visible (e.g. after Refresh has
+// registered the new sample relations): a reader that observes the new
+// epoch is then guaranteed to also observe the new data, so a cached
+// entry keyed by epoch E can never hold data older than version E. The
+// converse race — a reader that loaded epoch E just before the bump
+// caches version E+1 data under key E — only ever stores *fresher* data
+// than the key implies, which is harmless.
+//
+// Callers that are NOT insert feeds (Refresh, UpdateScaleFactor,
+// restore) leave exactEpoch behind on purpose: the advance marks the
+// exact cube unproven, disabling hybrid answering until the next insert
+// re-synchronizes it (see hybrid.go).
+func (s *Synopsis) bumpEpoch() uint64 {
+	e := s.epoch.Add(1)
 	s.tel.CacheInvalidation()
+	return e
 }
 
 // synopsisSeq hands out process-unique synopsis ids.

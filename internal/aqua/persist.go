@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"github.com/approxdb/congress/internal/core"
+	"github.com/approxdb/congress/internal/datacube"
 	"github.com/approxdb/congress/internal/engine"
 	"github.com/approxdb/congress/internal/sample"
 )
@@ -28,6 +29,11 @@ type SynopsisState struct {
 	Strata []*sample.Stratum[engine.Row]
 	// Maintainer is the incremental maintainer's state.
 	Maintainer *core.MaintainerState
+	// ExactCube is the hybrid estimator's exact-aggregate cube, exported
+	// only when it was proven synchronized at export time. Nil — and in
+	// snapshots written before hybrid estimation existed — restores a
+	// synopsis with hybrid answering disabled; everything else works.
+	ExactCube *datacube.CubeState
 }
 
 // ExportState captures the synopsis's serializable state. The export is
@@ -47,6 +53,9 @@ func (s *Synopsis) ExportState() (*SynopsisState, error) {
 		Epoch:      s.epoch.Load(),
 		Pending:    s.pending,
 		Maintainer: sm.ExportState(),
+	}
+	if s.exact != nil && s.exactEpoch.Load() == s.epoch.Load() {
+		st.ExactCube = s.exact.State()
 	}
 	s.sample.Each(func(str *sample.Stratum[engine.Row]) {
 		st.Strata = append(st.Strata, &sample.Stratum[engine.Row]{
@@ -126,6 +135,22 @@ func (a *Aqua) RestoreSynopsis(st *SynopsisState) (*Synopsis, error) {
 		maintainer: maint,
 	}
 	s.epoch.Store(st.Epoch + 1)
+	// Rebuild the hybrid exact cube only from a state that carried one
+	// (exported fresh); it was synchronized with the snapshot's data cut,
+	// so it is synchronized with the restored relation — WAL records
+	// replayed after this restore re-feed it through the normal insert
+	// path. A legacy or stale-at-export state restores with hybrid
+	// answering disabled.
+	if st.ExactCube != nil {
+		exact, ords, byOrd, groupPos, cerr := newExactCube(rel.Schema, g.Attrs)
+		if cerr == nil {
+			restored, rerr := datacube.RestoreCube(st.ExactCube)
+			if rerr == nil && exact.Merge(restored) == nil {
+				s.exact, s.exactMeasureIdx, s.exactMeasureName, s.exactGroupPos = exact, ords, byOrd, groupPos
+				s.exactEpoch.Store(st.Epoch + 1)
+			}
+		}
+	}
 	bumpSynopsisSeq(st.ID)
 	s.nameTables()
 	if err := s.materialize(a.cat, rel.Schema); err != nil {

@@ -56,6 +56,13 @@ type Cube struct {
 	counts []map[string]int64 // counts[mask][compositeKey] = n_group
 	ids    map[string]GroupID // finest key -> the id that produced it
 	total  int64
+
+	// Optional exact measure prefixes (see measures.go). Nil slices when
+	// the cube tracks counts only.
+	measures []string
+	mIndex   map[string]int
+	sums     [][]map[string]float64 // sums[measure][mask][compositeKey]
+	nonNull  [][]map[string]int64   // nonNull[measure][mask][compositeKey]
 }
 
 // MaxAttrs bounds the number of grouping attributes; the cube costs
@@ -186,10 +193,24 @@ func (c *Cube) Merge(other *Cube) error {
 			return fmt.Errorf("datacube: merging cube over %v into cube over %v", other.attrs, c.attrs)
 		}
 	}
+	if !sameMeasures(c, other) {
+		return fmt.Errorf("datacube: merging cube over measures %v into cube over measures %v", other.measures, c.measures)
+	}
 	for mask, m := range other.counts {
 		dst := c.counts[mask]
 		for k, v := range m {
 			dst[k] += v
+		}
+	}
+	for mi := range c.measures {
+		for mask := range other.sums[mi] {
+			dstS, dstN := c.sums[mi][mask], c.nonNull[mi][mask]
+			for k, v := range other.sums[mi][mask] {
+				dstS[k] += v
+			}
+			for k, v := range other.nonNull[mi][mask] {
+				dstN[k] += v
+			}
 		}
 	}
 	for k, id := range other.ids {
@@ -203,12 +224,26 @@ func (c *Cube) Merge(other *Cube) error {
 
 // Clone returns a deep copy of the cube.
 func (c *Cube) Clone() *Cube {
-	out := MustNew(c.attrs)
+	out, err := NewWithMeasures(c.attrs, c.measures)
+	if err != nil {
+		panic(err)
+	}
 	out.total = c.total
 	for mask, m := range c.counts {
 		dst := out.counts[mask]
 		for k, v := range m {
 			dst[k] = v
+		}
+	}
+	for mi := range c.measures {
+		for mask := range c.sums[mi] {
+			dstS, dstN := out.sums[mi][mask], out.nonNull[mi][mask]
+			for k, v := range c.sums[mi][mask] {
+				dstS[k] = v
+			}
+			for k, v := range c.nonNull[mi][mask] {
+				dstN[k] = v
+			}
 		}
 	}
 	for k, id := range c.ids {

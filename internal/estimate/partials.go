@@ -72,6 +72,17 @@ type GroupPartial struct {
 	// sf > 1 (a fully enumerated sf == 1 stratum with no passing rows
 	// contributes exactly zero, with certainty).
 	ZeroScaled float64
+	// ExactSum and ExactCount carry the hybrid estimator's exact portion:
+	// the group's SUM and non-null COUNT over base rows answered from a
+	// datacube measure prefix rather than the sample. Exact mass is a
+	// known constant, so it shifts the point estimate without adding
+	// variance — a group answered entirely exactly finalizes with a
+	// zero half-width. Both are additive across shards like every other
+	// field; a warehouse that answered from its cube contributes only
+	// exact mass, one that scanned its sample contributes only sampled
+	// mass, and the merge composes covered + residual portions.
+	ExactSum   float64
+	ExactCount float64
 }
 
 // emptyPartial returns a zero-information partial for key.
@@ -98,6 +109,8 @@ func (p *GroupPartial) accumulate(other *GroupPartial) {
 	p.SparseCount += other.SparseCount
 	p.ZeroN += other.ZeroN
 	p.ZeroScaled += other.ZeroScaled
+	p.ExactSum += other.ExactSum
+	p.ExactCount += other.ExactCount
 }
 
 // Partials scans the stratified sample and returns per-group partials in
@@ -320,6 +333,15 @@ func MergePartials(parts ...[]GroupPartial) []GroupPartial {
 //     fallback weighted by the zero strata's unsampled mass relative to
 //     the observed scaled count: a group that is predicate-empty on one
 //     shard must report a wider AVG than one that is not.
+//
+// Hybrid (exact + sample) partials: ExactSum/ExactCount mass is a known
+// constant, so it adds to the point estimate and contributes zero
+// variance. For SUM and COUNT the half-width is unchanged (it covers
+// only the sampled portion); for AVG the denominator grows to
+// ScaledCount + ExactCount, which strictly shrinks both the delta-method
+// term and the fallback weights — hybrid bounds are never wider than
+// pure-sample bounds on the same partials, and a group answered entirely
+// exactly (N == 0, ExactCount > 0) finalizes with half-width exactly 0.
 func Finalize(partials []GroupPartial, agg Aggregate, confidence float64) ([]GroupEstimate, error) {
 	conf := confidence
 	if conf == 0 {
@@ -333,13 +355,13 @@ func Finalize(partials []GroupPartial, agg Aggregate, confidence float64) ([]Gro
 	out := make([]GroupEstimate, 0, len(partials))
 	for i := range partials {
 		c := &partials[i]
-		if c.N == 0 {
+		if c.N == 0 && c.ExactCount == 0 {
 			continue
 		}
 		ge := GroupEstimate{Key: c.Key, SampleN: c.N}
 		switch agg {
 		case Sum:
-			ge.Value = c.ScaledSum
+			ge.Value = c.ExactSum + c.ScaledSum
 			ge.Bound = z * math.Sqrt(c.SumVar)
 			if c.SparseN > 0 {
 				ge.Bound += fallbackHalfWidth(c.SparseN, c.Lo, c.Hi, conf) * c.SparseCount
@@ -352,33 +374,41 @@ func Finalize(partials []GroupPartial, agg Aggregate, confidence float64) ([]Gro
 			// defined even for single-row strata; no sparse fallback
 			// needed. Zero-contribution strata still widen the bound:
 			// their pass indicator is bounded in [0,1].
-			ge.Value = c.ScaledCount
+			ge.Value = c.ExactCount + c.ScaledCount
 			ge.Bound = z * math.Sqrt(c.CountVar)
 			if c.ZeroScaled > 0 {
 				ge.Bound += fallbackHalfWidth(c.ZeroN, 0, 1, conf) * c.ZeroScaled
 			}
 		case Avg:
-			if c.ScaledCount == 0 {
+			// The hybrid denominator is the exact non-null count plus the
+			// estimated one; with no exact mass this is the pure-sample
+			// ratio estimator unchanged.
+			total := c.ScaledCount + c.ExactCount
+			if total == 0 {
 				continue
 			}
-			r := c.ScaledSum / c.ScaledCount
+			r := (c.ExactSum + c.ScaledSum) / total
 			ge.Value = r
+			// The delta-method variance of (E + Ŝ)/(C_e + Ĉ) keeps only the
+			// random terms (Ŝ, Ĉ): Var(Ŝ) − 2R·Cov(Ŝ,Ĉ) + R²·Var(Ĉ), all
+			// divided by total². The quadratic in R is Σ sf(sf−1)(v−R)² for
+			// any R, so it stays non-negative with the hybrid ratio too.
 			varR := c.HTSumVar - 2*r*c.HTSumCountCov + r*r*c.CountVar
 			if varR < 0 {
 				varR = 0 // floating-point residue; the form is a sum of squares
 			}
-			ge.Bound = z * math.Sqrt(varR) / c.ScaledCount
+			ge.Bound = z * math.Sqrt(varR) / total
 			if c.SparseN > 0 {
-				ge.Bound += fallbackHalfWidth(c.SparseN, c.Lo, c.Hi, conf) * (c.SparseCount / c.ScaledCount)
+				ge.Bound += fallbackHalfWidth(c.SparseN, c.Lo, c.Hi, conf) * (c.SparseCount / total)
 			}
 			if c.ZeroScaled > 0 {
 				// Zero-contribution strata hold ZeroScaled population rows
 				// whose passing values — if any exist — were never observed.
 				// Shifting the ratio by that unseen mass moves the AVG by at
-				// most halfWidth·(ZeroScaled/ScaledCount); without this term
-				// a predicate-empty shard reported the same AVG half-width
-				// as a fully observed group.
-				ge.Bound += fallbackHalfWidth(c.ZeroN, c.Lo, c.Hi, conf) * (c.ZeroScaled / c.ScaledCount)
+				// most halfWidth·(ZeroScaled/total); without this term a
+				// predicate-empty shard reported the same AVG half-width as
+				// a fully observed group.
+				ge.Bound += fallbackHalfWidth(c.ZeroN, c.Lo, c.Hi, conf) * (c.ZeroScaled / total)
 			}
 		default:
 			return nil, fmt.Errorf("estimate: unknown aggregate %v", agg)

@@ -77,6 +77,10 @@ type wirePartial struct {
 	SparseCount   wireFloat `json:"sparse_count"`
 	ZeroN         int       `json:"zero_n,omitempty"`
 	ZeroScaled    wireFloat `json:"zero_scaled"`
+	// Hybrid exact mass; absent in partials from pre-hybrid shards and
+	// decodes as zero there, which merges as "no exact coverage".
+	ExactSum   wireFloat `json:"exact_sum,omitempty"`
+	ExactCount wireFloat `json:"exact_count,omitempty"`
 }
 
 // MarshalJSON encodes the partial with non-finite-safe floats.
@@ -96,6 +100,8 @@ func (p GroupPartial) MarshalJSON() ([]byte, error) {
 		SparseCount:   wireFloat(p.SparseCount),
 		ZeroN:         p.ZeroN,
 		ZeroScaled:    wireFloat(p.ZeroScaled),
+		ExactSum:      wireFloat(p.ExactSum),
+		ExactCount:    wireFloat(p.ExactCount),
 	})
 }
 
@@ -123,6 +129,8 @@ func (p *GroupPartial) UnmarshalJSON(b []byte) error {
 		SparseCount:   float64(w.SparseCount),
 		ZeroN:         w.ZeroN,
 		ZeroScaled:    float64(w.ZeroScaled),
+		ExactSum:      float64(w.ExactSum),
+		ExactCount:    float64(w.ExactCount),
 	}
 	return nil
 }

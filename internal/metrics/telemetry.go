@@ -36,6 +36,9 @@ import (
 //	congress_cache_hit_rate            hits / (hits + misses), point-in-time
 //	congress_engine_vectorized_total   statements executed by the columnar engine path
 //	congress_engine_fallback_total     statements executed by the row-engine path
+//	congress_hybrid_exact_total        estimates answered exactly from the datacube prefixes
+//	congress_hybrid_residual_total     merged estimates composing exact + sampled mass
+//	congress_hybrid_fallback_total     hybrid-eligible estimates answered from the sample alone
 //	persist_wal_records_total          records appended to the write-ahead log
 //	persist_wal_bytes_total            bytes appended to the write-ahead log
 //	persist_fsyncs_total               fsync calls issued by the WAL
@@ -55,6 +58,10 @@ type Telemetry struct {
 	cacheMisses        atomic.Int64
 	cacheEvictions     atomic.Int64
 	cacheInvalidations atomic.Int64
+
+	hybridExact    atomic.Int64
+	hybridResidual atomic.Int64
+	hybridFallback atomic.Int64
 
 	walRecords      atomic.Int64
 	walBytes        atomic.Int64
@@ -178,6 +185,32 @@ func (t *Telemetry) CacheInvalidation() {
 	}
 }
 
+// HybridExact records one estimate (or partials scan) answered entirely
+// from the exact datacube prefixes, with zero variance contribution.
+func (t *Telemetry) HybridExact() {
+	if t != nil {
+		t.hybridExact.Add(1)
+	}
+}
+
+// HybridResidual records one merged estimate that composed exact mass
+// from some shards with sampled mass from others — the covered +
+// residual decomposition of the hybrid estimator.
+func (t *Telemetry) HybridResidual() {
+	if t != nil {
+		t.hybridResidual.Add(1)
+	}
+}
+
+// HybridFallback records one hybrid-eligible estimate that fell back to
+// the pure sample: the cube was missing, stale, or did not cover the
+// requested grouping or aggregate column.
+func (t *Telemetry) HybridFallback() {
+	if t != nil {
+		t.hybridFallback.Add(1)
+	}
+}
+
 // WALAppend records one record of n bytes appended to the WAL.
 func (t *Telemetry) WALAppend(n int64) {
 	if t != nil {
@@ -236,6 +269,9 @@ type TelemetrySnapshot struct {
 	CacheMisses          int64
 	CacheEvictions       int64
 	CacheInvalidations   int64
+	HybridExact          int64
+	HybridResidual       int64
+	HybridFallback       int64
 	Build                OpSnapshot
 	Refresh              OpSnapshot
 	Answer               OpSnapshot
@@ -285,6 +321,9 @@ func (t *Telemetry) Snapshot() TelemetrySnapshot {
 		CacheMisses:          t.cacheMisses.Load(),
 		CacheEvictions:       t.cacheEvictions.Load(),
 		CacheInvalidations:   t.cacheInvalidations.Load(),
+		HybridExact:          t.hybridExact.Load(),
+		HybridResidual:       t.hybridResidual.Load(),
+		HybridFallback:       t.hybridFallback.Load(),
 		Build:                t.build.snapshot(),
 		Refresh:              t.refresh.snapshot(),
 		Answer:               t.answer.snapshot(),
@@ -322,6 +361,9 @@ func (s TelemetrySnapshot) String() string {
 	out += fmt.Sprintf("congress_cache_evictions_total %d\n", s.CacheEvictions)
 	out += fmt.Sprintf("congress_cache_invalidations_total %d\n", s.CacheInvalidations)
 	out += fmt.Sprintf("congress_cache_hit_rate %.4f\n", s.CacheHitRate())
+	out += fmt.Sprintf("congress_hybrid_exact_total %d\n", s.HybridExact)
+	out += fmt.Sprintf("congress_hybrid_residual_total %d\n", s.HybridResidual)
+	out += fmt.Sprintf("congress_hybrid_fallback_total %d\n", s.HybridFallback)
 	out += fmt.Sprintf("congress_engine_vectorized_total %d\n", s.EngineVectorized)
 	out += fmt.Sprintf("congress_engine_fallback_total %d\n", s.EngineFallback)
 	out += fmt.Sprintf("persist_wal_records_total %d\n", s.WALRecords)

@@ -44,6 +44,16 @@ const (
 	RecUpdateScaleFactor RecordKind = 4
 	// RecRefreshSynopsis re-materializes a synopsis from its maintainer.
 	RecRefreshSynopsis RecordKind = 5
+	// RecAttachRelation registers a bulk-loaded relation: schema plus
+	// every row. Replayed ahead of any synopsis build over the table, so
+	// live followers see attachments immediately instead of waiting for
+	// the next snapshot rotation.
+	RecAttachRelation RecordKind = 6
+	// RecBuildJoinSynopsis materializes a star join and builds a synopsis
+	// over it from the joined tables' contents at replay position (the
+	// join is deterministic: fact-order iteration with unique-FK dimension
+	// lookups, and the build seed rides in the config).
+	RecBuildJoinSynopsis RecordKind = 7
 )
 
 // Record is one logged warehouse mutation. Kind selects which fields
@@ -54,10 +64,16 @@ type Record struct {
 
 	// Row is the inserted tuple (RecInsert).
 	Row engine.Row
-	// Cols is the new table's schema (RecCreateTable).
+	// Cols is the new table's schema (RecCreateTable,
+	// RecAttachRelation).
 	Cols []engine.Column
-	// Synopsis is the build configuration (RecBuildSynopsis).
+	// Rows is the attached relation's full contents (RecAttachRelation).
+	Rows []engine.Row
+	// Synopsis is the build configuration (RecBuildSynopsis,
+	// RecBuildJoinSynopsis).
 	Synopsis *aqua.Config
+	// Join is the star-join shape (RecBuildJoinSynopsis).
+	Join *aqua.JoinSpec
 	// Rewrite, GroupKey, SF parameterize RecUpdateScaleFactor.
 	Rewrite  int
 	GroupKey string
@@ -98,7 +114,8 @@ func DecodeRecord(payload []byte) (*Record, error) {
 		return nil, fmt.Errorf("persist: record kind byte %d disagrees with body kind %d", payload[0], rec.Kind)
 	}
 	switch rec.Kind {
-	case RecCreateTable, RecBuildSynopsis, RecUpdateScaleFactor, RecRefreshSynopsis:
+	case RecCreateTable, RecBuildSynopsis, RecUpdateScaleFactor, RecRefreshSynopsis,
+		RecAttachRelation, RecBuildJoinSynopsis:
 		return rec, nil
 	default:
 		return nil, fmt.Errorf("persist: unknown record kind %d", rec.Kind)

@@ -110,7 +110,8 @@ type WAL struct {
 	size      int64  // bytes written so far (magic header included)
 	syncedLen int64  // bytes known durable; always a frame boundary
 	err       error  // first write/sync error; sticky
-	closed    bool
+	closed    bool   // no further appends; Close has begun
+	closeDone bool   // Close's final fsync finished (watermarks final)
 
 	syncReq *sync.Cond // signals the syncer that seq advanced
 	syncAck *sync.Cond // broadcast when syncedSeq advances
@@ -216,13 +217,18 @@ func (w *WAL) Watermark() int64 {
 // WaitDurable blocks until the record with the given sequence number is
 // durable under the WAL's sync mode. For SyncInterval and SyncNone it
 // returns immediately — the caller accepted the mode's loss window.
+//
+// A concurrent Close (a snapshot rotation retiring this segment) is not
+// a failure: Close's final fsync makes every append durable, so waiters
+// block until that fsync lands (closeDone) rather than bailing the
+// moment closing begins.
 func (w *WAL) WaitDurable(seq uint64) error {
 	if w.mode != SyncAlways {
 		return nil
 	}
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	for w.syncedSeq < seq && w.err == nil && !w.closed {
+	for w.syncedSeq < seq && w.err == nil && !w.closeDone {
 		w.syncAck.Wait()
 	}
 	if w.err != nil {
@@ -342,6 +348,9 @@ func (w *WAL) Sync() error {
 }
 
 // Close flushes, fsyncs, and closes the segment. Safe to call once.
+// The final fsync makes every append durable before committers waiting
+// in WaitDurable are released, so a record that raced a snapshot
+// rotation is still acknowledged correctly.
 func (w *WAL) Close() error {
 	w.mu.Lock()
 	if w.closed {
@@ -351,17 +360,20 @@ func (w *WAL) Close() error {
 	w.closed = true
 	err := w.err
 	w.syncReq.Broadcast()
-	w.syncAck.Broadcast()
 	w.mu.Unlock()
 	w.wg.Wait()
-	if serr := w.f.Sync(); serr != nil && err == nil {
+	serr := w.f.Sync()
+	w.mu.Lock()
+	if serr != nil && err == nil {
 		err = serr
 	} else if serr == nil {
 		w.tel.Fsync()
-		w.mu.Lock()
 		w.syncedLen = w.size
-		w.mu.Unlock()
+		w.syncedSeq = w.seq
 	}
+	w.closeDone = true
+	w.syncAck.Broadcast()
+	w.mu.Unlock()
 	if cerr := w.f.Close(); cerr != nil && err == nil {
 		err = cerr
 	}

@@ -101,10 +101,13 @@ func (o *FollowerOptions) withDefaults() error {
 	return nil
 }
 
-// terminalError marks failures a reconnect cannot heal: pruned leader
-// history, divergence, or a record the target refuses to apply. The
-// follower surfaces them on Fatal() and stops; a process restart (which
-// may wipe the local directory and re-bootstrap) is the recovery path.
+// terminalError marks failures a reconnect cannot heal: divergence, or
+// a record the target refuses to apply. The follower surfaces them on
+// Fatal() and stops; a process restart (which may wipe the local
+// directory and re-bootstrap) is the recovery path. Pruned leader
+// history is NOT terminal: the follower re-bootstraps in place from the
+// leader's newest snapshot (see rebootstrap), and only turns terminal
+// when the leader has no snapshot to offer either.
 type terminalError struct{ err error }
 
 func (e terminalError) Error() string { return e.err.Error() }
@@ -158,6 +161,7 @@ type Follower struct {
 	recordsApplied   atomic.Int64
 	chunksRejected   atomic.Int64
 	snapshotsFetched atomic.Int64
+	rebootstraps     atomic.Int64
 }
 
 // NewFollower validates the options; Start performs the bootstrap.
@@ -326,6 +330,59 @@ func (f *Follower) tryBootstrapRemote() error {
 	return nil
 }
 
+// rebootstrap re-seeds the target from the leader's newest snapshot
+// after the leader pruned a generation this follower still needed.
+// Rapid snapshot cascades (every WAL-logged DDL — AttachRelation,
+// BuildJoinSynopsis — requests one) can retire an empty intermediate
+// segment before an otherwise caught-up follower steps through it. A
+// snapshot at generation S reflects every record in segments < S, and
+// the follower only lands here at a generation at or below the pruned
+// one, so restoring a newer snapshot is a consistent jump forward —
+// the process-restart recovery path, performed in place. Terminal only
+// when the leader has no snapshot newer than the follower's position.
+func (f *Follower) rebootstrap(oldGen uint64) error {
+	f.mu.Lock()
+	if f.localFile != nil {
+		f.localFile.Close()
+		f.localFile = nil
+	}
+	f.caughtUp = false
+	f.haveManifest = false
+	f.mu.Unlock()
+
+	mf, err := f.fetchManifest()
+	if err != nil {
+		return err
+	}
+	var snapGen uint64
+	for _, s := range mf.Snapshots {
+		if s > oldGen && s > snapGen {
+			snapGen = s
+		}
+	}
+	if snapGen == 0 {
+		return terminal("repl: leader pruned history past %016x and offers no newer snapshot to re-bootstrap from", oldGen)
+	}
+	st, err := f.fetchSnapshot(snapGen)
+	if err != nil {
+		return err
+	}
+	if err := f.opts.Target.RestoreSnapshot(st); err != nil {
+		return terminal("repl: restoring shipped snapshot %016x: %w", snapGen, err)
+	}
+	f.snapshotsFetched.Add(1)
+	f.rebootstraps.Add(1)
+	f.mu.Lock()
+	f.gen, f.offset, f.segRecords = snapGen, persist.SegmentHeaderSize, 0
+	f.mu.Unlock()
+	f.noteManifest(mf, snapGen)
+	f.compact(mf, snapGen)
+	f.log.Warn("re-bootstrapped from leader snapshot after pruned generation",
+		slog.String("pruned_after", fmt.Sprintf("%016x", oldGen)),
+		slog.String("snapshot", fmt.Sprintf("%016x", snapGen)))
+	return nil
+}
+
 // run is the tail loop: poll, classify failures, back off on transient
 // ones, die on terminal ones.
 func (f *Follower) run() {
@@ -386,7 +443,10 @@ func (f *Follower) poll() error {
 	switch resp.StatusCode {
 	case http.StatusOK:
 	case http.StatusNotFound:
-		return terminal("repl: segment %016x pruned on leader; local history cannot catch up (restart to re-bootstrap)", gen)
+		// The leader pruned this segment. Everything it held (and more)
+		// is covered by a newer leader snapshot; jump to it.
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		return f.rebootstrap(gen)
 	case http.StatusConflict:
 		return terminal("repl: diverged from leader at segment %016x offset %d (leader lost history this follower holds)", gen, offset)
 	case http.StatusBadRequest:
@@ -535,8 +595,9 @@ func (f *Follower) persistChunk(gen uint64, offset int64, chunk []byte) error {
 
 // rotate advances to the next segment once the previous one is fully
 // shipped. Generations are contiguous (every rotation and restart
-// allocates max+1), so a gap means the leader pruned history the
-// follower never saw — terminal. Rotation is also the compaction point:
+// allocates max+1), so a gap means the leader pruned the intervening
+// segment — the follower re-bootstraps from a newer snapshot rather
+// than walking it. Rotation is also the compaction point:
 // the leader wrote a snapshot at the new generation, and fetching it
 // lets the follower prune its own old segments (best-effort — the
 // snapshot may not be finished yet, in which case the next rotation
@@ -560,7 +621,10 @@ func (f *Follower) rotate(oldGen uint64) error {
 		}
 	}
 	if next != oldGen+1 {
-		return terminal("repl: generation gap %016x -> %016x: leader pruned history this follower needs (restart to re-bootstrap)", oldGen, next)
+		// The segment between oldGen and next was pruned (it carried no
+		// records the newest snapshot doesn't cover); jump to a snapshot
+		// instead of walking the retired generation.
+		return f.rebootstrap(oldGen)
 	}
 	f.mu.Lock()
 	if f.localFile != nil {
@@ -750,7 +814,10 @@ type Status struct {
 	BytesShipped    int64   `json:"bytes_shipped"`
 	RecordsApplied  int64   `json:"records_applied"`
 	ChunksRejected  int64   `json:"chunks_rejected"`
-	LastError       string  `json:"last_error,omitempty"`
+	// Rebootstraps counts in-place snapshot re-seeds after the leader
+	// pruned a generation the follower still needed.
+	Rebootstraps int64  `json:"rebootstraps"`
+	LastError    string `json:"last_error,omitempty"`
 }
 
 // Status reports the follower's replication state.
@@ -777,6 +844,7 @@ func (f *Follower) Status() Status {
 	st.BytesShipped = f.bytesShipped.Load()
 	st.RecordsApplied = f.recordsApplied.Load()
 	st.ChunksRejected = f.chunksRejected.Load()
+	st.Rebootstraps = f.rebootstraps.Load()
 	return st
 }
 
@@ -794,6 +862,7 @@ func (f *Follower) RenderMetrics(sb *strings.Builder) {
 	fmt.Fprintf(sb, "repl_bytes_shipped_total %d\n", st.BytesShipped)
 	fmt.Fprintf(sb, "repl_records_applied_total %d\n", st.RecordsApplied)
 	fmt.Fprintf(sb, "repl_chunks_rejected_total %d\n", st.ChunksRejected)
+	fmt.Fprintf(sb, "repl_rebootstraps_total %d\n", st.Rebootstraps)
 }
 
 // jittered adds up to 50% random jitter so a fleet of followers does

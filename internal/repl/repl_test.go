@@ -450,7 +450,7 @@ func TestFollowerSurvivesLeaderRestart(t *testing.T) {
 	}
 }
 
-func TestFollowerDiesOnPrunedHistory(t *testing.T) {
+func TestFollowerRebootstrapsOnPrunedHistory(t *testing.T) {
 	h := newHarness(t, 2)
 	ft := &fakeTarget{}
 	f := startTestFollower(t, h, ft, t.TempDir())
@@ -461,13 +461,49 @@ func TestFollowerDiesOnPrunedHistory(t *testing.T) {
 
 	// Hold the follower off (503s are transient, so it backs off without
 	// advancing), restart the leader, and prune every segment below the
-	// new generation. Whatever segment the follower resumes on is gone —
-	// terminal; a process restart re-bootstraps.
+	// new generation. Whatever segment the follower resumes on is gone;
+	// it re-seeds from the leader's newest snapshot and keeps tailing.
 	h.setDown(true)
 	h.restartManager(2)
 	newGen := h.manager().Stats().Generation
 	for g := uint64(1); g < newGen; g++ {
 		os.Remove(persist.WALPath(h.dir, g))
+	}
+	h.setDown(false)
+	waitFor(t, "re-converge after pruned history", func() bool {
+		st := f.Status()
+		return st.CaughtUp && st.Rebootstraps >= 1 && sameValues(ft.values(), h.values())
+	})
+	select {
+	case err := <-f.Fatal():
+		t.Fatalf("follower died instead of re-bootstrapping: %v", err)
+	default:
+	}
+}
+
+func TestFollowerDiesWithoutSnapshotToRebootstrapFrom(t *testing.T) {
+	h := newHarness(t, 2)
+	ft := &fakeTarget{}
+	f := startTestFollower(t, h, ft, t.TempDir())
+	for i := 0; i < 3; i++ {
+		h.insert(int64(i))
+	}
+	waitFor(t, "pre-restart tail", func() bool { return ft.count() == 3 && f.Status().CaughtUp })
+
+	// Prune the follower's segment AND every snapshot that could heal
+	// it: with no newer snapshot on offer the gap really is fatal.
+	h.setDown(true)
+	h.restartManager(2)
+	newGen := h.manager().Stats().Generation
+	for g := uint64(1); g < newGen; g++ {
+		os.Remove(persist.WALPath(h.dir, g))
+	}
+	snaps, err := persist.ListSnapshots(h.dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range snaps {
+		os.Remove(persist.SnapPath(h.dir, g))
 	}
 	h.setDown(false)
 	select {
@@ -476,6 +512,6 @@ func TestFollowerDiesOnPrunedHistory(t *testing.T) {
 			t.Fatalf("fatal error not terminal: %v", err)
 		}
 	case <-time.After(10 * time.Second):
-		t.Fatal("follower never reported the pruned segment as fatal")
+		t.Fatal("follower never reported the unhealable gap as fatal")
 	}
 }

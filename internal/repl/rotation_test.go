@@ -1,0 +1,68 @@
+package repl
+
+import "testing"
+
+// A rotation with no post-rotation records must still converge to
+// CaughtUp: the follower rotates onto the empty live segment and
+// observes offset == watermark, seq == 0 there.
+func TestFollowerCaughtUpAfterEmptyRotation(t *testing.T) {
+	h := newHarness(t, 2)
+	ft := &fakeTarget{}
+	f := startTestFollower(t, h, ft, t.TempDir())
+	for i := 0; i < 3; i++ {
+		h.insert(int64(i))
+	}
+	waitFor(t, "pre-rotation tail", func() bool { return ft.count() == 3 && f.Status().CaughtUp })
+
+	if err := h.manager().Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "caught up on empty post-rotation segment", func() bool {
+		st := f.Status()
+		return st.CaughtUp && st.LagRecords == 0
+	})
+}
+
+// A snapshot cascade (every WAL-logged DDL requests one) can retire a
+// generation before a live follower steps through it. The follower must
+// not die: it re-bootstraps in place from the leader's newest snapshot
+// and keeps tailing.
+func TestFollowerRebootstrapAfterPrunedGeneration(t *testing.T) {
+	h := newHarness(t, 1) // aggressive retention: only the newest snapshot survives
+	ft := &fakeTarget{}
+	f := startTestFollower(t, h, ft, t.TempDir())
+	for i := 0; i < 4; i++ {
+		h.insert(int64(i))
+	}
+	waitFor(t, "pre-cascade tail", func() bool { return ft.count() == 4 && f.Status().CaughtUp })
+
+	// Two back-to-back rotations while the leader is unreachable: with
+	// KeepSnapshots=1 the first new generation's (empty) segment is
+	// pruned as soon as the second snapshot lands, so by the time the
+	// follower can poll again the WAL chain has a hole it cannot walk.
+	h.setDown(true)
+	for i := 0; i < 2; i++ {
+		if err := h.manager().Snapshot(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h.setDown(false)
+	waitFor(t, "re-converge after pruned generation", func() bool {
+		st := f.Status()
+		return st.CaughtUp && st.LagRecords == 0 && st.Gen == h.manager().Stats().Generation
+	})
+	select {
+	case err := <-f.Fatal():
+		t.Fatalf("follower died instead of re-bootstrapping: %v", err)
+	default:
+	}
+
+	// The re-seeded follower still tails new writes exactly.
+	h.insert(int64(100))
+	waitFor(t, "tail after re-bootstrap", func() bool {
+		return f.Status().CaughtUp && sameValues(ft.values(), h.values())
+	})
+	if got := f.Status().Rebootstraps; got < 1 {
+		t.Fatalf("rebootstraps = %d, want >= 1", got)
+	}
+}

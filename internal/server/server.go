@@ -404,25 +404,25 @@ func (s *Server) lookupTable(name string) (tableHandle, error) {
 	}
 }
 
-func (s *Server) estimateQuery(ctx context.Context, e *client.EstimateRequest, agg estimate.Aggregate, noCache bool) ([]estimate.GroupEstimate, congress.CacheStatus, error) {
+func (s *Server) estimateQuery(ctx context.Context, e *client.EstimateRequest, agg estimate.Aggregate, opts congress.ApproxOptions) ([]estimate.GroupEstimate, congress.CacheStatus, error) {
 	switch {
 	case s.co != nil:
-		return s.co.EstimateQuery(ctx, e.Table, e.GroupBy, agg, e.Column, e.Confidence, noCache)
+		return s.co.EstimateQueryOpts(ctx, e.Table, e.GroupBy, agg, e.Column, e.Confidence, opts)
 	case s.sw != nil:
-		return s.sw.EstimateQuery(ctx, e.Table, e.GroupBy, agg, e.Column, e.Confidence, noCache)
+		return s.sw.EstimateQueryOpts(ctx, e.Table, e.GroupBy, agg, e.Column, e.Confidence, opts)
 	default:
-		return s.w.EstimateQuery(ctx, e.Table, e.GroupBy, agg, e.Column, e.Confidence, noCache)
+		return s.w.EstimateQueryOpts(ctx, e.Table, e.GroupBy, agg, e.Column, e.Confidence, opts)
 	}
 }
 
-func (s *Server) estimatePartials(ctx context.Context, table string, groupBy []string, aggCol string) ([]estimate.GroupPartial, error) {
+func (s *Server) estimatePartials(ctx context.Context, table string, groupBy []string, aggCol string, opts congress.PartialsOptions) ([]estimate.GroupPartial, error) {
 	switch {
 	case s.co != nil:
-		return s.co.EstimatePartialsCtx(ctx, table, groupBy, aggCol)
+		return s.co.EstimatePartialsOpts(ctx, table, groupBy, aggCol, opts)
 	case s.sw != nil:
-		return s.sw.EstimatePartialsCtx(ctx, table, groupBy, aggCol)
+		return s.sw.EstimatePartialsOpts(ctx, table, groupBy, aggCol, opts)
 	default:
-		return s.w.EstimatePartialsCtx(ctx, table, groupBy, aggCol)
+		return s.w.EstimatePartialsOpts(ctx, table, groupBy, aggCol, opts)
 	}
 }
 
@@ -463,8 +463,9 @@ func (s *Server) warehouseMetrics() congress.MetricsSnapshot {
 	switch {
 	case s.co != nil:
 		// The coordinator holds no warehouse of its own; engine telemetry
-		// lives on the shard processes.
-		return congress.MetricsSnapshot{}
+		// lives on the shard processes. Its own snapshot carries only the
+		// coordinator-level counters (hybrid residual composition).
+		return s.co.Metrics()
 	case s.sw != nil:
 		return s.sw.Metrics()
 	default:
@@ -503,7 +504,8 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		var ests []estimate.GroupEstimate
-		ests, status, err = s.estimateQuery(ctx, e, agg, req.NoCache)
+		ests, status, err = s.estimateQuery(ctx, e, agg,
+			congress.ApproxOptions{NoCache: req.NoCache, NoHybrid: req.NoHybrid})
 		if err != nil {
 			s.writeMappedError(w, err, http.StatusBadRequest, "bad_query")
 			return
@@ -708,7 +710,8 @@ func (s *Server) handlePartials(w http.ResponseWriter, r *http.Request) {
 	}
 
 	start := time.Now()
-	parts, err := s.estimatePartials(ctx, req.Table, req.GroupBy, req.Column)
+	parts, err := s.estimatePartials(ctx, req.Table, req.GroupBy, req.Column,
+		congress.PartialsOptions{NoHybrid: req.NoHybrid})
 	if err != nil {
 		s.writeMappedError(w, err, http.StatusBadRequest, "bad_query")
 		return

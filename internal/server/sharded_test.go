@@ -41,6 +41,9 @@ func TestShardedServerEstimateFlow(t *testing.T) {
 	_, c := testServer(t, Options{Sharded: sw})
 	ctx := context.Background()
 
+	// Default mode: every shard's exact datacube covers the request, so
+	// the merged answer is hybrid-exact — zero-width bounds, no sampled
+	// rows behind any group.
 	res, err := c.Query(ctx, client.QueryRequest{Estimate: &client.EstimateRequest{
 		Table: "lineitem", GroupBy: []string{"l_returnflag"},
 		Agg: "avg", Column: "l_quantity", Confidence: 0.95,
@@ -55,13 +58,33 @@ func TestShardedServerEstimateFlow(t *testing.T) {
 		if len(g.Group) != 1 {
 			t.Errorf("group key %v, want one rendered value", g.Group)
 		}
-		if !(g.Bound >= 0) || g.SampleN <= 0 {
-			t.Errorf("group %v: bound %v sample_n %d", g.Group, g.Bound, g.SampleN)
+		if g.Bound != 0 || g.SampleN != 0 {
+			t.Errorf("hybrid group %v: bound %v sample_n %d, want exact (0, 0)", g.Group, g.Bound, g.SampleN)
 		}
 	}
 	// Sharded estimates always bypass the result cache.
 	if res.Cache != "bypass" {
 		t.Errorf("cache status %q, want bypass", res.Cache)
+	}
+
+	// no_hybrid forces the pure-sample estimator on every shard.
+	res, err = c.Query(ctx, client.QueryRequest{
+		NoHybrid: true,
+		Estimate: &client.EstimateRequest{
+			Table: "lineitem", GroupBy: []string{"l_returnflag"},
+			Agg: "avg", Column: "l_quantity", Confidence: 0.95,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Groups) == 0 {
+		t.Fatal("pure-sample sharded estimate returned no groups")
+	}
+	for _, g := range res.Groups {
+		if !(g.Bound >= 0) || g.SampleN <= 0 {
+			t.Errorf("pure-sample group %v: bound %v sample_n %d", g.Group, g.Bound, g.SampleN)
+		}
 	}
 }
 

@@ -339,6 +339,27 @@ func (w *Warehouse) applyRecord(rec *persist.Record) error {
 		return err
 	case persist.RecRefreshSynopsis:
 		return w.aq.Refresh(rec.Table)
+	case persist.RecAttachRelation:
+		schema, err := engine.NewSchema(rec.Cols...)
+		if err != nil {
+			return fmt.Errorf("congress: replaying attach of %q: %w", rec.Table, err)
+		}
+		rel := engine.NewRelation(rec.Table, schema)
+		if err := rel.InsertAll(rec.Rows); err != nil {
+			return fmt.Errorf("congress: replaying attach of %q: %w", rec.Table, err)
+		}
+		w.cat.Register(rel)
+		w.noteBaseTable(rec.Table)
+		return nil
+	case persist.RecBuildJoinSynopsis:
+		if rec.Join == nil || rec.Synopsis == nil {
+			return fmt.Errorf("congress: build-join-synopsis record missing join or config")
+		}
+		if _, err := w.aq.CreateJoinSynopsis(*rec.Join, *rec.Synopsis); err != nil {
+			return err
+		}
+		w.noteBaseTable(rec.Join.Name)
+		return nil
 	default:
 		return fmt.Errorf("congress: unknown WAL record kind %d", rec.Kind)
 	}

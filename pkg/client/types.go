@@ -29,6 +29,10 @@ type QueryRequest struct {
 	// NoCache answers from the synopsis directly, skipping the server's
 	// result cache for this request (the answer is not stored either).
 	NoCache bool `json:"no_cache,omitempty"`
+	// NoHybrid forces the pure-sample estimator for this request even
+	// when the synopsis's exact datacube covers it (estimate requests
+	// only; SQL answering never uses the hybrid path).
+	NoHybrid bool `json:"no_hybrid,omitempty"`
 }
 
 // CacheHeader is the response header /v1/query uses to report how the
@@ -65,6 +69,9 @@ type PartialsRequest struct {
 	// Column is the aggregated column. Partials are aggregate- and
 	// confidence-independent: one scan serves SUM, COUNT and AVG.
 	Column string `json:"column"`
+	// NoHybrid forces the partials to come from the sample scan even
+	// when this shard's exact datacube covers the request.
+	NoHybrid bool `json:"no_hybrid,omitempty"`
 	// TimeoutMS caps this request's execution time like
 	// QueryRequest.TimeoutMS.
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`

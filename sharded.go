@@ -45,6 +45,7 @@ type StratifiedSample = sample.Stratified[Row]
 type ShardedWarehouse struct {
 	router *shard.Router
 	tel    *shard.Telemetry
+	mtel   *metrics.Telemetry // coordinator-level counters (hybrid composition)
 	shards []*Warehouse
 
 	mu     sync.RWMutex
@@ -61,6 +62,7 @@ func OpenSharded(shards int) (*ShardedWarehouse, error) {
 	sw := &ShardedWarehouse{
 		router: r,
 		tel:    shard.NewTelemetry(shards),
+		mtel:   metrics.NewTelemetry(),
 		shards: make([]*Warehouse, shards),
 		tables: make(map[string]*ShardedTable),
 	}
@@ -164,7 +166,11 @@ func (sw *ShardedWarehouse) AttachRelation(rel *engine.Relation, routeBy []strin
 		if err := shardRel.InsertAll(parts[i]); err != nil {
 			return nil, err
 		}
-		st.per[i] = w.AttachRelation(shardRel)
+		t, err := w.AttachRelation(shardRel)
+		if err != nil {
+			return nil, err
+		}
+		st.per[i] = t
 		sw.tel.AddInserts(i, int64(len(parts[i])))
 	}
 	sw.mu.Lock()
@@ -360,6 +366,13 @@ func (sw *ShardedWarehouse) EstimateCtx(ctx context.Context, table string, group
 // larger distributed deployment. Shards that were empty at build time
 // (no synopsis) contribute nothing.
 func (sw *ShardedWarehouse) EstimatePartialsCtx(ctx context.Context, table string, grouping []string, aggCol string) ([]estimate.GroupPartial, error) {
+	return sw.EstimatePartialsOpts(ctx, table, grouping, aggCol, PartialsOptions{})
+}
+
+// EstimatePartialsOpts is EstimatePartialsCtx with options; NoHybrid is
+// forwarded to every shard so a covered shard's exact datacube answer is
+// suppressed and the whole fan-out comes from the samples.
+func (sw *ShardedWarehouse) EstimatePartialsOpts(ctx context.Context, table string, grouping []string, aggCol string, opts PartialsOptions) ([]estimate.GroupPartial, error) {
 	if !sw.hasSynopsis(table) {
 		return nil, fmt.Errorf("%w %q", ErrNoSynopsis, table)
 	}
@@ -367,11 +380,15 @@ func (sw *ShardedWarehouse) EstimatePartialsCtx(ctx context.Context, table strin
 	for i, w := range sw.shards {
 		backends[i] = localShard{w}
 	}
-	parts, _, err := scatterPartials(ctx, sw.tel, backends, table, grouping, aggCol)
+	parts, _, err := scatterPartials(ctx, sw.tel, backends, table, grouping, aggCol, opts)
 	if err != nil {
 		return nil, err
 	}
-	return estimate.MergePartials(parts...), nil
+	merged := estimate.MergePartials(parts...)
+	if !opts.NoHybrid && hasResidualMix(merged) {
+		sw.mtel.HybridResidual()
+	}
+	return merged, nil
 }
 
 // EstimateQuery matches the Warehouse signature so congressd can serve
@@ -379,8 +396,19 @@ func (sw *ShardedWarehouse) EstimatePartialsCtx(ctx context.Context, table strin
 // the merged answer depends on every shard's data epoch at once, and a
 // coordinator-level key would have to read all of them racily. The
 // returned status is therefore always CacheBypass.
-func (sw *ShardedWarehouse) EstimateQuery(ctx context.Context, table string, grouping []string, agg estimate.Aggregate, aggCol string, confidence float64, _ bool) ([]estimate.GroupEstimate, CacheStatus, error) {
-	ests, err := sw.EstimateCtx(ctx, table, grouping, agg, aggCol, confidence)
+func (sw *ShardedWarehouse) EstimateQuery(ctx context.Context, table string, grouping []string, agg estimate.Aggregate, aggCol string, confidence float64, noCache bool) ([]estimate.GroupEstimate, CacheStatus, error) {
+	return sw.EstimateQueryOpts(ctx, table, grouping, agg, aggCol, confidence, ApproxOptions{NoCache: noCache})
+}
+
+// EstimateQueryOpts is EstimateQuery with the full option set; only
+// NoHybrid is meaningful here (sharded estimates always bypass the
+// result cache).
+func (sw *ShardedWarehouse) EstimateQueryOpts(ctx context.Context, table string, grouping []string, agg estimate.Aggregate, aggCol string, confidence float64, opts ApproxOptions) ([]estimate.GroupEstimate, CacheStatus, error) {
+	merged, err := sw.EstimatePartialsOpts(ctx, table, grouping, aggCol, PartialsOptions{NoHybrid: opts.NoHybrid})
+	if err != nil {
+		return nil, CacheBypass, err
+	}
+	ests, err := estimate.Finalize(merged, agg, confidence)
 	return ests, CacheBypass, err
 }
 
@@ -459,9 +487,11 @@ func (sw *ShardedWarehouse) Synopses() []SynopsisInfo {
 }
 
 // Metrics sums the per-shard telemetry snapshots field-wise into one
-// warehouse-level reading.
+// warehouse-level reading, plus the coordinator-level counters (the
+// hybrid residual composition count lives on the coordinator, not any
+// single shard).
 func (sw *ShardedWarehouse) Metrics() MetricsSnapshot {
-	var sum MetricsSnapshot
+	sum := sw.mtel.Snapshot()
 	for _, w := range sw.shards {
 		addSnapshot(&sum, w.Metrics())
 	}
@@ -478,6 +508,9 @@ func addSnapshot(sum *MetricsSnapshot, s MetricsSnapshot) {
 	sum.CacheMisses += s.CacheMisses
 	sum.CacheEvictions += s.CacheEvictions
 	sum.CacheInvalidations += s.CacheInvalidations
+	sum.HybridExact += s.HybridExact
+	sum.HybridResidual += s.HybridResidual
+	sum.HybridFallback += s.HybridFallback
 	addOp(&sum.Build, s.Build)
 	addOp(&sum.Refresh, s.Refresh)
 	addOp(&sum.Answer, s.Answer)
